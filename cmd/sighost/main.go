@@ -1,0 +1,53 @@
+// Command sighost runs the signaling entity as a real daemon serving
+// the application-signaling RPC protocol over TCP — the deployable form
+// of the paper's user-space design decision (§5.1): "code in user space
+// is far easier to develop and modify".
+//
+// A standalone daemon serves local calls only (it has no ATM fabric or
+// peer PVC mesh behind it; the full multi-router system runs inside the
+// simulation — see cmd/xunetsim). Try it together with cmd/sigdemo:
+//
+//	sighost -listen 127.0.0.1:3177 -atm-addr mh.rt
+//	sigdemo -sighost 127.0.0.1:3177
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/signaling"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:3177", "TCP address to serve the signaling RPC protocol on")
+	addrStr := flag.String("atm-addr", "mh.rt", "this signaling entity's ATM address")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
+	flag.Parse()
+
+	h, err := signaling.StartReal(atm.Addr(*addrStr), *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sighost:", err)
+		os.Exit(1)
+	}
+	defer h.Close()
+	fmt.Printf("sighost: signaling entity %q serving on %s\n", *addrStr, h.ListenAddr())
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				svc, out, in, wb, vm := h.SH.ListSizes()
+				fmt.Printf("sighost: lists service=%d outgoing=%d incoming=%d wait_bind=%d vci_map=%d stats=%+v\n",
+					svc, out, in, wb, vm, h.SH.Stats)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nsighost: shutting down")
+}

@@ -1,0 +1,118 @@
+// Command xunetsim runs configurable scenarios on the simulated Xunet:
+// the paper's two-router measurement testbed or the five-site
+// nationwide map, with a chosen number of IP hosts per router and a
+// call-storm workload, reporting the signaling, kernel, and fabric
+// statistics the experiments in EXPERIMENTS.md are built from.
+//
+//	xunetsim -topology testbed -calls 100 -hold 1s
+//	xunetsim -topology xunet -hosts 2 -calls 50 -buffers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/kern"
+	"xunet/internal/testbed"
+	"xunet/internal/xswitch"
+)
+
+func main() {
+	topo := flag.String("topology", "testbed", "testbed (2 routers, 3 hops) or xunet (5 sites)")
+	hosts := flag.Int("hosts", 0, "IP-connected hosts per router")
+	calls := flag.Int("calls", 100, "calls in the storm workload")
+	hold := flag.Duration("hold", time.Second, "per-call hold time")
+	frames := flag.Int("frames", 1, "data frames per call")
+	buffers := flag.Int("buffers", kern.FixedDeviceBuffers, "pseudo-device message buffers (paper: 8 broken, 80 fixed)")
+	fdsize := flag.Int("fdsize", kern.FixedFDTableSize, "per-process fd table size (paper: 20 broken, 100 fixed)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	nolog := flag.Bool("nolog", false, "disable per-call maintenance logging (E3 ablation)")
+	kill := flag.Int("kill-every", 0, "kill every k-th client mid-call (robustness)")
+	qosStr := flag.String("qos", "", "per-call QoS descriptor (e.g. cbr:1000)")
+	flag.Parse()
+
+	opts := testbed.Options{
+		Seed:               *seed,
+		DeviceBuffers:      *buffers,
+		FDTableSize:        *fdsize,
+		DisableCallLogging: *nolog,
+	}
+
+	var n *testbed.Net
+	var routers []*testbed.Router
+	switch *topo {
+	case "testbed":
+		net_, ra, rb, err := testbed.NewTestbed(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xunetsim:", err)
+			os.Exit(1)
+		}
+		n, routers = net_, []*testbed.Router{ra, rb}
+	case "xunet":
+		net_, siteRouters, err := testbed.NewXunet(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xunetsim:", err)
+			os.Exit(1)
+		}
+		n = net_
+		for _, s := range xswitch.XunetSites() {
+			routers = append(routers, siteRouters[s])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "xunetsim: unknown topology %q\n", *topo)
+		os.Exit(1)
+	}
+
+	var allHosts []*testbed.Host
+	for i, r := range routers {
+		for h := 0; h < *hosts; h++ {
+			host, err := n.AddHost(atm.Addr(fmt.Sprintf("%s.h%d", r.Stack.Addr, h+1)), r)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xunetsim:", err)
+				os.Exit(1)
+			}
+			allHosts = append(allHosts, host)
+		}
+		_ = i
+	}
+
+	server := routers[len(routers)-1]
+	srv := testbed.StartEchoServer(server, "storm", 6000)
+	n.E.RunUntil(time.Second)
+
+	var client testbed.Endpoint = routers[0]
+	if len(allHosts) > 0 {
+		client = allHosts[0]
+	}
+	fmt.Printf("xunetsim: %s topology, %d routers, %d hosts; storm of %d calls (%v hold) from %s to %s\n",
+		*topo, len(routers), len(allHosts), *calls, *hold, client.EndStack().Addr, server.Stack.Addr)
+
+	res := testbed.CallStorm(client, server.Stack.Addr, "storm", testbed.StormConfig{
+		Count: *calls, Hold: *hold, FramesPerCall: *frames, QoS: *qosStr,
+		KillEvery: *kill, KillAfter: *hold / 2,
+	})
+	n.E.RunUntil(n.E.Now() + 4*n.CM.BindTimeout)
+
+	fmt.Printf("\ncalls: %d launched, %d established, %d failed, %d killed\n",
+		res.Launched, res.Succeeded, res.Failed, res.Killed)
+	if res.Succeeded > 0 {
+		fmt.Printf("setup latency: min %v avg %v max %v (paper: ≈330 ms/call)\n",
+			res.MinSetup, res.Avg(), res.MaxSetup)
+	}
+	fmt.Printf("echo server: %d calls accepted, %d frames received\n\n", srv.Accepted, srv.Received)
+	report := n.Snapshot()
+	fmt.Print(report)
+	if report.Quiesced() {
+		fmt.Println("all transient signaling state drained — robustness check passed")
+	} else {
+		for _, r := range routers {
+			if msg := testbed.Quiesced(r); msg != "" {
+				fmt.Println("LEAK:", msg)
+			}
+		}
+	}
+	n.E.Shutdown()
+}

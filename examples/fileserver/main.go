@@ -1,0 +1,169 @@
+// Fileserver: the motivating example of the paper's §3 — "a file
+// server might advertise the name 'file-service' with the signaling
+// entity on host with ATM address 'mh.rt'".
+//
+// Because Xunet circuits are simplex ("the client-to-server connection
+// is simplex, so in our example, the server application would have to
+// establish a return connection to actually return a file to the
+// client"), this example exercises both directions: the client's
+// request circuit carries the file name, the server then opens a
+// *return* circuit — with a server-chosen CBR reservation negotiated
+// down from the client's ask — and streams the file back in AAL frames.
+//
+//	go run ./examples/fileserver
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xunet/internal/kern"
+	"xunet/internal/testbed"
+)
+
+// The served "filesystem".
+var files = map[string]string{
+	"/etc/motd":    "Welcome to Xunet 2, the nationwide ATM testbed.\n",
+	"/papers/sig":  strings.Repeat("Signaling and OS support for native-mode ATM applications. ", 40),
+	"/video/intro": strings.Repeat("FRAME", 2000),
+}
+
+func main() {
+	fmt.Println("=== file-service over native-mode ATM ===")
+	n, ra, rb, err := testbed.NewTestbed(testbed.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	// ----- Server on ucb.rt -----
+	rb.Stack.Spawn("file-server", func(p *kern.Proc) {
+		lib := rb.Lib
+		if err := lib.ExportService(p, "file-service", 6000); err != nil {
+			fmt.Println("server: export:", err)
+			return
+		}
+		// The client advertises its own return service so the server
+		// can call back (the paper's return-connection pattern).
+		kl, _ := lib.CreateReceiveConnection(p, 6000)
+		for {
+			req, err := lib.AwaitServiceRequest(p, kl)
+			if err != nil {
+				return
+			}
+			// Negotiate the request circuit down to best effort — file
+			// requests are tiny.
+			vci, _, err := req.Accept("besteffort:0")
+			if err != nil {
+				continue
+			}
+			cookie := req.Cookie
+			rb.Stack.Spawn("file-worker", func(w *kern.Proc) {
+				sock, _ := rb.Stack.PF.Socket(w)
+				if err := sock.Bind(vci, cookie); err != nil {
+					return
+				}
+				reqMsg, err := sock.Recv()
+				if err != nil {
+					return
+				}
+				name := string(reqMsg)
+				body, ok := files[name]
+				fmt.Printf("server: request for %q (%d bytes) at t=%v\n", name, len(body), w.SP.Now())
+				if !ok {
+					body = "ERROR: no such file"
+				}
+				// Open the return connection with a CBR reservation
+				// sized to the transfer.
+				ret, err := lib.OpenConnection(w, "mh.rt", "file-return", 6100, name, "cbr:2000")
+				if err != nil {
+					fmt.Println("server: return connection:", err)
+					return
+				}
+				fmt.Printf("server: return circuit %v qos=%q\n", ret.VCI, ret.QoS)
+				out, _ := rb.Stack.PF.Socket(w)
+				if err := out.Connect(ret.VCI, ret.Cookie); err != nil {
+					return
+				}
+				w.SP.Sleep(100 * time.Millisecond) // let the client bind
+				const chunk = 8000
+				sent := 0
+				for off := 0; off < len(body); off += chunk {
+					end := off + chunk
+					if end > len(body) {
+						end = len(body)
+					}
+					_ = out.Send([]byte(body[off:end]))
+					sent++
+					w.SP.Sleep(5 * time.Millisecond) // pace below line rate
+				}
+				_ = out.Send([]byte("EOF"))
+				fmt.Printf("server: streamed %d chunks of %q\n", sent, name)
+				w.SP.Sleep(200 * time.Millisecond)
+				out.Close()
+				sock.Close()
+			})
+		}
+	})
+
+	// ----- Client on mh.rt -----
+	ra.Stack.Spawn("file-client", func(p *kern.Proc) {
+		lib := ra.Lib
+		// Advertise the return service first.
+		if err := lib.ExportService(p, "file-return", 6100); err != nil {
+			fmt.Println("client: export return:", err)
+			return
+		}
+		retL, _ := lib.CreateReceiveConnection(p, 6100)
+		p.SP.Sleep(200 * time.Millisecond)
+
+		for _, name := range []string{"/etc/motd", "/video/intro", "/no/such/file"} {
+			conn, err := lib.OpenConnection(p, "ucb.rt", "file-service", 7000, "file request", "vbr:64")
+			if err != nil {
+				fmt.Println("client: open:", err)
+				return
+			}
+			out, _ := ra.Stack.PF.Socket(p)
+			if err := out.Connect(conn.VCI, conn.Cookie); err != nil {
+				return
+			}
+			p.SP.Sleep(100 * time.Millisecond)
+			_ = out.Send([]byte(name))
+
+			// Accept the server's return call and drain the file.
+			ret, err := lib.AwaitServiceRequest(p, retL)
+			if err != nil {
+				fmt.Println("client: await return:", err)
+				return
+			}
+			rvci, rqos, err := ret.Accept(ret.QoS)
+			if err != nil {
+				fmt.Println("client: accept return:", err)
+				return
+			}
+			in, _ := ra.Stack.PF.Socket(p)
+			if err := in.Bind(rvci, ret.Cookie); err != nil {
+				return
+			}
+			var got []byte
+			for {
+				chunk, err := in.Recv()
+				if err != nil || string(chunk) == "EOF" {
+					break
+				}
+				got = append(got, chunk...)
+			}
+			fmt.Printf("client: %q -> %d bytes over %v (qos %q)\n", name, len(got), rvci, rqos)
+			p.SP.Sleep(100 * time.Millisecond)
+			out.Close()
+			in.Close()
+		}
+		fmt.Println("client: all transfers complete at t =", p.SP.Now())
+	})
+
+	n.E.RunUntil(2 * time.Minute)
+	sent, dropped := n.Fabric.TrunkStats()
+	fmt.Printf("\nfabric: %d cells, %d dropped; open VCs at end: %d (2 signaling PVCs expected)\n",
+		sent, dropped, n.Fabric.ActiveVCs())
+	n.E.Shutdown()
+}

@@ -1,0 +1,3 @@
+module xunet
+
+go 1.22

@@ -1,0 +1,201 @@
+// Package aal5 implements the Xunet variant of the AAL5 adaptation
+// layer: CPCS framing with a pad + 8-byte trailer, segmentation into
+// 48-byte cell payloads, reassembly, and the two guarantees the paper
+// calls out — "the receiving AAL can detect out of order frames and
+// cell loss within a frame."
+//
+// Cell loss within a frame is detected by the trailer's length field and
+// CRC-32. Out-of-order (or lost) frames are detected by the Xunet
+// variant's per-VC frame sequence number, which this implementation
+// carries in the CPCS-UU octet of the trailer (see SeqTracker).
+package aal5
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"xunet/internal/atm"
+)
+
+// TrailerSize is the CPCS-PDU trailer: UU(1) CPI(1) Length(2) CRC(4).
+const TrailerSize = 8
+
+// MaxSDU is the largest CPCS-SDU an AAL5 frame can carry (16-bit length).
+const MaxSDU = 65535
+
+// Errors reported by frame parsing and reassembly.
+var (
+	ErrTooLong     = errors.New("aal5: SDU exceeds 65535 bytes")
+	ErrShortFrame  = errors.New("aal5: frame shorter than one cell")
+	ErrBadAlign    = errors.New("aal5: frame length not a multiple of 48")
+	ErrBadLength   = errors.New("aal5: trailer length inconsistent (cell loss within frame)")
+	ErrBadCRC      = errors.New("aal5: CRC-32 mismatch (corruption or cell loss within frame)")
+	ErrFrameTooBig = errors.New("aal5: reassembly exceeded maximum frame size")
+)
+
+// BuildFrame wraps payload in a CPCS-PDU: payload, zero padding to a
+// 48-byte boundary, and the trailer. uu is the CPCS-UU octet, which the
+// Xunet variant uses as the per-VC frame sequence number.
+func BuildFrame(payload []byte, uu byte) ([]byte, error) {
+	if len(payload) > MaxSDU {
+		return nil, ErrTooLong
+	}
+	padded := len(payload) + TrailerSize
+	rem := padded % atm.PayloadSize
+	pad := 0
+	if rem != 0 {
+		pad = atm.PayloadSize - rem
+	}
+	frame := make([]byte, len(payload)+pad+TrailerSize)
+	copy(frame, payload)
+	tr := frame[len(frame)-TrailerSize:]
+	tr[0] = uu
+	tr[1] = 0 // CPI, always zero
+	tr[2] = byte(len(payload) >> 8)
+	tr[3] = byte(len(payload))
+	crc := crc32.ChecksumIEEE(frame[:len(frame)-4])
+	tr[4] = byte(crc >> 24)
+	tr[5] = byte(crc >> 16)
+	tr[6] = byte(crc >> 8)
+	tr[7] = byte(crc)
+	return frame, nil
+}
+
+// ParseFrame validates a complete CPCS-PDU and returns its payload and
+// UU octet. The returned payload aliases frame.
+func ParseFrame(frame []byte) (payload []byte, uu byte, err error) {
+	if len(frame) < atm.PayloadSize {
+		return nil, 0, ErrShortFrame
+	}
+	if len(frame)%atm.PayloadSize != 0 {
+		return nil, 0, ErrBadAlign
+	}
+	tr := frame[len(frame)-TrailerSize:]
+	wantCRC := uint32(tr[4])<<24 | uint32(tr[5])<<16 | uint32(tr[6])<<8 | uint32(tr[7])
+	if crc32.ChecksumIEEE(frame[:len(frame)-4]) != wantCRC {
+		return nil, 0, ErrBadCRC
+	}
+	n := int(tr[2])<<8 | int(tr[3])
+	// Valid padding is 0..47 bytes; anything else means cells vanished.
+	if n+TrailerSize > len(frame) || len(frame)-(n+TrailerSize) >= atm.PayloadSize {
+		return nil, 0, ErrBadLength
+	}
+	return frame[:n], tr[0], nil
+}
+
+// Segment splits a CPCS-PDU into cells on the given VPI/VCI, setting the
+// AAL-indicate PTI bit on the final cell. frame must be a multiple of 48
+// bytes (as produced by BuildFrame).
+func Segment(frame []byte, vpi atm.VPI, vci atm.VCI) ([]atm.Cell, error) {
+	if len(frame) == 0 || len(frame)%atm.PayloadSize != 0 {
+		return nil, ErrBadAlign
+	}
+	n := len(frame) / atm.PayloadSize
+	cells := make([]atm.Cell, n)
+	for i := 0; i < n; i++ {
+		cells[i].VPI = vpi
+		cells[i].VCI = vci
+		copy(cells[i].Payload[:], frame[i*atm.PayloadSize:])
+		if i == n-1 {
+			cells[i].PTI = atm.PTIUserData1
+		}
+	}
+	return cells, nil
+}
+
+// CellsForPayload reports how many cells an SDU of n bytes occupies.
+func CellsForPayload(n int) int {
+	return (n + TrailerSize + atm.PayloadSize - 1) / atm.PayloadSize
+}
+
+// Reassembler rebuilds frames from the cell stream of one VC. It is the
+// receive half of the Hobbit board's SAR engine. Not safe for concurrent
+// use; the simulation serializes all access.
+type Reassembler struct {
+	buf      []byte
+	maxFrame int
+
+	// Frames counts successfully reassembled frames; Errors counts
+	// frames discarded for CRC/length violations (cell loss within a
+	// frame, per the paper's guarantee).
+	Frames uint64
+	Errors uint64
+}
+
+// NewReassembler returns a reassembler that rejects frames longer than
+// maxFrame bytes (0 means the AAL5 maximum).
+func NewReassembler(maxFrame int) *Reassembler {
+	if maxFrame <= 0 {
+		maxFrame = MaxSDU + TrailerSize + atm.PayloadSize
+	}
+	return &Reassembler{maxFrame: maxFrame}
+}
+
+// Push adds one cell. When the cell completes a frame, Push returns the
+// payload, its UU (frame sequence) octet and done=true. A CRC or length
+// violation discards the partial frame and returns an error with
+// done=true so callers can count the loss.
+func (r *Reassembler) Push(c *atm.Cell) (payload []byte, uu byte, done bool, err error) {
+	r.buf = append(r.buf, c.Payload[:]...)
+	if len(r.buf) > r.maxFrame {
+		r.buf = r.buf[:0]
+		r.Errors++
+		return nil, 0, true, ErrFrameTooBig
+	}
+	if !c.EndOfFrame() {
+		return nil, 0, false, nil
+	}
+	frame := r.buf
+	r.buf = nil
+	payload, uu, err = ParseFrame(frame)
+	if err != nil {
+		r.Errors++
+		return nil, 0, true, err
+	}
+	r.Frames++
+	return payload, uu, true, nil
+}
+
+// Pending reports how many bytes of an incomplete frame are buffered.
+func (r *Reassembler) Pending() int { return len(r.buf) }
+
+// Reset discards any partial frame (used when a VC is torn down).
+func (r *Reassembler) Reset() { r.buf = nil }
+
+// SeqTracker implements the Xunet-variant out-of-order frame detection:
+// each frame on a VC carries an 8-bit sequence number in CPCS-UU, and
+// the receiver verifies it advances by exactly one.
+type SeqTracker struct {
+	next    byte
+	started bool
+
+	// InOrder and OutOfOrder count checked frames.
+	InOrder    uint64
+	OutOfOrder uint64
+}
+
+// Check verifies frame sequence number seq. It returns ok=false and the
+// (signed, mod-256) gap when frames were lost or reordered, then
+// resynchronizes to seq+1.
+func (t *SeqTracker) Check(seq byte) (ok bool, gap int) {
+	if !t.started {
+		t.started = true
+		t.next = seq + 1
+		t.InOrder++
+		return true, 0
+	}
+	g := int(int8(seq - t.next))
+	t.next = seq + 1
+	if g == 0 {
+		t.InOrder++
+		return true, 0
+	}
+	t.OutOfOrder++
+	return false, g
+}
+
+// String summarizes tracker state for traces.
+func (t *SeqTracker) String() string {
+	return fmt.Sprintf("seq{next=%d ok=%d ooo=%d}", t.next, t.InOrder, t.OutOfOrder)
+}

@@ -1,0 +1,348 @@
+package aal5
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"xunet/internal/atm"
+)
+
+func pay(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*31 + 7)
+	}
+	return p
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 39, 40, 41, 47, 48, 96, 1500, 9180, MaxSDU} {
+		f, err := BuildFrame(pay(n), byte(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(f)%atm.PayloadSize != 0 {
+			t.Fatalf("n=%d: frame len %d not cell-aligned", n, len(f))
+		}
+		got, uu, err := ParseFrame(f)
+		if err != nil {
+			t.Fatalf("n=%d: parse: %v", n, err)
+		}
+		if uu != byte(n) {
+			t.Fatalf("n=%d: uu = %d", n, uu)
+		}
+		if !bytes.Equal(got, pay(n)) {
+			t.Fatalf("n=%d: payload mismatch", n)
+		}
+	}
+}
+
+func TestBuildFrameTooLong(t *testing.T) {
+	if _, err := BuildFrame(make([]byte, MaxSDU+1), 0); err != ErrTooLong {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+}
+
+func TestParseFrameErrors(t *testing.T) {
+	if _, _, err := ParseFrame(make([]byte, 40)); err != ErrShortFrame {
+		t.Fatalf("short: %v", err)
+	}
+	if _, _, err := ParseFrame(make([]byte, 49)); err != ErrBadAlign {
+		t.Fatalf("misaligned: %v", err)
+	}
+	f, _ := BuildFrame(pay(100), 1)
+	f[5] ^= 0xFF
+	if _, _, err := ParseFrame(f); err != ErrBadCRC {
+		t.Fatalf("corrupt: %v", err)
+	}
+}
+
+func TestParseDetectsLengthLie(t *testing.T) {
+	// A frame whose CRC is valid but whose length field claims more
+	// padding than a cell can hold must be rejected (this is how losing
+	// a middle cell shows up when the CRC happens to be recomputed).
+	f, _ := BuildFrame(pay(10), 0)
+	// Rewrite the length to something inconsistent and fix the CRC.
+	tr := f[len(f)-TrailerSize:]
+	tr[2], tr[3] = 0, 200 // claims 200-byte payload in a 48-byte frame
+	crc := crc32ChecksumShim(f[:len(f)-4])
+	tr[4], tr[5], tr[6], tr[7] = byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc)
+	if _, _, err := ParseFrame(f); err != ErrBadLength {
+		t.Fatalf("err = %v, want ErrBadLength", err)
+	}
+}
+
+func TestSegmentReassembleRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 48, 1500, 9180} {
+		f, _ := BuildFrame(pay(n), 7)
+		cells, err := Segment(f, 1, 42)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(cells) != CellsForPayload(n) {
+			t.Fatalf("n=%d: %d cells, want %d", n, len(cells), CellsForPayload(n))
+		}
+		for i, c := range cells {
+			if c.VCI != 42 || c.VPI != 1 {
+				t.Fatalf("cell %d has wrong circuit ids", i)
+			}
+			if c.EndOfFrame() != (i == len(cells)-1) {
+				t.Fatalf("cell %d EOF flag wrong", i)
+			}
+		}
+		r := NewReassembler(0)
+		var got []byte
+		var uu byte
+		done := false
+		for i := range cells {
+			p, u, d, err := r.Push(&cells[i])
+			if err != nil {
+				t.Fatalf("n=%d: push: %v", n, err)
+			}
+			if d {
+				got, uu, done = p, u, true
+			}
+		}
+		if !done {
+			t.Fatalf("n=%d: frame never completed", n)
+		}
+		if uu != 7 || !bytes.Equal(got, pay(n)) {
+			t.Fatalf("n=%d: reassembly mismatch", n)
+		}
+		if r.Frames != 1 || r.Errors != 0 {
+			t.Fatalf("n=%d: counters %d/%d", n, r.Frames, r.Errors)
+		}
+	}
+}
+
+func TestSegmentRejectsUnaligned(t *testing.T) {
+	if _, err := Segment(make([]byte, 50), 0, 1); err != ErrBadAlign {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Segment(nil, 0, 1); err != ErrBadAlign {
+		t.Fatalf("empty: err = %v", err)
+	}
+}
+
+func TestReassemblerDetectsDroppedCell(t *testing.T) {
+	f, _ := BuildFrame(pay(200), 3)
+	cells, _ := Segment(f, 0, 9)
+	if len(cells) < 3 {
+		t.Fatal("want at least 3 cells")
+	}
+	r := NewReassembler(0)
+	sawErr := false
+	for i := range cells {
+		if i == 1 {
+			continue // drop a middle cell
+		}
+		_, _, done, err := r.Push(&cells[i])
+		if done && err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("dropped cell not detected")
+	}
+	if r.Errors != 1 {
+		t.Fatalf("Errors = %d", r.Errors)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("Pending = %d after error", r.Pending())
+	}
+}
+
+func TestReassemblerDetectsCorruption(t *testing.T) {
+	f, _ := BuildFrame(pay(100), 0)
+	cells, _ := Segment(f, 0, 9)
+	cells[0].Payload[3] ^= 0x80
+	r := NewReassembler(0)
+	var lastErr error
+	for i := range cells {
+		_, _, done, err := r.Push(&cells[i])
+		if done {
+			lastErr = err
+		}
+	}
+	if lastErr != ErrBadCRC {
+		t.Fatalf("err = %v, want ErrBadCRC", lastErr)
+	}
+}
+
+func TestReassemblerMaxFrame(t *testing.T) {
+	r := NewReassembler(96) // two cells max
+	c := atm.Cell{}         // never EOF
+	for i := 0; i < 2; i++ {
+		if _, _, done, err := r.Push(&c); done || err != nil {
+			t.Fatalf("cell %d: done=%v err=%v", i, done, err)
+		}
+	}
+	_, _, done, err := r.Push(&c)
+	if !done || err != ErrFrameTooBig {
+		t.Fatalf("overflow: done=%v err=%v", done, err)
+	}
+	if r.Pending() != 0 {
+		t.Fatal("buffer not reset after overflow")
+	}
+}
+
+func TestReassemblerBackToBackFrames(t *testing.T) {
+	r := NewReassembler(0)
+	for seq := byte(0); seq < 5; seq++ {
+		f, _ := BuildFrame(pay(int(seq)*37), seq)
+		cells, _ := Segment(f, 0, 1)
+		for i := range cells {
+			p, uu, done, err := r.Push(&cells[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				if uu != seq || !bytes.Equal(p, pay(int(seq)*37)) {
+					t.Fatalf("frame %d mismatch", seq)
+				}
+			}
+		}
+	}
+	if r.Frames != 5 {
+		t.Fatalf("Frames = %d", r.Frames)
+	}
+}
+
+func TestReassemblerReset(t *testing.T) {
+	r := NewReassembler(0)
+	c := atm.Cell{}
+	r.Push(&c)
+	if r.Pending() == 0 {
+		t.Fatal("no pending bytes after push")
+	}
+	r.Reset()
+	if r.Pending() != 0 {
+		t.Fatal("Reset did not clear buffer")
+	}
+}
+
+func TestSeqTracker(t *testing.T) {
+	var tr SeqTracker
+	// First frame establishes sync regardless of value.
+	if ok, gap := tr.Check(200); !ok || gap != 0 {
+		t.Fatalf("first: ok=%v gap=%d", ok, gap)
+	}
+	if ok, _ := tr.Check(201); !ok {
+		t.Fatal("in-order rejected")
+	}
+	// Skip one frame: gap +1.
+	if ok, gap := tr.Check(203); ok || gap != 1 {
+		t.Fatalf("skip: ok=%v gap=%d", ok, gap)
+	}
+	// Resynchronized: next in order accepted.
+	if ok, _ := tr.Check(204); !ok {
+		t.Fatal("post-resync rejected")
+	}
+	// Duplicate/reordered: gap -1.
+	if ok, gap := tr.Check(203); ok || gap != -2 {
+		t.Fatalf("reorder: ok=%v gap=%d", ok, gap)
+	}
+	if tr.InOrder != 3 || tr.OutOfOrder != 2 {
+		t.Fatalf("counters %d/%d", tr.InOrder, tr.OutOfOrder)
+	}
+}
+
+func TestSeqTrackerWrap(t *testing.T) {
+	var tr SeqTracker
+	tr.Check(254)
+	if ok, _ := tr.Check(255); !ok {
+		t.Fatal("255 rejected")
+	}
+	if ok, _ := tr.Check(0); !ok {
+		t.Fatal("wrap to 0 rejected")
+	}
+}
+
+// Property: build/segment/reassemble round-trips any payload.
+func TestQuickSARRoundTrip(t *testing.T) {
+	f := func(payload []byte, uu byte) bool {
+		if len(payload) > MaxSDU {
+			payload = payload[:MaxSDU]
+		}
+		frame, err := BuildFrame(payload, uu)
+		if err != nil {
+			return false
+		}
+		cells, err := Segment(frame, 0, 5)
+		if err != nil {
+			return false
+		}
+		r := NewReassembler(0)
+		for i := range cells {
+			p, u, done, err := r.Push(&cells[i])
+			if err != nil {
+				return false
+			}
+			if done {
+				return u == uu && bytes.Equal(p, payload) && i == len(cells)-1
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dropping any single cell from a multi-cell frame is detected.
+func TestQuickDropAnyCellDetected(t *testing.T) {
+	f := func(n uint16, drop uint8) bool {
+		size := int(n)%3000 + 100
+		frame, _ := BuildFrame(pay(size), 1)
+		cells, _ := Segment(frame, 0, 1)
+		if len(cells) < 2 {
+			return true
+		}
+		di := int(drop) % len(cells)
+		r := NewReassembler(0)
+		for i := range cells {
+			if i == di {
+				continue
+			}
+			p, _, done, err := r.Push(&cells[i])
+			if done {
+				// Either an error, or (if the EOF cell itself was
+				// dropped the frame merges into the next one — not
+				// simulated here, so done implies we kept EOF).
+				return err != nil && p == nil
+			}
+		}
+		// EOF cell dropped: frame stays pending, which the per-VC
+		// sequence tracker catches at the next frame boundary.
+		return di == len(cells)-1 && r.Pending() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func crc32ChecksumShim(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+func BenchmarkBuildFrame1500(b *testing.B) {
+	p := pay(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildFrame(p, byte(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentReassemble1500(b *testing.B) {
+	f, _ := BuildFrame(pay(1500), 0)
+	r := NewReassembler(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells, _ := Segment(f, 0, 1)
+		for j := range cells {
+			r.Push(&cells[j])
+		}
+	}
+}

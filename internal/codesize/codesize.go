@@ -1,0 +1,131 @@
+// Package codesize reproduces Table 2 of the paper: "Code sizes for
+// principal components at a host". The paper reports lines of C
+// (with comments) plus text/data/BSS segment sizes; this reproduction
+// reports lines of Go (with comments) for the corresponding modules,
+// printed beside the paper's line counts so the relative weight of the
+// components can be compared. Segment sizes have no stable Go
+// equivalent and are recorded in EXPERIMENTS.md as not reproduced.
+package codesize
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Row is one component of Table 2.
+type Row struct {
+	Component  string
+	PaperLines int // lines of C, from Table 2
+	GoLines    int // measured lines of Go (non-test)
+	GoFiles    int
+	Sources    []string // package dirs / files counted
+}
+
+// components maps the paper's Table 2 rows to this reproduction's
+// modules. Paths are relative to the repository root; an entry may be a
+// directory (all non-test .go files) or a single file.
+var components = []Row{
+	{Component: "Sighost", PaperLines: 1204, Sources: []string{"internal/signaling/sighost.go", "internal/sigmsg"}},
+	{Component: "User lib", PaperLines: 373, Sources: []string{"internal/ulib"}},
+	{Component: "/dev/anand", PaperLines: 382, Sources: []string{"internal/kern/pseudodev.go", "internal/anand"}},
+	{Component: "PF_XUNET", PaperLines: 463, Sources: []string{"internal/pfxunet"}},
+	{Component: "IPPROTO_ATM", PaperLines: 164, Sources: []string{"internal/protoatm"}},
+	{Component: "Orc", PaperLines: 96, Sources: []string{"internal/hobbit"}},
+}
+
+// RepoRoot locates the repository root from this source file's
+// location.
+func RepoRoot() (string, error) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("codesize: cannot locate source")
+	}
+	// file = <root>/internal/codesize/codesize.go
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		return "", fmt.Errorf("codesize: %s is not the repo root: %w", root, err)
+	}
+	return root, nil
+}
+
+// countFile counts lines in one Go source file.
+func countFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	n := strings.Count(string(data), "\n")
+	if len(data) > 0 && !strings.HasSuffix(string(data), "\n") {
+		n++
+	}
+	return n, nil
+}
+
+// countSource counts all non-test Go lines under a file or directory.
+func countSource(root, src string) (lines, files int, err error) {
+	full := filepath.Join(root, src)
+	info, err := os.Stat(full)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !info.IsDir() {
+		n, err := countFile(full)
+		return n, 1, err
+	}
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		n, err := countFile(filepath.Join(full, name))
+		if err != nil {
+			return 0, 0, err
+		}
+		lines += n
+		files++
+	}
+	return lines, files, nil
+}
+
+// Measure counts every Table 2 component.
+func Measure() ([]Row, error) {
+	root, err := RepoRoot()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(components))
+	copy(rows, components)
+	for i := range rows {
+		for _, src := range rows[i].Sources {
+			lines, files, err := countSource(root, src)
+			if err != nil {
+				return nil, fmt.Errorf("codesize: %s: %w", src, err)
+			}
+			rows[i].GoLines += lines
+			rows[i].GoFiles += files
+		}
+	}
+	return rows, nil
+}
+
+// Render formats the table in the layout of Table 2, with the paper's
+// line counts beside the measured ones.
+func Render(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %12s %8s\n", "Component", "Paper (C)", "Repro (Go)", "Files")
+	var paperTotal, goTotal int
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12d %12d %8d\n", r.Component, r.PaperLines, r.GoLines, r.GoFiles)
+		paperTotal += r.PaperLines
+		goTotal += r.GoLines
+	}
+	fmt.Fprintf(&b, "%-14s %12d %12d\n", "Total", paperTotal, goTotal)
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package codesize
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRepoRoot(t *testing.T) {
+	root, err := RepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root == "" {
+		t.Fatal("empty root")
+	}
+}
+
+func TestMeasureAllComponentsNonEmpty(t *testing.T) {
+	rows, err := Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want the 6 components of Table 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.GoLines == 0 || r.GoFiles == 0 {
+			t.Errorf("%s: measured %d lines in %d files", r.Component, r.GoLines, r.GoFiles)
+		}
+	}
+}
+
+func TestShapeMatchesPaper(t *testing.T) {
+	// Table 2's shape: sighost is by far the largest component, and the
+	// Orc driver and IPPROTO_ATM are among the smallest. Verify the
+	// ordering relations the paper's table exhibits.
+	rows, err := Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Component] = r
+	}
+	sighost := byName["Sighost"].GoLines
+	for name, r := range byName {
+		if name == "Sighost" {
+			continue
+		}
+		if r.GoLines >= sighost {
+			t.Errorf("%s (%d lines) >= Sighost (%d): table shape broken", name, r.GoLines, sighost)
+		}
+	}
+	if byName["IPPROTO_ATM"].GoLines >= byName["PF_XUNET"].GoLines+byName["Sighost"].GoLines {
+		t.Error("IPPROTO_ATM unexpectedly dominant")
+	}
+}
+
+func TestRender(t *testing.T) {
+	rows, err := Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(rows)
+	for _, want := range []string{"Sighost", "User lib", "/dev/anand", "PF_XUNET", "IPPROTO_ATM", "Orc", "Total", "1204"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

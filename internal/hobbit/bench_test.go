@@ -1,0 +1,42 @@
+package hobbit
+
+import (
+	"testing"
+
+	"xunet/internal/atm"
+	"xunet/internal/cost"
+	"xunet/internal/mbuf"
+)
+
+func BenchmarkBoardSAR1500(b *testing.B) {
+	rx := NewDriver(cost.NewMeter())
+	rxb := NewBoard(nil)
+	rx.AttachBoard(rxb)
+	tx := NewDriver(cost.NewMeter())
+	tx.AttachBoard(NewBoard(cellFn(rxb.ReceiveCell)))
+	delivered := 0
+	rx.SetHandler(10, func(atm.VCI, *mbuf.Chain) { delivered++ })
+	payload := make([]byte, 1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Output(10, mbuf.FromBytes(payload)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+	b.SetBytes(1500)
+}
+
+func BenchmarkDriverDemux(b *testing.B) {
+	d := NewDriver(cost.NewMeter())
+	d.SetHandler(1, func(atm.VCI, *mbuf.Chain) {})
+	frame := mbuf.FromBytes(make([]byte, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Input(1, frame)
+	}
+}

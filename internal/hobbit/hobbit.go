@@ -1,0 +1,249 @@
+// Package hobbit models the Hobbit ATM host-interface board and the Orc
+// device driver that controls it (Berenbaum, Dixon, Iyengar and Keshav,
+// "Design and Implementation of a Flexible ATM Host Interface for XUNET
+// II", the paper's reference [2]).
+//
+// The split follows the paper exactly:
+//
+//   - The Board is the hardware SAR engine: it computes AAL5 trailers,
+//     segments frames into cells, transmits them into the fabric, and
+//     reassembles arriving cells per VCI. Because this work happens on
+//     the board, it costs no host instructions.
+//   - The Driver (Orc) is the thin kernel entry layer. On a router its
+//     output path hands an mbuf chain straight to the board; on a host —
+//     which has no board — it hands the *unsegmented frame without the
+//     AAL5 trailer* to the IPPROTO_ATM encapsulation routine instead,
+//     which is precisely how the paper ported PF_XUNET to non-ATM hosts
+//     ("replace calls from the device driver to the Hobbit board with
+//     calls to the encapsulation/decapsulation layer").
+//   - The Driver also owns the per-VCI handler table the router kernel
+//     uses to demultiplex arriving frames to either the local PF_XUNET
+//     protocol or the IP re-encapsulation routine, and honours VCI_SHUT
+//     by discarding further data on a VCI.
+package hobbit
+
+import (
+	"errors"
+	"fmt"
+
+	"xunet/internal/aal5"
+	"xunet/internal/atm"
+	"xunet/internal/cost"
+	"xunet/internal/mbuf"
+)
+
+// CellTx transmits cells into the ATM network (implemented by
+// xswitch.Endpoint).
+type CellTx interface {
+	SendCell(c atm.Cell)
+}
+
+// FrameHandler consumes a frame received on a VCI. The chain is owned
+// by the handler after the call.
+type FrameHandler func(vci atm.VCI, frame *mbuf.Chain)
+
+// FrameOutput transmits an unsegmented, trailerless frame toward the
+// network on a host without a board (the IPPROTO_ATM encapsulation
+// routine).
+type FrameOutput func(vci atm.VCI, frame *mbuf.Chain) error
+
+// Errors from the driver.
+var (
+	ErrNoBackend = errors.New("hobbit: driver has neither board nor encapsulation output")
+	ErrShutVCI   = errors.New("hobbit: VCI has been shut")
+)
+
+// Board is the Hobbit host-interface hardware model.
+type Board struct {
+	tx     CellTx
+	driver *Driver
+
+	reasm map[atm.VCI]*aal5.Reassembler
+	seqTx map[atm.VCI]byte
+	seqRx map[atm.VCI]*aal5.SeqTracker
+
+	// Counters for experiments.
+	CellsOut  uint64
+	CellsIn   uint64
+	FramesOut uint64
+	FramesIn  uint64
+	SARErrors uint64 // frames lost to cell loss/corruption within a frame
+	OOOFrames uint64 // out-of-order frames detected by the Xunet variant
+}
+
+// NewBoard returns a board transmitting through tx. Call
+// Driver.AttachBoard to connect it to its driver.
+func NewBoard(tx CellTx) *Board {
+	return &Board{
+		tx:    tx,
+		reasm: make(map[atm.VCI]*aal5.Reassembler),
+		seqTx: make(map[atm.VCI]byte),
+		seqRx: make(map[atm.VCI]*aal5.SeqTracker),
+	}
+}
+
+// Send builds the AAL5 frame for an mbuf chain and transmits its cells.
+// This happens in board hardware: no host instructions are charged.
+func (b *Board) Send(vci atm.VCI, frame *mbuf.Chain) error {
+	seq := b.seqTx[vci]
+	b.seqTx[vci] = seq + 1
+	pdu, err := aal5.BuildFrame(frame.Bytes(), seq)
+	if err != nil {
+		return fmt.Errorf("hobbit: %w", err)
+	}
+	cells, err := aal5.Segment(pdu, 0, vci)
+	if err != nil {
+		return fmt.Errorf("hobbit: %w", err)
+	}
+	b.FramesOut++
+	for i := range cells {
+		b.CellsOut++
+		b.tx.SendCell(cells[i])
+	}
+	return nil
+}
+
+// ReceiveCell implements the fabric's CellSink: cells are reassembled
+// per VCI; completed frames are sequence-checked and handed to the
+// driver's demultiplexer.
+func (b *Board) ReceiveCell(c atm.Cell) {
+	b.CellsIn++
+	r := b.reasm[c.VCI]
+	if r == nil {
+		r = aal5.NewReassembler(0)
+		b.reasm[c.VCI] = r
+	}
+	payload, uu, done, err := r.Push(&c)
+	if !done {
+		return
+	}
+	if err != nil {
+		b.SARErrors++
+		return
+	}
+	t := b.seqRx[c.VCI]
+	if t == nil {
+		t = &aal5.SeqTracker{}
+		b.seqRx[c.VCI] = t
+	}
+	if ok, _ := t.Check(uu); !ok {
+		// The Xunet AAL5 variant detects the gap; the frame itself is
+		// still intact, so it is delivered and the event counted.
+		b.OOOFrames++
+	}
+	b.FramesIn++
+	if b.driver != nil {
+		b.driver.Input(c.VCI, mbuf.FromBytes(payload))
+	}
+}
+
+// ResetVC discards reassembly and sequence state for a torn-down VC.
+func (b *Board) ResetVC(vci atm.VCI) {
+	delete(b.reasm, vci)
+	delete(b.seqRx, vci)
+	delete(b.seqTx, vci)
+}
+
+// Driver is the Orc device driver.
+type Driver struct {
+	Meter *cost.Meter
+
+	board *Board
+	encap FrameOutput
+
+	handlers map[atm.VCI]FrameHandler
+	shut     map[atm.VCI]bool
+
+	// DiscardedNoHandler counts frames that arrived on a VCI with no
+	// registered handler; DiscardedShut counts frames dropped after
+	// VCI_SHUT.
+	DiscardedNoHandler uint64
+	DiscardedShut      uint64
+}
+
+// NewDriver returns a driver with no backend; attach a board (router)
+// or an encapsulation output (host) before sending.
+func NewDriver(meter *cost.Meter) *Driver {
+	return &Driver{
+		Meter:    meter,
+		handlers: make(map[atm.VCI]FrameHandler),
+		shut:     make(map[atm.VCI]bool),
+	}
+}
+
+// AttachBoard wires a Hobbit board to this driver (router
+// configuration).
+func (d *Driver) AttachBoard(b *Board) {
+	d.board = b
+	b.driver = d
+}
+
+// SetEncap wires the IPPROTO_ATM encapsulation routine as the output
+// backend (host configuration).
+func (d *Driver) SetEncap(out FrameOutput) { d.encap = out }
+
+// Board returns the attached board, or nil on a host.
+func (d *Driver) Board() *Board { return d.board }
+
+// Output transmits a frame on a VCI. On a router this reaches the
+// board; on a host, the encapsulation layer. Matching Table 1, the
+// driver send path itself costs nothing: it "simply calls the next
+// layer down without touching the data or the header".
+func (d *Driver) Output(vci atm.VCI, frame *mbuf.Chain) error {
+	if d.shut[vci] {
+		return ErrShutVCI
+	}
+	if d.board != nil {
+		return d.board.Send(vci, frame)
+	}
+	if d.encap != nil {
+		return d.encap(vci, frame)
+	}
+	return ErrNoBackend
+}
+
+// Input demultiplexes a received frame by VCI, charging the Table 1 Orc
+// receive dispatch cost.
+func (d *Driver) Input(vci atm.VCI, frame *mbuf.Chain) {
+	d.Meter.Charge(cost.OrcDriver, cost.OrcRecvDispatch)
+	if d.shut[vci] {
+		d.DiscardedShut++
+		return
+	}
+	h := d.handlers[vci]
+	if h == nil {
+		d.DiscardedNoHandler++
+		return
+	}
+	h(vci, frame)
+}
+
+// SetHandler installs the receive handler for a VCI, clearing any shut
+// mark.
+func (d *Driver) SetHandler(vci atm.VCI, h FrameHandler) {
+	d.handlers[vci] = h
+	delete(d.shut, vci)
+}
+
+// Handler returns the installed handler for a VCI, or nil.
+func (d *Driver) Handler(vci atm.VCI) FrameHandler { return d.handlers[vci] }
+
+// Shut honours a VCI_SHUT: the handler is removed and any further data
+// arriving on the VCI is discarded. Board-side SAR state is reset.
+func (d *Driver) Shut(vci atm.VCI) {
+	delete(d.handlers, vci)
+	d.shut[vci] = true
+	if d.board != nil {
+		d.board.ResetVC(vci)
+	}
+}
+
+// ClearVC removes all state for a VCI (orderly teardown, as opposed to
+// Shut's discard mode).
+func (d *Driver) ClearVC(vci atm.VCI) {
+	delete(d.handlers, vci)
+	delete(d.shut, vci)
+	if d.board != nil {
+		d.board.ResetVC(vci)
+	}
+}

@@ -1,0 +1,291 @@
+package hobbit
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"xunet/internal/atm"
+	"xunet/internal/cost"
+	"xunet/internal/mbuf"
+)
+
+// loopTx loops transmitted cells straight back into a receiving board,
+// optionally mangling the stream.
+type loopTx struct {
+	rx      *Board
+	dropIdx int // drop the cell at this index (-1 none)
+	n       int
+	held    []atm.Cell // cells held back for reordering
+	holdEOF bool
+}
+
+func (l *loopTx) SendCell(c atm.Cell) {
+	idx := l.n
+	l.n++
+	if idx == l.dropIdx {
+		return
+	}
+	l.rx.ReceiveCell(c)
+}
+
+func pay(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i * 13)
+	}
+	return p
+}
+
+// pair builds a sender driver+board looped to a receiver driver+board.
+func pair(t *testing.T) (*Driver, *Driver, *loopTx) {
+	t.Helper()
+	rxMeter := cost.NewMeter()
+	rxDrv := NewDriver(rxMeter)
+	lt := &loopTx{dropIdx: -1}
+	rxBoard := NewBoard(nil)
+	rxDrv.AttachBoard(rxBoard)
+	lt.rx = rxBoard
+	txDrv := NewDriver(cost.NewMeter())
+	txDrv.AttachBoard(NewBoard(lt))
+	return txDrv, rxDrv, lt
+}
+
+func TestSendReceiveRoundTrip(t *testing.T) {
+	tx, rx, _ := pair(t)
+	var got []byte
+	var gotVCI atm.VCI
+	rx.SetHandler(77, func(vci atm.VCI, frame *mbuf.Chain) {
+		gotVCI, got = vci, frame.Bytes()
+	})
+	if err := tx.Output(77, mbuf.FromBytes(pay(1500))); err != nil {
+		t.Fatal(err)
+	}
+	if gotVCI != 77 || !bytes.Equal(got, pay(1500)) {
+		t.Fatalf("vci=%v len=%d", gotVCI, len(got))
+	}
+	b := tx.Board()
+	if b.FramesOut != 1 || b.CellsOut == 0 {
+		t.Fatalf("tx counters frames=%d cells=%d", b.FramesOut, b.CellsOut)
+	}
+	rb := rx.Board()
+	if rb.FramesIn != 1 || rb.CellsIn != b.CellsOut {
+		t.Fatalf("rx counters frames=%d cells=%d", rb.FramesIn, rb.CellsIn)
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	tx, rx, _ := pair(t)
+	var calls int
+	var got []byte
+	rx.SetHandler(1, func(_ atm.VCI, frame *mbuf.Chain) {
+		calls++
+		got = frame.Bytes()
+	})
+	if err := tx.Output(1, mbuf.Empty()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || len(got) != 0 {
+		t.Fatalf("calls=%d len=%d", calls, len(got))
+	}
+}
+
+func TestDroppedCellDetected(t *testing.T) {
+	tx, rx, lt := pair(t)
+	lt.dropIdx = 1
+	delivered := false
+	rx.SetHandler(5, func(atm.VCI, *mbuf.Chain) { delivered = true })
+	if err := tx.Output(5, mbuf.FromBytes(pay(500))); err != nil {
+		t.Fatal(err)
+	}
+	if delivered {
+		t.Fatal("frame with missing cell delivered")
+	}
+	if rx.Board().SARErrors != 1 {
+		t.Fatalf("SARErrors = %d", rx.Board().SARErrors)
+	}
+}
+
+func TestLostFrameDetectedBySequence(t *testing.T) {
+	tx, rx, lt := pair(t)
+	var frames int
+	rx.SetHandler(5, func(atm.VCI, *mbuf.Chain) { frames++ })
+	// Frame 0 delivered, frame 1 entirely lost, frame 2 delivered.
+	_ = tx.Output(5, mbuf.FromBytes(pay(48)))
+	lt.dropIdx = lt.n // drop every cell of the next (single-cell) frame
+	_ = tx.Output(5, mbuf.FromBytes(pay(10)))
+	lt.dropIdx = -1
+	_ = tx.Output(5, mbuf.FromBytes(pay(48)))
+	if frames != 2 {
+		t.Fatalf("frames = %d", frames)
+	}
+	if rx.Board().OOOFrames != 1 {
+		t.Fatalf("OOOFrames = %d, want 1 (gap detected)", rx.Board().OOOFrames)
+	}
+}
+
+func TestNoHandlerDiscards(t *testing.T) {
+	tx, rx, _ := pair(t)
+	_ = tx.Output(9, mbuf.FromBytes(pay(10)))
+	if rx.DiscardedNoHandler != 1 {
+		t.Fatalf("DiscardedNoHandler = %d", rx.DiscardedNoHandler)
+	}
+}
+
+func TestShutDiscardsAndOutputs(t *testing.T) {
+	tx, rx, _ := pair(t)
+	delivered := 0
+	rx.SetHandler(4, func(atm.VCI, *mbuf.Chain) { delivered++ })
+	_ = tx.Output(4, mbuf.FromBytes(pay(10)))
+	rx.Shut(4)
+	_ = tx.Output(4, mbuf.FromBytes(pay(10)))
+	if delivered != 1 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	if rx.DiscardedShut != 1 {
+		t.Fatalf("DiscardedShut = %d", rx.DiscardedShut)
+	}
+	// Output on a locally shut VCI is refused.
+	tx.Shut(4)
+	if err := tx.Output(4, mbuf.FromBytes(pay(1))); !errors.Is(err, ErrShutVCI) {
+		t.Fatalf("err = %v", err)
+	}
+	// SetHandler reopens the VCI.
+	rx.SetHandler(4, func(atm.VCI, *mbuf.Chain) { delivered++ })
+	tx.ClearVC(4)
+	// Sequence state was reset on both sides by Shut/ClearVC; frame
+	// delivery resumes.
+	if err := tx.Output(4, mbuf.FromBytes(pay(10))); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered after reopen = %d", delivered)
+	}
+}
+
+func TestHostDriverUsesEncap(t *testing.T) {
+	d := NewDriver(cost.NewMeter())
+	var gotVCI atm.VCI
+	var got []byte
+	d.SetEncap(func(vci atm.VCI, frame *mbuf.Chain) error {
+		gotVCI, got = vci, frame.Bytes()
+		return nil
+	})
+	if err := d.Output(3, mbuf.FromBytes(pay(100))); err != nil {
+		t.Fatal(err)
+	}
+	if gotVCI != 3 || !bytes.Equal(got, pay(100)) {
+		t.Fatal("encap not invoked with frame")
+	}
+	if d.Board() != nil {
+		t.Fatal("host driver has a board")
+	}
+}
+
+func TestNoBackend(t *testing.T) {
+	d := NewDriver(nil)
+	if err := d.Output(1, mbuf.Empty()); !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInputChargesOrcCost(t *testing.T) {
+	m := cost.NewMeter()
+	d := NewDriver(m)
+	d.SetHandler(1, func(atm.VCI, *mbuf.Chain) {})
+	d.Input(1, mbuf.Empty())
+	if got := m.Count(cost.OrcDriver); got != cost.OrcRecvDispatch {
+		t.Fatalf("Orc cost = %d, want %d", got, cost.OrcRecvDispatch)
+	}
+}
+
+func TestSendSideCostsNothing(t *testing.T) {
+	tx, rx, _ := pair(t)
+	rx.SetHandler(2, func(atm.VCI, *mbuf.Chain) {})
+	before := tx.Meter.Snapshot()
+	_ = tx.Output(2, mbuf.FromBytes(pay(5000)))
+	d := tx.Meter.Snapshot().Sub(before)
+	if d.Total() != 0 {
+		t.Fatalf("send path charged %v; Table 1 says the driver and board cost 0", d)
+	}
+}
+
+func TestHandlerLookup(t *testing.T) {
+	d := NewDriver(nil)
+	if d.Handler(7) != nil {
+		t.Fatal("phantom handler")
+	}
+	d.SetHandler(7, func(atm.VCI, *mbuf.Chain) {})
+	if d.Handler(7) == nil {
+		t.Fatal("handler not installed")
+	}
+	d.ClearVC(7)
+	if d.Handler(7) != nil {
+		t.Fatal("handler survived ClearVC")
+	}
+}
+
+func TestInterleavedVCs(t *testing.T) {
+	// Cells from two VCs interleave on the wire; reassembly keeps them
+	// apart.
+	rxDrv := NewDriver(cost.NewMeter())
+	rxBoard := NewBoard(nil)
+	rxDrv.AttachBoard(rxBoard)
+	got := map[atm.VCI][]byte{}
+	for _, v := range []atm.VCI{10, 11} {
+		v := v
+		rxDrv.SetHandler(v, func(vci atm.VCI, frame *mbuf.Chain) { got[vci] = frame.Bytes() })
+	}
+	// Build two frames by hand and interleave their cells.
+	mk := func(vci atm.VCI, n int) []atm.Cell {
+		d := NewDriver(cost.NewMeter())
+		var cells []atm.Cell
+		d.AttachBoard(NewBoard(cellFn(func(c atm.Cell) { cells = append(cells, c) })))
+		_ = d.Output(vci, mbuf.FromBytes(pay(n)))
+		return cells
+	}
+	a, b := mk(10, 300), mk(11, 300)
+	for i := 0; i < len(a) || i < len(b); i++ {
+		if i < len(a) {
+			rxBoard.ReceiveCell(a[i])
+		}
+		if i < len(b) {
+			rxBoard.ReceiveCell(b[i])
+		}
+	}
+	if !bytes.Equal(got[10], pay(300)) || !bytes.Equal(got[11], pay(300)) {
+		t.Fatal("interleaved VC frames corrupted")
+	}
+}
+
+type cellFn func(c atm.Cell)
+
+func (f cellFn) SendCell(c atm.Cell) { f(c) }
+
+// Property: any payload round-trips through board SAR for any VCI.
+func TestQuickBoardRoundTrip(t *testing.T) {
+	f := func(data []byte, vci uint16) bool {
+		if len(data) > 60000 {
+			data = data[:60000]
+		}
+		tx := NewDriver(nil)
+		rx := NewDriver(nil)
+		rxb := NewBoard(nil)
+		rx.AttachBoard(rxb)
+		tx.AttachBoard(NewBoard(cellFn(rxb.ReceiveCell)))
+		var got []byte
+		ok := false
+		rx.SetHandler(atm.VCI(vci), func(_ atm.VCI, frame *mbuf.Chain) {
+			got = frame.Bytes()
+			ok = true
+		})
+		if err := tx.Output(atm.VCI(vci), mbuf.FromBytes(data)); err != nil {
+			return false
+		}
+		return ok && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package kern
+
+import (
+	"fmt"
+
+	"xunet/internal/atm"
+	"xunet/internal/sim"
+)
+
+// MsgKind tags an upward pseudo-device message (kernel → signaling).
+type MsgKind uint8
+
+// Upward message kinds, matching §7.2: the kernel passes messages up
+// "when a process terminates, or when it binds or connects to a
+// PF_XUNET socket".
+const (
+	// MsgExit reports process termination; PID is set.
+	MsgExit MsgKind = iota + 1
+	// MsgBind reports a bind on a PF_XUNET socket; VCI, Cookie and PID
+	// are set.
+	MsgBind
+	// MsgConnect reports a connect on a PF_XUNET socket; VCI, Cookie
+	// and PID are set.
+	MsgConnect
+	// MsgClose reports an application closing a PF_XUNET socket, so the
+	// signaling entity can tear the call down; VCI is set.
+	MsgClose
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgExit:
+		return "EXIT_IND"
+	case MsgBind:
+		return "BIND_IND"
+	case MsgConnect:
+		return "CONNECT_IND"
+	case MsgClose:
+		return "CLOSE_IND"
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint8(k))
+}
+
+// KMsg is one upward pseudo-device message. The original wire format is
+// four bytes; the struct carries the same information decoded.
+type KMsg struct {
+	Kind   MsgKind
+	VCI    atm.VCI
+	Cookie uint16
+	PID    uint32
+}
+
+// String renders the message for traces.
+func (m KMsg) String() string {
+	return fmt.Sprintf("%v{vci=%d cookie=%d pid=%d}", m.Kind, m.VCI, m.Cookie, m.PID)
+}
+
+// DownKind tags a downward command (signaling → kernel).
+type DownKind uint8
+
+// Downward command kinds.
+const (
+	// DownDisconnect marks the socket bound to VCI unusable
+	// (soisdisconnected), used when the peer terminated or cookie
+	// authentication failed.
+	DownDisconnect DownKind = iota + 1
+)
+
+// DownCmd is one downward pseudo-device command.
+type DownCmd struct {
+	Kind DownKind
+	VCI  atm.VCI
+}
+
+// PseudoDev is the /dev/anand character pseudo-device. Upward messages
+// are queued in a bounded buffer; when the buffer is full the message
+// is lost and counted — the failure mode §10 hit with eight buffers
+// under a hundred-call burst. The device supports select()-style
+// blocking reads.
+type PseudoDev struct {
+	e        *sim.Engine
+	capacity int
+	q        *sim.Queue[KMsg]
+	onDown   func(DownCmd)
+
+	// Posted counts successful upward messages; Lost counts messages
+	// dropped because the buffer was full.
+	Posted uint64
+	Lost   uint64
+}
+
+// NewPseudoDev creates a device with the given number of message
+// buffers (§10: 8 originally, 80 after the fix).
+func NewPseudoDev(e *sim.Engine, buffers int) *PseudoDev {
+	if buffers <= 0 {
+		buffers = DefaultDeviceBuffers
+	}
+	return &PseudoDev{e: e, capacity: buffers, q: sim.NewQueue[KMsg](e)}
+}
+
+// Capacity reports the buffer count.
+func (d *PseudoDev) Capacity() int { return d.capacity }
+
+// PostUp enqueues an upward message from the kernel. It reports false —
+// and counts the loss — when every buffer is occupied. A message handed
+// directly to a blocked reader occupies no buffer.
+func (d *PseudoDev) PostUp(m KMsg) bool {
+	if d.q.Len() >= d.capacity {
+		d.Lost++
+		return false
+	}
+	d.Posted++
+	d.q.Put(m)
+	return true
+}
+
+// ReadUp blocks the calling process until a message arrives, exactly as
+// anand server "simply blocks on select()".
+func (d *PseudoDev) ReadUp(p *sim.Proc) (KMsg, bool) {
+	return d.q.Get(p)
+}
+
+// TryReadUp drains one buffered message without blocking.
+func (d *PseudoDev) TryReadUp() (KMsg, bool) { return d.q.TryGet() }
+
+// Buffered reports the messages currently occupying buffers.
+func (d *PseudoDev) Buffered() int { return d.q.Len() }
+
+// WriteDown delivers a command from the signaling entity to the kernel;
+// the device's write routine runs it immediately (it calls the socket
+// layer's soisdisconnected).
+func (d *PseudoDev) WriteDown(cmd DownCmd) {
+	if d.onDown != nil {
+		d.onDown(cmd)
+	}
+}
+
+// Close shuts the upward queue, unblocking readers.
+func (d *PseudoDev) Close() { d.q.Close() }

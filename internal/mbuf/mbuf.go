@@ -1,0 +1,409 @@
+// Package mbuf implements BSD-style message buffer chains.
+//
+// The paper's instruction-count model (Table 1) has per-mbuf terms: the
+// PF_XUNET receive path and the IPPROTO_ATM send path each cost 8
+// instructions per mbuf in the chain being processed. To make those terms
+// emerge from real work rather than arithmetic, the data path of this
+// reproduction moves payloads as mbuf chains, exactly as the IRIX kernel
+// did: a frame written to a PF_XUNET socket becomes a chain of fixed-size
+// buffers, layers prepend headers by growing the chain, and per-mbuf loop
+// costs are charged as the chain is walked.
+package mbuf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MLEN is the data capacity of a single small mbuf, matching the
+// classic BSD value (128-byte mbuf minus header overhead).
+const MLEN = 112
+
+// MCLBYTES is the capacity of a cluster mbuf, used when a single write
+// is large enough that chaining small mbufs would be wasteful.
+const MCLBYTES = 2048
+
+// clusterThreshold mirrors the BSD policy: writes larger than this go
+// into cluster mbufs.
+const clusterThreshold = MLEN * 2
+
+// Mbuf is a single buffer in a chain. Data is the valid bytes; a header
+// prepend may use spare capacity at the front of the allocation.
+type Mbuf struct {
+	buf  []byte // full allocation
+	off  int    // start of valid data within buf
+	n    int    // number of valid bytes
+	next *Mbuf
+}
+
+// leadingSpace is how much room new mbufs reserve at the front for
+// headers prepended by lower layers (the BSD max_linkhdr idea).
+const leadingSpace = 16
+
+// alloc returns an mbuf with capacity c and leading space reserved.
+func alloc(c int) *Mbuf {
+	return &Mbuf{buf: make([]byte, c+leadingSpace), off: leadingSpace}
+}
+
+// Data returns the valid bytes of this single mbuf (not the chain).
+func (m *Mbuf) Data() []byte { return m.buf[m.off : m.off+m.n] }
+
+// Len returns the number of valid bytes in this single mbuf.
+func (m *Mbuf) Len() int { return m.n }
+
+// Next returns the following mbuf in the chain, or nil.
+func (m *Mbuf) Next() *Mbuf { return m.next }
+
+// Chain is a sequence of mbufs holding one message. The zero value is an
+// empty chain. A Chain is not safe for concurrent use.
+type Chain struct {
+	head, tail *Mbuf
+	count      int
+	length     int
+}
+
+// FromBytes builds a chain from p using the standard allocation policy:
+// cluster mbufs for large messages, small mbufs otherwise. The data is
+// copied; p may be reused by the caller.
+func FromBytes(p []byte) *Chain {
+	c := &Chain{}
+	c.AppendBytes(p)
+	return c
+}
+
+// FromBytesSplit builds a chain from p forcing each mbuf to carry at
+// most per bytes. Tests and benchmarks use it to control the chain
+// length that the per-mbuf cost terms depend on.
+func FromBytesSplit(p []byte, per int) *Chain {
+	if per <= 0 {
+		per = MLEN
+	}
+	c := &Chain{}
+	for len(p) > 0 {
+		n := per
+		if n > len(p) {
+			n = len(p)
+		}
+		m := alloc(n)
+		copy(m.buf[m.off:], p[:n])
+		m.n = n
+		c.appendMbuf(m)
+		p = p[n:]
+	}
+	return c
+}
+
+// Empty builds an empty chain.
+func Empty() *Chain { return &Chain{} }
+
+// Len returns the total number of valid bytes in the chain.
+func (c *Chain) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.length
+}
+
+// Count returns the number of mbufs in the chain. This is the "#mbufs"
+// of Table 1.
+func (c *Chain) Count() int {
+	if c == nil {
+		return 0
+	}
+	return c.count
+}
+
+// Head returns the first mbuf, or nil for an empty chain.
+func (c *Chain) Head() *Mbuf {
+	if c == nil {
+		return nil
+	}
+	return c.head
+}
+
+func (c *Chain) appendMbuf(m *Mbuf) {
+	if c.head == nil {
+		c.head = m
+	} else {
+		c.tail.next = m
+	}
+	c.tail = m
+	c.count++
+	c.length += m.n
+}
+
+// AppendBytes copies p onto the end of the chain, allocating mbufs with
+// the standard policy.
+func (c *Chain) AppendBytes(p []byte) {
+	for len(p) > 0 {
+		var cap int
+		if len(p) >= clusterThreshold {
+			cap = MCLBYTES
+		} else {
+			cap = MLEN
+		}
+		n := cap
+		if n > len(p) {
+			n = len(p)
+		}
+		m := alloc(n)
+		copy(m.buf[m.off:], p[:n])
+		m.n = n
+		c.appendMbuf(m)
+		p = p[n:]
+	}
+}
+
+// Concat moves all mbufs of other onto the end of c, leaving other empty.
+func (c *Chain) Concat(other *Chain) {
+	if other == nil || other.head == nil {
+		return
+	}
+	if c.head == nil {
+		c.head = other.head
+	} else {
+		c.tail.next = other.head
+	}
+	c.tail = other.tail
+	c.count += other.count
+	c.length += other.length
+	other.head, other.tail, other.count, other.length = nil, nil, 0, 0
+}
+
+// Prepend attaches hdr at the front of the chain, using the leading
+// space of the first mbuf when it fits (the fast path M_PREPEND takes)
+// and allocating a new mbuf otherwise.
+func (c *Chain) Prepend(hdr []byte) {
+	if len(hdr) == 0 {
+		return
+	}
+	if c.head != nil && c.head.off >= len(hdr) {
+		c.head.off -= len(hdr)
+		copy(c.head.buf[c.head.off:], hdr)
+		c.head.n += len(hdr)
+		c.length += len(hdr)
+		return
+	}
+	m := alloc(len(hdr))
+	copy(m.buf[m.off:], hdr)
+	m.n = len(hdr)
+	m.next = c.head
+	c.head = m
+	if c.tail == nil {
+		c.tail = m
+	}
+	c.count++
+	c.length += len(hdr)
+}
+
+// TrimFront removes n bytes from the front of the chain, freeing emptied
+// mbufs. It removes fewer bytes only if the chain is shorter than n; it
+// returns the number of bytes removed.
+func (c *Chain) TrimFront(n int) int {
+	removed := 0
+	for n > 0 && c.head != nil {
+		m := c.head
+		take := n
+		if take > m.n {
+			take = m.n
+		}
+		m.off += take
+		m.n -= take
+		c.length -= take
+		removed += take
+		n -= take
+		if m.n == 0 {
+			c.head = m.next
+			c.count--
+			if c.head == nil {
+				c.tail = nil
+			}
+		}
+	}
+	return removed
+}
+
+// TrimBack removes n bytes from the end of the chain, freeing emptied
+// mbufs, and returns the number of bytes removed.
+func (c *Chain) TrimBack(n int) int {
+	if n <= 0 || c.head == nil {
+		return 0
+	}
+	if n > c.length {
+		n = c.length
+	}
+	keep := c.length - n
+	if keep == 0 {
+		removed := c.length
+		c.head, c.tail, c.count, c.length = nil, nil, 0, 0
+		return removed
+	}
+	// Walk to the mbuf holding the last kept byte.
+	m := c.head
+	seen := 0
+	for seen+m.n < keep {
+		seen += m.n
+		m = m.next
+	}
+	cut := keep - seen // bytes kept in m; > 0 because keep > seen
+	removed := m.n - cut
+	m.n = cut
+	for x := m.next; x != nil; x = x.next {
+		removed += x.n
+	}
+	m.next = nil
+	c.tail = m
+	c.count, c.length = 0, 0
+	for x := c.head; x != nil; x = x.next {
+		c.count++
+		c.length += x.n
+	}
+	return removed
+}
+
+// Bytes flattens the chain into a single contiguous slice (copying).
+func (c *Chain) Bytes() []byte {
+	if c == nil || c.length == 0 {
+		return nil
+	}
+	out := make([]byte, 0, c.length)
+	for m := c.head; m != nil; m = m.next {
+		out = append(out, m.Data()...)
+	}
+	return out
+}
+
+// CopyTo copies up to len(p) bytes from the front of the chain into p
+// without consuming them, returning the number copied.
+func (c *Chain) CopyTo(p []byte) int {
+	n := 0
+	for m := c.head; m != nil && n < len(p); m = m.next {
+		n += copy(p[n:], m.Data())
+	}
+	return n
+}
+
+// Pullup ensures the first n bytes of the chain are contiguous in the
+// first mbuf, so a header may be read with a single slice. It returns
+// false if the chain holds fewer than n bytes.
+func (c *Chain) Pullup(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	if c.length < n {
+		return false
+	}
+	if c.head != nil && c.head.n >= n {
+		return true
+	}
+	// Gather n bytes into a fresh mbuf.
+	m := alloc(n)
+	got := 0
+	for got < n {
+		h := c.head
+		take := n - got
+		if take > h.n {
+			take = h.n
+		}
+		copy(m.buf[m.off+got:], h.Data()[:take])
+		got += take
+		h.off += take
+		h.n -= take
+		c.length -= take
+		if h.n == 0 {
+			c.head = h.next
+			c.count--
+		}
+	}
+	m.n = n
+	m.next = c.head
+	c.head = m
+	if c.tail == nil {
+		c.tail = m
+	}
+	c.count++
+	c.length += n
+	return true
+}
+
+// SplitAt divides the chain at byte offset n, returning a new chain
+// holding everything from offset n onward; c keeps the first n bytes.
+// Splitting beyond the end returns an empty chain.
+func (c *Chain) SplitAt(n int) *Chain {
+	rest := &Chain{}
+	if n >= c.length {
+		return rest
+	}
+	if n <= 0 {
+		*rest = *c
+		c.head, c.tail, c.count, c.length = nil, nil, 0, 0
+		return rest
+	}
+	var prev *Mbuf
+	m := c.head
+	seen := 0
+	for seen+m.n <= n {
+		seen += m.n
+		prev = m
+		m = m.next
+	}
+	if seen < n {
+		// Split inside m: copy the tail of m into a new mbuf.
+		keep := n - seen
+		moved := m.n - keep
+		nm := alloc(moved)
+		copy(nm.buf[nm.off:], m.Data()[keep:])
+		nm.n = moved
+		nm.next = m.next
+		m.n = keep
+		m.next = nil
+		rest.head = nm
+		prev = m
+		// Recount below.
+	} else {
+		rest.head = m
+		if prev != nil {
+			prev.next = nil
+		}
+	}
+	// Fix up both chains' bookkeeping by walking (chains are short).
+	c.tail = prev
+	c.count, c.length = 0, 0
+	for x := c.head; x != nil; x = x.next {
+		c.count++
+		c.length += x.n
+		c.tail = x
+	}
+	for x := rest.head; x != nil; x = x.next {
+		rest.count++
+		rest.length += x.n
+		rest.tail = x
+	}
+	return rest
+}
+
+// Clone returns a deep copy of the chain with the same mbuf boundaries.
+func (c *Chain) Clone() *Chain {
+	out := &Chain{}
+	for m := c.head; m != nil; m = m.next {
+		nm := alloc(m.n)
+		copy(nm.buf[nm.off:], m.Data())
+		nm.n = m.n
+		out.appendMbuf(nm)
+	}
+	return out
+}
+
+// String summarizes the chain for debugging.
+func (c *Chain) String() string {
+	if c == nil {
+		return "mbuf.Chain(nil)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "mbuf.Chain{len=%d count=%d:", c.length, c.count)
+	for m := c.head; m != nil; m = m.next {
+		fmt.Fprintf(&b, " %d", m.n)
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,384 @@
+package mbuf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func payload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i * 7)
+	}
+	return p
+}
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, MLEN - 1, MLEN, MLEN + 1, clusterThreshold, MCLBYTES, MCLBYTES + 1, 9000} {
+		p := payload(n)
+		c := FromBytes(p)
+		if c.Len() != n {
+			t.Errorf("n=%d: Len = %d", n, c.Len())
+		}
+		if !bytes.Equal(c.Bytes(), p) {
+			t.Errorf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestFromBytesAllocationPolicy(t *testing.T) {
+	// Small message: small mbufs.
+	c := FromBytes(payload(MLEN + 10))
+	if c.Count() != 2 {
+		t.Errorf("small message count = %d, want 2", c.Count())
+	}
+	// Large message: cluster mbufs.
+	c = FromBytes(payload(MCLBYTES * 2))
+	if c.Count() != 2 {
+		t.Errorf("cluster message count = %d, want 2", c.Count())
+	}
+}
+
+func TestFromBytesSplit(t *testing.T) {
+	p := payload(100)
+	c := FromBytesSplit(p, 10)
+	if c.Count() != 10 {
+		t.Fatalf("count = %d, want 10", c.Count())
+	}
+	if !bytes.Equal(c.Bytes(), p) {
+		t.Fatal("data mismatch")
+	}
+	// Non-positive per falls back to MLEN.
+	c = FromBytesSplit(p, 0)
+	if c.Count() != 1 {
+		t.Fatalf("fallback count = %d, want 1", c.Count())
+	}
+}
+
+func TestPrependFastPath(t *testing.T) {
+	c := FromBytes(payload(50))
+	before := c.Count()
+	c.Prepend([]byte{0xAA, 0xBB})
+	if c.Count() != before {
+		t.Errorf("small prepend allocated a new mbuf (count %d -> %d)", before, c.Count())
+	}
+	got := c.Bytes()
+	if got[0] != 0xAA || got[1] != 0xBB {
+		t.Errorf("prepended bytes wrong: % x", got[:2])
+	}
+	if c.Len() != 52 {
+		t.Errorf("Len = %d, want 52", c.Len())
+	}
+}
+
+func TestPrependSlowPath(t *testing.T) {
+	c := FromBytes(payload(10))
+	big := payload(64) // exceeds leadingSpace
+	c.Prepend(big)
+	if c.Count() != 2 {
+		t.Errorf("large prepend count = %d, want 2", c.Count())
+	}
+	if !bytes.Equal(c.Bytes()[:64], big) {
+		t.Error("prepended header corrupted")
+	}
+}
+
+func TestPrependEmptyChain(t *testing.T) {
+	c := Empty()
+	c.Prepend([]byte{1, 2, 3})
+	if c.Len() != 3 || c.Count() != 1 {
+		t.Fatalf("len=%d count=%d", c.Len(), c.Count())
+	}
+	if !bytes.Equal(c.Bytes(), []byte{1, 2, 3}) {
+		t.Fatal("bytes mismatch")
+	}
+}
+
+func TestTrimFront(t *testing.T) {
+	p := payload(300)
+	c := FromBytesSplit(p, 100)
+	if got := c.TrimFront(150); got != 150 {
+		t.Fatalf("TrimFront = %d, want 150", got)
+	}
+	if c.Len() != 150 || c.Count() != 2 {
+		t.Fatalf("after trim len=%d count=%d", c.Len(), c.Count())
+	}
+	if !bytes.Equal(c.Bytes(), p[150:]) {
+		t.Fatal("remaining data mismatch")
+	}
+	// Trimming more than remains empties the chain.
+	if got := c.TrimFront(1000); got != 150 {
+		t.Fatalf("over-trim removed %d, want 150", got)
+	}
+	if c.Len() != 0 || c.Count() != 0 || c.Head() != nil {
+		t.Fatal("chain not empty after over-trim")
+	}
+}
+
+func TestTrimBack(t *testing.T) {
+	p := payload(300)
+	c := FromBytesSplit(p, 100)
+	if got := c.TrimBack(50); got != 50 {
+		t.Fatalf("TrimBack = %d, want 50", got)
+	}
+	if !bytes.Equal(c.Bytes(), p[:250]) {
+		t.Fatal("data mismatch after TrimBack(50)")
+	}
+	if got := c.TrimBack(150); got != 150 {
+		t.Fatalf("TrimBack = %d, want 150", got)
+	}
+	if c.Len() != 100 || c.Count() != 1 {
+		t.Fatalf("len=%d count=%d, want 100/1", c.Len(), c.Count())
+	}
+	if !bytes.Equal(c.Bytes(), p[:100]) {
+		t.Fatal("data mismatch after second TrimBack")
+	}
+	// Trim exactly to empty.
+	if got := c.TrimBack(100); got != 100 {
+		t.Fatalf("TrimBack to empty = %d", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+}
+
+func TestTrimBackWholeTrailingMbuf(t *testing.T) {
+	c := FromBytesSplit(payload(200), 100)
+	c.TrimBack(100) // removes exactly the last mbuf
+	if c.Count() != 1 || c.Len() != 100 {
+		t.Fatalf("count=%d len=%d, want 1/100", c.Count(), c.Len())
+	}
+}
+
+func TestPullup(t *testing.T) {
+	p := payload(100)
+	c := FromBytesSplit(p, 10)
+	if !c.Pullup(35) {
+		t.Fatal("Pullup(35) failed")
+	}
+	if c.Head().Len() < 35 {
+		t.Fatalf("first mbuf has %d bytes, want >= 35", c.Head().Len())
+	}
+	if !bytes.Equal(c.Bytes(), p) {
+		t.Fatal("data corrupted by Pullup")
+	}
+	if c.Len() != 100 {
+		t.Fatalf("length changed to %d", c.Len())
+	}
+}
+
+func TestPullupAlreadyContiguous(t *testing.T) {
+	c := FromBytes(payload(50))
+	before := c.Count()
+	if !c.Pullup(20) {
+		t.Fatal("Pullup failed")
+	}
+	if c.Count() != before {
+		t.Error("Pullup on contiguous data reallocated")
+	}
+}
+
+func TestPullupTooShort(t *testing.T) {
+	c := FromBytes(payload(10))
+	if c.Pullup(11) {
+		t.Fatal("Pullup(11) on a 10-byte chain succeeded")
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	p := payload(250)
+	for _, at := range []int{0, 1, 99, 100, 101, 249, 250, 300} {
+		c := FromBytesSplit(p, 100)
+		rest := c.SplitAt(at)
+		want := at
+		if want > len(p) {
+			want = len(p)
+		}
+		if c.Len() != want {
+			t.Errorf("at=%d: head len = %d, want %d", at, c.Len(), want)
+		}
+		if rest.Len() != len(p)-want {
+			t.Errorf("at=%d: rest len = %d, want %d", at, rest.Len(), len(p)-want)
+		}
+		joined := append(c.Bytes(), rest.Bytes()...)
+		if !bytes.Equal(joined, p) {
+			t.Errorf("at=%d: data corrupted by split", at)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromBytes(payload(30))
+	b := FromBytes(payload(40))
+	wantLen := a.Len() + b.Len()
+	wantCount := a.Count() + b.Count()
+	a.Concat(b)
+	if a.Len() != wantLen || a.Count() != wantCount {
+		t.Fatalf("after concat len=%d count=%d", a.Len(), a.Count())
+	}
+	if b.Len() != 0 || b.Count() != 0 {
+		t.Fatal("source chain not emptied")
+	}
+	a.Concat(nil)
+	a.Concat(Empty())
+	if a.Len() != wantLen {
+		t.Fatal("concat of empty changed length")
+	}
+}
+
+func TestConcatIntoEmpty(t *testing.T) {
+	a := Empty()
+	b := FromBytes(payload(20))
+	a.Concat(b)
+	if a.Len() != 20 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	a.AppendBytes([]byte{1})
+	if a.Len() != 21 {
+		t.Fatal("tail pointer broken after concat into empty")
+	}
+}
+
+func TestCopyTo(t *testing.T) {
+	p := payload(100)
+	c := FromBytesSplit(p, 7)
+	buf := make([]byte, 40)
+	if n := c.CopyTo(buf); n != 40 {
+		t.Fatalf("CopyTo = %d, want 40", n)
+	}
+	if !bytes.Equal(buf, p[:40]) {
+		t.Fatal("copied data mismatch")
+	}
+	if c.Len() != 100 {
+		t.Fatal("CopyTo consumed data")
+	}
+	big := make([]byte, 200)
+	if n := c.CopyTo(big); n != 100 {
+		t.Fatalf("CopyTo big = %d, want 100", n)
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := FromBytesSplit(payload(64), 16)
+	d := c.Clone()
+	if d.Len() != c.Len() || d.Count() != c.Count() {
+		t.Fatalf("clone shape %d/%d, want %d/%d", d.Len(), d.Count(), c.Len(), c.Count())
+	}
+	c.TrimFront(10)
+	if d.Len() != 64 {
+		t.Fatal("clone shares storage bookkeeping with original")
+	}
+	if !bytes.Equal(d.Bytes(), payload(64)) {
+		t.Fatal("clone data mismatch")
+	}
+}
+
+func TestNilChainAccessors(t *testing.T) {
+	var c *Chain
+	if c.Len() != 0 || c.Count() != 0 || c.Head() != nil || c.Bytes() != nil {
+		t.Fatal("nil chain accessors not zero")
+	}
+	if c.String() != "mbuf.Chain(nil)" {
+		t.Fatalf("nil String = %q", c.String())
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	c := FromBytesSplit(payload(20), 10)
+	s := c.String()
+	if s != "mbuf.Chain{len=20 count=2: 10 10}" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: any sequence of prepend/append/trim operations keeps Len equal
+// to the byte length of Bytes() and Count equal to the walked mbuf count.
+func TestQuickInvariants(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := Empty()
+		model := []byte{}
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				n := rng.Intn(300)
+				p := payload(n)
+				c.AppendBytes(p)
+				model = append(model, p...)
+			case 1:
+				n := rng.Intn(20)
+				h := payload(n)
+				c.Prepend(h)
+				model = append(append([]byte{}, h...), model...)
+			case 2:
+				n := rng.Intn(50)
+				c.TrimFront(n)
+				if n > len(model) {
+					n = len(model)
+				}
+				model = model[n:]
+			case 3:
+				n := rng.Intn(50)
+				c.TrimBack(n)
+				if n > len(model) {
+					n = len(model)
+				}
+				model = model[:len(model)-n]
+			case 4:
+				n := rng.Intn(40)
+				c.Pullup(n) // no data change regardless of success
+			}
+			if c.Len() != len(model) {
+				return false
+			}
+			if !bytes.Equal(c.Bytes(), model) {
+				return false
+			}
+			walked := 0
+			for m := c.Head(); m != nil; m = m.Next() {
+				walked++
+				if m.Len() == 0 {
+					return false // no empty mbufs may linger
+				}
+			}
+			if walked != c.Count() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SplitAt partitions the bytes for any offset.
+func TestQuickSplit(t *testing.T) {
+	f := func(data []byte, at uint16) bool {
+		c := FromBytesSplit(data, 13)
+		rest := c.SplitAt(int(at) % (len(data) + 10))
+		return bytes.Equal(append(c.Bytes(), rest.Bytes()...), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFromBytes1500(b *testing.B) {
+	p := payload(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FromBytes(p)
+	}
+}
+
+func BenchmarkPrepend(b *testing.B) {
+	hdr := payload(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := FromBytes(hdr)
+		c.Prepend(hdr)
+	}
+}

@@ -1,0 +1,327 @@
+// Package memnet simulates the IP internetwork between Xunet hosts and
+// routers: nodes, point-to-point links with rate, propagation delay,
+// loss and reordering, IP forwarding with TTL, and per-protocol
+// dispatch by IP protocol number.
+//
+// The paper's hosts reach their router over "reliable FDDI links"; this
+// package defaults to lossless in-order links but lets tests inject loss
+// and reordering to exercise the AAL5 and IPPROTO_ATM detection
+// machinery. Two transports are built on the raw layer: a reliable,
+// ordered, framed message stream (the TCP stand-in the signaling IPC
+// runs over) and a fire-and-forget datagram service (the UDP baseline of
+// experiment E6).
+package memnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xunet/internal/cost"
+	"xunet/internal/mbuf"
+	"xunet/internal/sim"
+)
+
+// IPAddr is a 32-bit IPv4-style address.
+type IPAddr uint32
+
+// String renders the address as a dotted quad.
+func (a IPAddr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IP4 builds an address from four octets.
+func IP4(a, b, c, d byte) IPAddr {
+	return IPAddr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// IP protocol numbers used in the simulation.
+const (
+	ProtoStream   = 6   // reliable framed stream (TCP stand-in)
+	ProtoDatagram = 17  // datagram service (UDP stand-in)
+	ProtoATM      = 114 // IPPROTO_ATM, the paper's new raw protocol
+)
+
+// IPHeaderSize is charged against link capacity for every packet.
+const IPHeaderSize = 20
+
+// DefaultTTL bounds forwarding loops.
+const DefaultTTL = 32
+
+// Packet is an IP packet in flight. Payload is an mbuf chain so that
+// the encapsulation layers above can preserve chain shape end to end.
+type Packet struct {
+	Src, Dst IPAddr
+	Proto    uint8
+	TTL      uint8
+	Payload  *mbuf.Chain
+}
+
+// Len is the wire length charged to links.
+func (p *Packet) Len() int { return IPHeaderSize + p.Payload.Len() }
+
+// ProtoHandler receives packets addressed to a node for one protocol.
+type ProtoHandler func(pkt *Packet)
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	RateBps   uint64        // serialization rate; 0 means infinite
+	Delay     time.Duration // propagation delay
+	LossProb  float64       // independent per-packet loss probability
+	ReorderP  float64       // probability a packet is held back (overtaken)
+	ReorderBy time.Duration // how long a reordered packet is held
+}
+
+// FDDI returns the paper's host–router LAN: fast and reliable.
+func FDDI() LinkConfig {
+	return LinkConfig{RateBps: 100_000_000, Delay: 100 * time.Microsecond}
+}
+
+// link is one direction of a connection between two nodes.
+type link struct {
+	net       *Network
+	to        *Node
+	cfg       LinkConfig
+	busyUntil time.Duration
+
+	// Sent, Dropped and Reordered count packets for experiments.
+	Sent      uint64
+	Dropped   uint64
+	Reordered uint64
+}
+
+// Network is the internetwork. All methods must be called from inside
+// the simulation (engine or process context).
+type Network struct {
+	Engine *sim.Engine
+	nodes  map[IPAddr]*Node
+}
+
+// New returns an empty internetwork on engine e.
+func New(e *sim.Engine) *Network {
+	return &Network{Engine: e, nodes: make(map[IPAddr]*Node)}
+}
+
+// Node is a machine with an IP interface.
+type Node struct {
+	Name string
+	Addr IPAddr
+	net  *Network
+
+	// Meter, when set, is charged the Table 1 IP costs for packets this
+	// node originates or receives.
+	Meter *cost.Meter
+
+	links     map[*Node]*link // neighbor -> outgoing link
+	routes    map[IPAddr]*Node
+	defaultGw *Node
+	protos    map[uint8]ProtoHandler
+
+	streams  *streamLayer
+	dgrams   map[uint16]DatagramHandler
+	nextPort uint16
+
+	// Forwarded counts packets this node relayed for others.
+	Forwarded uint64
+	// Delivered counts packets handed to a local protocol handler.
+	Delivered uint64
+	// NoRoute counts packets dropped for lack of a route or handler.
+	NoRoute uint64
+}
+
+// Errors from the IP layer.
+var (
+	ErrDupAddr   = errors.New("memnet: address already in use")
+	ErrNoRoute   = errors.New("memnet: no route to destination")
+	ErrPortInUse = errors.New("memnet: port already bound")
+)
+
+// AddNode registers a machine with the given address.
+func (n *Network) AddNode(name string, addr IPAddr) (*Node, error) {
+	if _, dup := n.nodes[addr]; dup {
+		return nil, fmt.Errorf("%w: %v", ErrDupAddr, addr)
+	}
+	nd := &Node{
+		Name:     name,
+		Addr:     addr,
+		net:      n,
+		links:    make(map[*Node]*link),
+		routes:   make(map[IPAddr]*Node),
+		protos:   make(map[uint8]ProtoHandler),
+		dgrams:   make(map[uint16]DatagramHandler),
+		nextPort: 10000,
+	}
+	nd.streams = newStreamLayer(nd)
+	n.nodes[addr] = nd
+	return nd, nil
+}
+
+// MustAddNode is AddNode for test and scenario construction.
+func (n *Network) MustAddNode(name string, addr IPAddr) *Node {
+	nd, err := n.AddNode(name, addr)
+	if err != nil {
+		panic(err)
+	}
+	return nd
+}
+
+// Node looks up a machine by address.
+func (n *Network) Node(addr IPAddr) *Node { return n.nodes[addr] }
+
+// Connect joins two nodes with a duplex link, both directions using cfg.
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) {
+	a.links[b] = &link{net: n, to: b, cfg: cfg}
+	b.links[a] = &link{net: n, to: a, cfg: cfg}
+}
+
+// LinkTo exposes the outgoing link from a node to a neighbor, for
+// configuring loss or reading counters in experiments.
+func (nd *Node) LinkTo(neighbor *Node) *LinkHandle {
+	l := nd.links[neighbor]
+	if l == nil {
+		return nil
+	}
+	return &LinkHandle{l: l}
+}
+
+// LinkHandle lets experiments adjust a live link.
+type LinkHandle struct{ l *link }
+
+// SetLoss sets the drop probability.
+func (h *LinkHandle) SetLoss(p float64) { h.l.cfg.LossProb = p }
+
+// SetReorder sets the reorder probability and hold-back duration.
+func (h *LinkHandle) SetReorder(p float64, by time.Duration) {
+	h.l.cfg.ReorderP = p
+	h.l.cfg.ReorderBy = by
+}
+
+// Stats reports (sent, dropped, reordered) counts.
+func (h *LinkHandle) Stats() (sent, dropped, reordered uint64) {
+	return h.l.Sent, h.l.Dropped, h.l.Reordered
+}
+
+// AddRoute sends traffic for dst via the given neighbor.
+func (nd *Node) AddRoute(dst IPAddr, via *Node) { nd.routes[dst] = via }
+
+// SetDefaultRoute sends all non-local traffic via the given neighbor.
+func (nd *Node) SetDefaultRoute(via *Node) { nd.defaultGw = via }
+
+// BindProto registers the handler for an IP protocol number, replacing
+// any previous handler.
+func (nd *Node) BindProto(proto uint8, h ProtoHandler) { nd.protos[proto] = h }
+
+// SendIP originates a packet from this node. The Src and TTL fields are
+// filled in if zero. The Table 1 IP send cost is charged to the node's
+// meter.
+func (nd *Node) SendIP(pkt *Packet) error {
+	if pkt.Src == 0 {
+		pkt.Src = nd.Addr
+	}
+	if pkt.TTL == 0 {
+		pkt.TTL = DefaultTTL
+	}
+	nd.Meter.Charge(cost.IP, cost.IPSendCost)
+	return nd.route(pkt)
+}
+
+// route transmits toward the destination: locally delivered, or out the
+// next-hop link. Loopback delivery is deferred to an event so that a
+// reply can never race ahead of the sender's next action (a dialer must
+// park before its SYN-ACK lands).
+func (nd *Node) route(pkt *Packet) error {
+	if pkt.Dst == nd.Addr {
+		nd.net.Engine.Schedule(0, func() { nd.deliverLocal(pkt) })
+		return nil
+	}
+	via := nd.routes[pkt.Dst]
+	if via == nil {
+		via = nd.defaultGw
+	}
+	if via == nil {
+		nd.NoRoute++
+		return fmt.Errorf("%w: %v from %v", ErrNoRoute, pkt.Dst, nd.Name)
+	}
+	l := nd.links[via]
+	if l == nil {
+		nd.NoRoute++
+		return fmt.Errorf("%w: no link %v -> %v", ErrNoRoute, nd.Name, via.Name)
+	}
+	l.transmit(pkt)
+	return nil
+}
+
+// transmit models serialization, propagation, loss and reordering, then
+// schedules receive at the far end.
+func (l *link) transmit(pkt *Packet) {
+	e := l.net.Engine
+	rng := e.Rand()
+	l.Sent++
+	if rng.Chance(l.cfg.LossProb) {
+		l.Dropped++
+		return
+	}
+	var ser time.Duration
+	if l.cfg.RateBps > 0 {
+		bits := uint64(pkt.Len()) * 8
+		ser = time.Duration(bits * uint64(time.Second) / l.cfg.RateBps)
+	}
+	start := e.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	l.busyUntil = start + ser
+	arrive := l.busyUntil + l.cfg.Delay - e.Now()
+	if rng.Chance(l.cfg.ReorderP) {
+		l.Reordered++
+		arrive += l.cfg.ReorderBy
+	}
+	to := l.to
+	e.Schedule(arrive, func() { to.receive(pkt) })
+}
+
+// receive handles an arriving packet: local delivery or forwarding.
+func (nd *Node) receive(pkt *Packet) {
+	if pkt.Dst == nd.Addr {
+		nd.deliverLocal(pkt)
+		return
+	}
+	if pkt.TTL <= 1 {
+		nd.NoRoute++
+		return
+	}
+	pkt.TTL--
+	nd.Forwarded++
+	// Forwarding cost: the router's link-driver input plus IP switching;
+	// accounted so experiment T1's router-path measurement can subtract
+	// the base from the IPPROTO_ATM-specific 39.
+	nd.Meter.Charge(cost.LinkDriver, 4)
+	nd.Meter.Charge(cost.IP, cost.IPRecvCost)
+	_ = nd.route(pkt)
+}
+
+// deliverLocal hands a packet to its protocol handler, charging the
+// Table 1 IP receive cost.
+func (nd *Node) deliverLocal(pkt *Packet) {
+	nd.Meter.Charge(cost.IP, cost.IPRecvCost)
+	h := nd.protos[pkt.Proto]
+	if h == nil {
+		nd.NoRoute++
+		return
+	}
+	nd.Delivered++
+	h(pkt)
+}
+
+// ephemeralPort allocates a local port for dialing.
+func (nd *Node) ephemeralPort() uint16 {
+	for {
+		nd.nextPort++
+		if nd.nextPort < 10000 {
+			nd.nextPort = 10000
+		}
+		if !nd.streams.portBusy(nd.nextPort) {
+			return nd.nextPort
+		}
+	}
+}

@@ -1,0 +1,540 @@
+package memnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xunet/internal/mbuf"
+	"xunet/internal/sim"
+)
+
+// The stream service is the simulation's TCP stand-in: reliable,
+// ordered, connection-oriented delivery of framed messages, with a
+// three-way open, FIN close, retransmission, and RST for connections
+// nobody is listening for. The signaling IPC of the paper ("we used
+// TCP/IP for IPC, in essence building a special-purpose RPC facility")
+// runs over these streams in the simulated world.
+
+// Stream segment flags.
+const (
+	flagSYN = 1 << iota
+	flagACK
+	flagFIN
+	flagDATA
+	flagRST
+)
+
+const segHeaderSize = 13 // flags(1) sport(2) dport(2) seq(4) ack(4)
+
+// Stream tuning constants.
+const (
+	streamRTO        = 250 * time.Millisecond
+	streamMaxRetries = 8
+	streamWindow     = 32
+)
+
+// ErrStreamReset reports a connection torn down by the peer or by
+// retransmission exhaustion.
+var ErrStreamReset = errors.New("memnet: stream reset")
+
+// ErrStreamClosed reports use of a locally closed stream.
+var ErrStreamClosed = errors.New("memnet: stream closed")
+
+// ErrConnRefused reports a dial to a port with no listener.
+var ErrConnRefused = errors.New("memnet: connection refused")
+
+// ErrDialTimeout reports an unanswered connection attempt.
+var ErrDialTimeout = errors.New("memnet: dial timed out")
+
+type segment struct {
+	flags    byte
+	sport    uint16
+	dport    uint16
+	seq, ack uint32
+	data     []byte
+}
+
+func (s *segment) encode() []byte {
+	out := make([]byte, segHeaderSize+len(s.data))
+	out[0] = s.flags
+	out[1], out[2] = byte(s.sport>>8), byte(s.sport)
+	out[3], out[4] = byte(s.dport>>8), byte(s.dport)
+	out[5], out[6], out[7], out[8] = byte(s.seq>>24), byte(s.seq>>16), byte(s.seq>>8), byte(s.seq)
+	out[9], out[10], out[11], out[12] = byte(s.ack>>24), byte(s.ack>>16), byte(s.ack>>8), byte(s.ack)
+	copy(out[segHeaderSize:], s.data)
+	return out
+}
+
+func decodeSegment(b []byte) (segment, bool) {
+	if len(b) < segHeaderSize {
+		return segment{}, false
+	}
+	return segment{
+		flags: b[0],
+		sport: uint16(b[1])<<8 | uint16(b[2]),
+		dport: uint16(b[3])<<8 | uint16(b[4]),
+		seq:   uint32(b[5])<<24 | uint32(b[6])<<16 | uint32(b[7])<<8 | uint32(b[8]),
+		ack:   uint32(b[9])<<24 | uint32(b[10])<<16 | uint32(b[11])<<8 | uint32(b[12]),
+		data:  b[segHeaderSize:],
+	}, true
+}
+
+type connKey struct {
+	lport uint16
+	raddr IPAddr
+	rport uint16
+}
+
+type streamLayer struct {
+	node      *Node
+	listeners map[uint16]*StreamListener
+	conns     map[connKey]*Stream
+}
+
+func newStreamLayer(nd *Node) *streamLayer {
+	sl := &streamLayer{
+		node:      nd,
+		listeners: make(map[uint16]*StreamListener),
+		conns:     make(map[connKey]*Stream),
+	}
+	nd.BindProto(ProtoStream, sl.input)
+	return sl
+}
+
+func (sl *streamLayer) portBusy(port uint16) bool {
+	if _, ok := sl.listeners[port]; ok {
+		return true
+	}
+	for k := range sl.conns {
+		if k.lport == port {
+			return true
+		}
+	}
+	return false
+}
+
+// StreamListener accepts inbound stream connections on one port.
+type StreamListener struct {
+	node    *Node
+	port    uint16
+	backlog *sim.Queue[*Stream]
+	closed  bool
+}
+
+// ListenStream binds a listener to port.
+func (nd *Node) ListenStream(port uint16) (*StreamListener, error) {
+	if nd.streams.portBusy(port) {
+		return nil, fmt.Errorf("%w: stream port %d on %s", ErrPortInUse, port, nd.Name)
+	}
+	l := &StreamListener{
+		node:    nd,
+		port:    port,
+		backlog: sim.NewQueue[*Stream](nd.net.Engine),
+	}
+	nd.streams.listeners[port] = l
+	return l, nil
+}
+
+// Accept blocks until a connection arrives; ok is false once the
+// listener is closed.
+func (l *StreamListener) Accept(p *sim.Proc) (*Stream, bool) {
+	return l.backlog.Get(p)
+}
+
+// AcceptTimeout is Accept with a timeout (d < 0 means none).
+func (l *StreamListener) AcceptTimeout(p *sim.Proc, d time.Duration) (s *Stream, ok, timedOut bool) {
+	return l.backlog.GetTimeout(p, d)
+}
+
+// Close unbinds the listener. Established connections are unaffected.
+func (l *StreamListener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.node.streams.listeners, l.port)
+	l.backlog.Close()
+}
+
+// Port returns the bound port.
+func (l *StreamListener) Port() uint16 { return l.port }
+
+// Stream is one reliable framed-message connection endpoint.
+type Stream struct {
+	node *Node
+	key  connKey
+
+	established bool
+	dialWaiter  *sim.Proc
+	dialErr     error
+
+	// Send side.
+	sendSeq   uint32 // next sequence number to assign
+	unacked   map[uint32][]byte
+	unackBase uint32   // lowest unacked seq
+	pending   [][]byte // messages waiting for window space
+	retries   int
+	rtimer    *sim.Timer
+	finSeq    uint32 // seq the FIN occupies, 0 if none
+	finQueued bool
+
+	// Receive side.
+	recvNext uint32
+	ooo      map[uint32][]byte
+	oooFin   map[uint32]bool
+	inbox    *sim.Queue[[]byte]
+
+	localClosed  bool
+	remoteClosed bool
+	reset        bool
+	teardown     func(reset bool)
+	toreDown     bool
+
+	// Retransmits counts timer-driven resends, for experiments.
+	Retransmits uint64
+}
+
+func newStream(nd *Node, key connKey) *Stream {
+	return &Stream{
+		node:      nd,
+		key:       key,
+		sendSeq:   1,
+		unackBase: 1,
+		recvNext:  1,
+		unacked:   make(map[uint32][]byte),
+		ooo:       make(map[uint32][]byte),
+		inbox:     sim.NewQueue[[]byte](nd.net.Engine),
+	}
+}
+
+// DialStream opens a connection from this node, blocking process p
+// through the handshake.
+func (nd *Node) DialStream(p *sim.Proc, raddr IPAddr, rport uint16) (*Stream, error) {
+	key := connKey{lport: nd.ephemeralPort(), raddr: raddr, rport: rport}
+	s := newStream(nd, key)
+	nd.streams.conns[key] = s
+	s.dialWaiter = p
+	s.sendSegment(&segment{flags: flagSYN, sport: key.lport, dport: rport})
+	s.armRetransmit()
+	p.Park()
+	s.dialWaiter = nil
+	if s.dialErr != nil {
+		delete(nd.streams.conns, key)
+		return nil, s.dialErr
+	}
+	return s, nil
+}
+
+// LocalAddr returns this endpoint's node address.
+func (s *Stream) LocalAddr() IPAddr { return s.node.Addr }
+
+// LocalPort returns this endpoint's port.
+func (s *Stream) LocalPort() uint16 { return s.key.lport }
+
+// RemoteAddr returns the peer's node address.
+func (s *Stream) RemoteAddr() IPAddr { return s.key.raddr }
+
+// RemotePort returns the peer's port.
+func (s *Stream) RemotePort() uint16 { return s.key.rport }
+
+// SetTeardown registers a hook invoked exactly once when the connection
+// fully terminates; reset reports abnormal termination. The kernel layer
+// uses it for TIME_WAIT descriptor retention and soisdisconnected.
+func (s *Stream) SetTeardown(fn func(reset bool)) { s.teardown = fn }
+
+// Send queues one framed message for reliable delivery. It never
+// blocks; flow beyond the window is buffered locally.
+func (s *Stream) Send(msg []byte) error {
+	if s.localClosed {
+		return ErrStreamClosed
+	}
+	if s.reset {
+		return ErrStreamReset
+	}
+	cp := append([]byte(nil), msg...)
+	s.pending = append(s.pending, cp)
+	s.pump()
+	return nil
+}
+
+// pump moves pending messages into the window.
+func (s *Stream) pump() {
+	for len(s.pending) > 0 && uint32(len(s.unacked)) < streamWindow {
+		msg := s.pending[0]
+		s.pending = s.pending[1:]
+		seq := s.sendSeq
+		s.sendSeq++
+		s.unacked[seq] = msg
+		s.sendSegment(&segment{flags: flagDATA, sport: s.key.lport, dport: s.key.rport, seq: seq, data: msg})
+	}
+	if s.finQueued && len(s.pending) == 0 && s.finSeq == 0 {
+		s.finSeq = s.sendSeq
+		s.sendSeq++
+		s.unacked[s.finSeq] = nil
+		s.sendSegment(&segment{flags: flagFIN, sport: s.key.lport, dport: s.key.rport, seq: s.finSeq})
+	}
+	if len(s.unacked) > 0 {
+		s.armRetransmit()
+	}
+}
+
+// Recv blocks until a message arrives. ok is false once the peer has
+// closed (or reset) and all delivered messages are consumed.
+func (s *Stream) Recv(p *sim.Proc) ([]byte, bool) {
+	return s.inbox.Get(p)
+}
+
+// RecvTimeout is Recv with a timeout (d < 0 means none).
+func (s *Stream) RecvTimeout(p *sim.Proc, d time.Duration) (msg []byte, ok, timedOut bool) {
+	return s.inbox.GetTimeout(p, d)
+}
+
+// TryRecv returns a buffered message without blocking.
+func (s *Stream) TryRecv() ([]byte, bool) { return s.inbox.TryGet() }
+
+// Reset reports whether the connection terminated abnormally.
+func (s *Stream) Reset() bool { return s.reset }
+
+// Close initiates an orderly shutdown: queued data is still delivered,
+// then a FIN. Close is idempotent.
+func (s *Stream) Close() {
+	if s.localClosed || s.reset {
+		return
+	}
+	s.localClosed = true
+	s.finQueued = true
+	s.pump()
+	s.maybeFinish()
+}
+
+// abort tears the connection down immediately.
+func (s *Stream) abort(sendRST bool) {
+	if s.reset {
+		return
+	}
+	s.reset = true
+	if sendRST {
+		s.sendSegment(&segment{flags: flagRST, sport: s.key.lport, dport: s.key.rport})
+	}
+	if s.rtimer != nil {
+		s.rtimer.Stop()
+		s.rtimer = nil
+	}
+	s.inbox.Close()
+	if s.dialWaiter != nil {
+		s.dialErr = ErrStreamReset
+		s.dialWaiter.Unpark()
+	}
+	s.finish(true)
+}
+
+func (s *Stream) finish(reset bool) {
+	if s.toreDown {
+		return
+	}
+	s.toreDown = true
+	delete(s.node.streams.conns, s.key)
+	if s.rtimer != nil {
+		s.rtimer.Stop()
+		s.rtimer = nil
+	}
+	if s.teardown != nil {
+		s.teardown(reset)
+	}
+}
+
+// maybeFinish completes an orderly close once both directions are done.
+func (s *Stream) maybeFinish() {
+	if s.localClosed && s.remoteClosed && len(s.unacked) == 0 && len(s.pending) == 0 && !s.finQueuedUnsent() {
+		s.finish(false)
+	}
+}
+
+func (s *Stream) finQueuedUnsent() bool { return s.finQueued && s.finSeq == 0 }
+
+func (s *Stream) sendSegment(seg *segment) {
+	pkt := &Packet{
+		Dst:     s.key.raddr,
+		Proto:   ProtoStream,
+		Payload: mbuf.FromBytes(seg.encode()),
+	}
+	_ = s.node.SendIP(pkt)
+}
+
+func (s *Stream) armRetransmit() {
+	if s.rtimer != nil {
+		s.rtimer.Stop()
+	}
+	s.rtimer = s.node.net.Engine.Schedule(streamRTO, s.onRetransmit)
+}
+
+func (s *Stream) onRetransmit() {
+	s.rtimer = nil
+	if s.reset || s.toreDown {
+		return
+	}
+	s.retries++
+	if s.retries > streamMaxRetries {
+		s.abort(false)
+		return
+	}
+	if !s.established && s.dialWaiter != nil {
+		s.sendSegment(&segment{flags: flagSYN, sport: s.key.lport, dport: s.key.rport})
+		s.armRetransmit()
+		return
+	}
+	for seq := s.unackBase; seq < s.sendSeq; seq++ {
+		msg, ok := s.unacked[seq]
+		if !ok {
+			continue
+		}
+		s.Retransmits++
+		if seq == s.finSeq {
+			s.sendSegment(&segment{flags: flagFIN, sport: s.key.lport, dport: s.key.rport, seq: seq})
+		} else {
+			s.sendSegment(&segment{flags: flagDATA, sport: s.key.lport, dport: s.key.rport, seq: seq, data: msg})
+		}
+	}
+	if len(s.unacked) > 0 {
+		s.armRetransmit()
+	}
+}
+
+// input dispatches an arriving stream segment on this node.
+func (sl *streamLayer) input(pkt *Packet) {
+	seg, ok := decodeSegment(pkt.Payload.Bytes())
+	if !ok {
+		return
+	}
+	key := connKey{lport: seg.dport, raddr: pkt.Src, rport: seg.sport}
+	if s, ok := sl.conns[key]; ok {
+		s.handle(&seg)
+		return
+	}
+	// No connection. SYN to a live listener opens one; anything else
+	// (except RST itself) draws an RST.
+	if seg.flags&flagSYN != 0 && seg.flags&flagACK == 0 {
+		if l, ok := sl.listeners[seg.dport]; ok && !l.closed {
+			s := newStream(sl.node, key)
+			s.established = true
+			sl.conns[key] = s
+			s.sendSegment(&segment{flags: flagSYN | flagACK, sport: seg.dport, dport: seg.sport})
+			l.backlog.Put(s)
+			return
+		}
+	}
+	if seg.flags&flagRST == 0 {
+		reply := &segment{flags: flagRST, sport: seg.dport, dport: seg.sport}
+		_ = sl.node.SendIP(&Packet{Dst: pkt.Src, Proto: ProtoStream, Payload: mbuf.FromBytes(reply.encode())})
+	}
+}
+
+// handle processes a segment on an existing connection.
+func (s *Stream) handle(seg *segment) {
+	if s.toreDown {
+		return
+	}
+	switch {
+	case seg.flags&flagRST != 0:
+		if !s.established && s.dialWaiter != nil {
+			s.dialErr = ErrConnRefused
+			w := s.dialWaiter
+			s.reset = true
+			s.inbox.Close()
+			s.finish(true)
+			w.Unpark()
+			return
+		}
+		s.abort(false)
+		return
+
+	case seg.flags&flagSYN != 0 && seg.flags&flagACK == 0:
+		// Retransmitted SYN on an accepted connection: the original
+		// SYN-ACK was lost, so resend it.
+		s.sendSegment(&segment{flags: flagSYN | flagACK, sport: s.key.lport, dport: s.key.rport})
+		return
+
+	case seg.flags&flagSYN != 0 && seg.flags&flagACK != 0:
+		// SYN-ACK: dial completes.
+		if !s.established {
+			s.established = true
+			s.retries = 0
+			if s.rtimer != nil {
+				s.rtimer.Stop()
+				s.rtimer = nil
+			}
+			s.sendSegment(&segment{flags: flagACK, sport: s.key.lport, dport: s.key.rport, ack: s.recvNext})
+			if s.dialWaiter != nil {
+				s.dialWaiter.Unpark()
+			}
+			s.pump()
+		}
+		return
+
+	case seg.flags&flagDATA != 0, seg.flags&flagFIN != 0:
+		s.established = true
+		isFin := seg.flags&flagFIN != 0
+		switch {
+		case seg.seq == s.recvNext:
+			s.acceptInOrder(seg.data, isFin)
+			for {
+				if fin, ok := s.oooFin[s.recvNext]; ok {
+					data := s.ooo[s.recvNext]
+					delete(s.ooo, s.recvNext)
+					delete(s.oooFin, s.recvNext)
+					s.acceptInOrder(data, fin)
+					continue
+				}
+				break
+			}
+		case seg.seq > s.recvNext:
+			s.bufferOutOfOrder(seg.seq, seg.data, isFin)
+		}
+		// Cumulative ACK in all cases (including duplicates).
+		s.sendSegment(&segment{flags: flagACK, sport: s.key.lport, dport: s.key.rport, ack: s.recvNext})
+		return
+
+	case seg.flags&flagACK != 0:
+		s.established = true
+		s.retries = 0
+		advanced := false
+		for seq := s.unackBase; seq < seg.ack; seq++ {
+			if _, ok := s.unacked[seq]; ok {
+				delete(s.unacked, seq)
+				advanced = true
+			}
+		}
+		if seg.ack > s.unackBase {
+			s.unackBase = seg.ack
+		}
+		if advanced {
+			if len(s.unacked) == 0 && s.rtimer != nil {
+				s.rtimer.Stop()
+				s.rtimer = nil
+			}
+			s.pump()
+			s.maybeFinish()
+		}
+		return
+	}
+}
+
+func (s *Stream) acceptInOrder(data []byte, fin bool) {
+	s.recvNext++
+	if fin {
+		s.remoteClosed = true
+		s.inbox.Close()
+		s.maybeFinish()
+		return
+	}
+	s.inbox.Put(data)
+}
+
+func (s *Stream) bufferOutOfOrder(seq uint32, data []byte, fin bool) {
+	if s.oooFin == nil {
+		s.oooFin = make(map[uint32]bool)
+	}
+	s.ooo[seq] = data
+	s.oooFin[seq] = fin
+}

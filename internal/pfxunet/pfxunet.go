@@ -1,0 +1,323 @@
+// Package pfxunet implements the PF_XUNET protocol family: the
+// native-mode ATM socket stack of the paper.
+//
+// The stack is deliberately non-multiplexing (§1): one socket per
+// virtual circuit, and "the Virtual Circuit Identifier (VCI) provides a
+// single index into a table of protocol control blocks, considerably
+// simplifying the software structure". The PCB table here is a direct
+// array indexed by VCI — no hash demultiplexing — and the Table 1
+// receive-path costs are charged at the same points the paper counted:
+// PCB indexing, socket state checks, address fixup, and sbappend
+// bookkeeping plus 8 instructions per mbuf walked.
+//
+// Bind and connect take the 16-bit cookie capability handed out by the
+// signaling entity during call setup; the socket layer "passes up the
+// cookie and VCI to sighost for these two calls" through the
+// pseudo-device, and sighost tears the call down (marking the socket
+// unusable via soisdisconnected) if authentication fails.
+package pfxunet
+
+import (
+	"errors"
+	"fmt"
+
+	"xunet/internal/atm"
+	"xunet/internal/cost"
+	"xunet/internal/kern"
+	"xunet/internal/mbuf"
+	"xunet/internal/sim"
+)
+
+// Errors from the socket layer.
+var (
+	ErrBadVCI        = errors.New("pfxunet: VCI out of range")
+	ErrVCIBusy       = errors.New("pfxunet: VCI already bound to a socket")
+	ErrSockState     = errors.New("pfxunet: operation invalid in this socket state")
+	ErrDisconnected  = errors.New("pfxunet: socket has been disconnected")
+	ErrRecvQOverflow = errors.New("pfxunet: receive buffer overflow")
+)
+
+// recvBufLimit bounds a socket's receive buffer in bytes (the classic
+// socket-buffer high-water mark); frames past it are dropped and
+// counted, as a datagram stack does.
+const recvBufLimit = 64 * 1024
+
+// sockState tracks the BSD-style socket lifecycle.
+type sockState uint8
+
+const (
+	stateCreated sockState = iota
+	stateBound
+	stateConnected
+	stateDisconnected
+	stateClosed
+)
+
+// Family is the PF_XUNET protocol family instance on one machine.
+type Family struct {
+	m *kern.Machine
+
+	// pcbs is the VCI-indexed protocol control block table: the
+	// non-multiplexed fast path.
+	pcbs [int(atm.MaxVCI) + 1]*Socket
+
+	// DroppedNoSocket counts frames that arrived on a VCI with no bound
+	// socket; DroppedOverflow counts receive-buffer overflows.
+	DroppedNoSocket uint64
+	DroppedOverflow uint64
+}
+
+// New installs the family on a machine and registers it for
+// soisdisconnected commands from the pseudo-device.
+func New(m *kern.Machine) *Family {
+	f := &Family{m: m}
+	m.RegisterFamily(f)
+	return f
+}
+
+// Socket is one PF_XUNET socket (SOCK_DGRAM over a virtual circuit).
+type Socket struct {
+	f     *Family
+	owner *kern.Proc
+	fd    int
+	state sockState
+	vci   atm.VCI
+
+	recvQ     *sim.Queue[*mbuf.Chain]
+	recvBytes int
+
+	// shaper, when set, paces outbound frames (see shaper.go).
+	shaper *shaper
+
+	// FramesIn and FramesOut count datagrams through this socket.
+	FramesIn  uint64
+	FramesOut uint64
+}
+
+// Socket creates an unbound PF_XUNET socket owned by p, consuming a
+// file descriptor.
+func (f *Family) Socket(p *kern.Proc) (*Socket, error) {
+	s := &Socket{f: f, owner: p, recvQ: sim.NewQueue[*mbuf.Chain](f.m.E)}
+	fd, err := p.AllocFD(s)
+	if err != nil {
+		return nil, err
+	}
+	s.fd = fd
+	return s, nil
+}
+
+// FD returns the socket's descriptor number.
+func (s *Socket) FD() int { return s.fd }
+
+// VCI returns the bound or connected VCI (0 before either).
+func (s *Socket) VCI() atm.VCI { return s.vci }
+
+// checkVCI validates range and availability.
+func (f *Family) checkVCI(vci atm.VCI) error {
+	if vci == 0 || vci > atm.MaxVCI {
+		return fmt.Errorf("%w: %v", ErrBadVCI, vci)
+	}
+	if f.pcbs[vci] != nil {
+		return fmt.Errorf("%w: %v", ErrVCIBusy, vci)
+	}
+	return nil
+}
+
+// Bind directs the stack to deliver data received on vci to this
+// socket (the paper's Figure 5 server flow). The cookie and VCI are
+// passed up to the signaling entity for authentication.
+func (s *Socket) Bind(vci atm.VCI, cookie uint16) error {
+	if s.state != stateCreated {
+		return ErrSockState
+	}
+	if err := s.f.checkVCI(vci); err != nil {
+		return err
+	}
+	s.f.pcbs[vci] = s
+	s.vci = vci
+	s.state = stateBound
+	// Install the Orc receive handler: arriving frames on this VCI flow
+	// to the socket.
+	s.f.m.Orc.SetHandler(vci, s.f.input)
+	s.passUp(kern.MsgBind, cookie)
+	return nil
+}
+
+// Connect binds the VCI to this socket for sending (the Figure 6
+// client flow). The cookie is passed up for authentication.
+func (s *Socket) Connect(vci atm.VCI, cookie uint16) error {
+	if s.state != stateCreated {
+		return ErrSockState
+	}
+	if err := s.f.checkVCI(vci); err != nil {
+		return err
+	}
+	s.f.pcbs[vci] = s
+	s.vci = vci
+	s.state = stateConnected
+	s.passUp(kern.MsgConnect, cookie)
+	return nil
+}
+
+// passUp posts a bind/connect indication through the pseudo-device.
+func (s *Socket) passUp(kind kern.MsgKind, cookie uint16) {
+	if s.f.m.Dev != nil {
+		s.f.m.Dev.PostUp(kern.KMsg{Kind: kind, VCI: s.vci, Cookie: cookie, PID: s.owner.PID})
+	}
+}
+
+// Send transmits one frame on the connected VCI. Matching Table 1, the
+// PF_XUNET and Orc send routines "simply call the next layer down
+// without touching the data or the header, thus incurring zero cost".
+func (s *Socket) Send(data []byte) error {
+	switch s.state {
+	case stateConnected:
+	case stateDisconnected:
+		return ErrDisconnected
+	default:
+		return ErrSockState
+	}
+	chain := mbuf.FromBytes(data)
+	s.FramesOut++
+	if s.shaper != nil {
+		return s.shaper.submit(chain)
+	}
+	return s.f.m.Orc.Output(s.vci, chain)
+}
+
+// SendChain transmits a prebuilt mbuf chain (zero-copy path).
+func (s *Socket) SendChain(chain *mbuf.Chain) error {
+	switch s.state {
+	case stateConnected:
+	case stateDisconnected:
+		return ErrDisconnected
+	default:
+		return ErrSockState
+	}
+	s.FramesOut++
+	if s.shaper != nil {
+		return s.shaper.submit(chain)
+	}
+	return s.f.m.Orc.Output(s.vci, chain)
+}
+
+// input is the family's receive upcall from the Orc driver: the Table 1
+// PF_XUNET receive path.
+func (f *Family) input(vci atm.VCI, frame *mbuf.Chain) {
+	m := f.m.Meter
+	// PCB lookup: a single array index, the non-multiplexed win.
+	m.Charge(cost.PFXunet, cost.PFXunetPCBIndex)
+	s := f.pcbs[vci]
+	if s == nil || s.state == stateClosed {
+		f.DroppedNoSocket++
+		return
+	}
+	// Socket state checks and address fixup.
+	m.Charge(cost.PFXunet, cost.PFXunetStateChecks)
+	if s.state == stateDisconnected {
+		return
+	}
+	m.Charge(cost.PFXunet, cost.PFXunetAddrFixup)
+	// sbappend: enqueue onto the socket buffer, walking the chain.
+	m.Charge(cost.PFXunet, cost.PFXunetSbAppend)
+	m.ChargePerMbuf(cost.PFXunet, frame.Count())
+	if s.recvBytes+frame.Len() > recvBufLimit {
+		f.DroppedOverflow++
+		return
+	}
+	s.recvBytes += frame.Len()
+	s.FramesIn++
+	s.recvQ.Put(frame)
+}
+
+// Recv blocks the owning process until a frame arrives. It returns
+// ErrDisconnected once the socket has been marked unusable and the
+// buffer is drained.
+func (s *Socket) Recv() ([]byte, error) {
+	chain, err := s.RecvChain()
+	if err != nil {
+		return nil, err
+	}
+	return chain.Bytes(), nil
+}
+
+// RecvChain is Recv without flattening the mbuf chain.
+func (s *Socket) RecvChain() (*mbuf.Chain, error) {
+	if s.state == stateClosed || s.state == stateCreated {
+		return nil, ErrSockState
+	}
+	if chain, ok := s.recvQ.TryGet(); ok {
+		s.recvBytes -= chain.Len()
+		return chain, nil
+	}
+	if s.state == stateDisconnected {
+		return nil, ErrDisconnected
+	}
+	chain, ok := s.recvQ.Get(s.owner.SP)
+	if !ok {
+		return nil, ErrDisconnected
+	}
+	s.recvBytes -= chain.Len()
+	return chain, nil
+}
+
+// Close releases the socket and its descriptor.
+func (s *Socket) Close() { _ = s.owner.CloseFD(s.fd) }
+
+// KClose implements kern.FDObject: invoked by Close, process exit, and
+// kernel cleanup. Closing a bound or connected socket tells the
+// signaling entity so it can tear the call down ("When either client or
+// server closes a PF_XUNET socket, the signaling entity will
+// automatically tear down the associated call").
+func (s *Socket) KClose() {
+	if s.state == stateClosed {
+		return
+	}
+	hadVCI := s.state == stateBound || s.state == stateConnected || s.state == stateDisconnected
+	wasDisc := s.state == stateDisconnected
+	s.state = stateClosed
+	if hadVCI && s.f.pcbs[s.vci] == s {
+		s.f.pcbs[s.vci] = nil
+		s.f.m.Orc.ClearVC(s.vci)
+	}
+	s.recvQ.Close()
+	if hadVCI && !wasDisc && s.f.m.Dev != nil {
+		s.f.m.Dev.PostUp(kern.KMsg{Kind: kern.MsgClose, VCI: s.vci, PID: s.owner.PID})
+	}
+}
+
+// Soisdisconnected implements kern.ProtoFamily: the pseudo-device's
+// write routine marks the socket on vci unusable and wakes blocked
+// readers.
+func (f *Family) Soisdisconnected(vci atm.VCI) {
+	if vci > atm.MaxVCI {
+		return
+	}
+	s := f.pcbs[vci]
+	if s == nil || s.state == stateClosed {
+		return
+	}
+	s.state = stateDisconnected
+	s.recvQ.Close()
+	f.m.Orc.ClearVC(vci)
+}
+
+// BoundSocket returns the socket a VCI is bound or connected to, if
+// any (used by tests and the signaling kernel agent).
+func (f *Family) BoundSocket(vci atm.VCI) *Socket {
+	if vci > atm.MaxVCI {
+		return nil
+	}
+	return f.pcbs[vci]
+}
+
+// ActiveVCIs counts VCIs with live sockets.
+func (f *Family) ActiveVCIs() int {
+	n := 0
+	for _, s := range f.pcbs {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}

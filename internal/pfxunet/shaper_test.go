@@ -1,0 +1,163 @@
+package pfxunet_test
+
+import (
+	"testing"
+	"time"
+
+	"xunet/internal/kern"
+	"xunet/internal/qos"
+)
+
+// The shaper demonstrates §4's orthogonality: a new stack policy with
+// zero changes to signaling or the kernel interfaces.
+
+func TestShaperPacesToConfiguredRate(t *testing.T) {
+	r := newRig(t)
+	vc := r.vc(t)
+	const rateKbs = 1000 // 1 Mb/s
+	const frameSize = 1250
+	const frames = 40 // 40 * 1250 B * 8 = 400 kb -> 400 ms at 1 Mb/s
+	var arrivals []time.Duration
+	r.rb.Spawn("sink", func(p *kern.Proc) {
+		s, _ := r.rb.PF.Socket(p)
+		_ = s.Bind(vc.DstVCI, 0)
+		for {
+			if _, err := s.Recv(); err != nil {
+				return
+			}
+			arrivals = append(arrivals, p.SP.Now())
+		}
+	})
+	r.ra.Spawn("source", func(p *kern.Proc) {
+		s, _ := r.ra.PF.Socket(p)
+		_ = s.Connect(vc.SrcVCI, 0)
+		s.SetShaper(rateKbs, 128*1024)
+		p.SP.Sleep(50 * time.Millisecond)
+		for i := 0; i < frames; i++ {
+			_ = s.Send(make([]byte, frameSize)) // burst: the shaper paces
+		}
+		p.SP.Sleep(time.Second)
+		out, dropped := s.ShaperStats()
+		if out != frames || dropped != 0 {
+			t.Errorf("shaper stats out=%d dropped=%d", out, dropped)
+		}
+		p.SP.Park()
+	})
+	r.e.RunUntil(5 * time.Second)
+	if len(arrivals) != frames {
+		t.Fatalf("delivered %d of %d", len(arrivals), frames)
+	}
+	// The whole burst must take ≈(frames-1) * frame-serialization time
+	// at the shaped rate: 39 * 10 ms = 390 ms, not a line-rate burst.
+	span := arrivals[len(arrivals)-1] - arrivals[0]
+	wantSpan := time.Duration(frames-1) * 10 * time.Millisecond
+	if span < wantSpan*9/10 || span > wantSpan*11/10 {
+		t.Fatalf("burst spanned %v, want ≈%v (shaped)", span, wantSpan)
+	}
+	// And the inter-frame gap must be steady.
+	for i := 1; i < len(arrivals); i++ {
+		gap := arrivals[i] - arrivals[i-1]
+		if gap < 9*time.Millisecond || gap > 11*time.Millisecond {
+			t.Fatalf("gap %d = %v, want ≈10 ms", i, gap)
+		}
+	}
+	r.e.Shutdown()
+}
+
+func TestShaperDropsBeyondQueueBudget(t *testing.T) {
+	r := newRig(t)
+	vc := r.vc(t)
+	r.ra.Spawn("source", func(p *kern.Proc) {
+		s, _ := r.ra.PF.Socket(p)
+		_ = s.Connect(vc.SrcVCI, 0)
+		s.SetShaper(100, 4000) // 100 kb/s, 4 kB of queue
+		for i := 0; i < 20; i++ {
+			_ = s.Send(make([]byte, 1000)) // 20 kB offered into 4 kB + drain
+		}
+		p.SP.Sleep(100 * time.Millisecond)
+		_, dropped := s.ShaperStats()
+		if dropped == 0 {
+			t.Error("no shaper drops despite 5x queue overcommit")
+		}
+		p.SP.Park()
+	})
+	r.e.RunUntil(time.Second)
+	r.e.Shutdown()
+}
+
+func TestShaperRemovedRestoresLineRate(t *testing.T) {
+	r := newRig(t)
+	vc := r.vc(t)
+	var arrivals []time.Duration
+	r.rb.Spawn("sink", func(p *kern.Proc) {
+		s, _ := r.rb.PF.Socket(p)
+		_ = s.Bind(vc.DstVCI, 0)
+		for {
+			if _, err := s.Recv(); err != nil {
+				return
+			}
+			arrivals = append(arrivals, p.SP.Now())
+		}
+	})
+	r.ra.Spawn("source", func(p *kern.Proc) {
+		s, _ := r.ra.PF.Socket(p)
+		_ = s.Connect(vc.SrcVCI, 0)
+		s.SetShaper(100, 64*1024)
+		s.SetShaper(0, 0) // remove
+		p.SP.Sleep(50 * time.Millisecond)
+		for i := 0; i < 10; i++ {
+			_ = s.Send(make([]byte, 1000))
+		}
+		p.SP.Park()
+	})
+	r.e.RunUntil(2 * time.Second)
+	if len(arrivals) != 10 {
+		t.Fatalf("delivered %d", len(arrivals))
+	}
+	if span := arrivals[9] - arrivals[0]; span > 10*time.Millisecond {
+		t.Fatalf("unshaped burst took %v", span)
+	}
+	r.e.Shutdown()
+}
+
+// TestShapedCBRConformsAtSwitches: a shaped CBR source offers exactly
+// its reservation, so even a tiny switch queue sees no drops — the
+// end-to-end point of pairing the shaper with the admission control of
+// qos.Book.
+func TestShapedCBRConforms(t *testing.T) {
+	r := newRig(t)
+	q := qos.QoS{Class: qos.CBR, BandwidthKbs: 2000}
+	vc, err := r.fab.SetupVC(r.ra.Addr, r.rb.Addr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	r.rb.Spawn("sink", func(p *kern.Proc) {
+		s, _ := r.rb.PF.Socket(p)
+		_ = s.Bind(vc.DstVCI, 0)
+		for {
+			if _, err := s.Recv(); err != nil {
+				return
+			}
+			received++
+		}
+	})
+	r.ra.Spawn("source", func(p *kern.Proc) {
+		s, _ := r.ra.PF.Socket(p)
+		_ = s.Connect(vc.SrcVCI, 0)
+		s.SetShaper(q.BandwidthKbs, 256*1024)
+		p.SP.Sleep(50 * time.Millisecond)
+		for i := 0; i < 100; i++ {
+			_ = s.Send(make([]byte, 2000))
+		}
+		p.SP.Park()
+	})
+	r.e.RunUntil(10 * time.Second)
+	if received != 100 {
+		t.Fatalf("received %d of 100", received)
+	}
+	if _, dropped := r.fab.TrunkStats(); dropped != 0 {
+		t.Fatalf("%d cells dropped from a conformant CBR source", dropped)
+	}
+	r.e.Shutdown()
+}

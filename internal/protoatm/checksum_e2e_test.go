@@ -1,0 +1,94 @@
+package protoatm_test
+
+import (
+	"testing"
+	"time"
+
+	"xunet/internal/cost"
+	"xunet/internal/kern"
+	"xunet/internal/mbuf"
+)
+
+// End-to-end behaviour of the optional header checksum across the
+// host-router-fabric-router-host rig defined in protoatm_test.go.
+
+func TestChecksumEndToEnd(t *testing.T) {
+	r := newRig(t)
+	vc := r.provision(t)
+	r.hostA.ATM.SetHeaderChecksum(true)
+	var got []byte
+	r.hostB.Spawn("server", func(p *kern.Proc) {
+		s, _ := r.hostB.PF.Socket(p)
+		_ = s.Bind(vc.DstVCI, 0)
+		got, _ = s.Recv()
+	})
+	r.hostA.Spawn("client", func(p *kern.Proc) {
+		s, _ := r.hostA.PF.Socket(p)
+		_ = s.Connect(vc.SrcVCI, 0)
+		_ = s.Send([]byte("checksummed"))
+	})
+	r.e.Run()
+	if string(got) != "checksummed" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestChecksumChargesExtraCost(t *testing.T) {
+	r := newRig(t)
+	vc := r.provision(t)
+	r.hostA.Spawn("client", func(p *kern.Proc) {
+		s, _ := r.hostA.PF.Socket(p)
+		_ = s.Connect(vc.SrcVCI, 0)
+		// Without checksum.
+		before := r.hostA.M.Meter.Snapshot()
+		_ = s.Send(make([]byte, 100))
+		plain := r.hostA.M.Meter.Snapshot().Sub(before)[cost.ProtoATM]
+		// With checksum.
+		r.hostA.ATM.SetHeaderChecksum(true)
+		before = r.hostA.M.Meter.Snapshot()
+		_ = s.Send(make([]byte, 100))
+		summed := r.hostA.M.Meter.Snapshot().Sub(before)[cost.ProtoATM]
+		if summed != plain+cost.ProtoATMChecksum {
+			t.Errorf("checksum cost: plain %d, summed %d, want +%d", plain, summed, cost.ProtoATMChecksum)
+		}
+	})
+	r.e.Run()
+}
+
+func TestChecksumMixedDeployment(t *testing.T) {
+	// Sender without checksum, path with verifying routers: the flag
+	// bit keeps everyone interoperable.
+	r := newRig(t)
+	vc := r.provision(t)
+	r.rb.ATM.SetHeaderChecksum(true) // remote router sums its re-encap
+	var got []byte
+	r.hostB.Spawn("server", func(p *kern.Proc) {
+		s, _ := r.hostB.PF.Socket(p)
+		_ = s.Bind(vc.DstVCI, 0)
+		got, _ = s.Recv()
+	})
+	r.hostA.Spawn("client", func(p *kern.Proc) {
+		s, _ := r.hostA.PF.Socket(p)
+		_ = s.Connect(vc.SrcVCI, 0)
+		_ = s.Send([]byte("mixed"))
+	})
+	r.e.Run()
+	if string(got) != "mixed" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEncapPrependStillFitsLeadingSpace(t *testing.T) {
+	// The checksummed header must still use the mbuf leading space.
+	r := newRig(t)
+	r.hostA.ATM.SetHeaderChecksum(true)
+	chain := mbuf.FromBytes(make([]byte, 64))
+	count := chain.Count()
+	r.hostA.Spawn("app", func(p *kern.Proc) {
+		_ = r.hostA.ATM.Encap(40, chain)
+	})
+	r.e.RunUntil(time.Second)
+	if chain.Count() != count {
+		t.Fatalf("checksummed prepend grew chain to %d mbufs", chain.Count())
+	}
+}

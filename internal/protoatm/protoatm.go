@@ -1,0 +1,335 @@
+// Package protoatm implements IPPROTO_ATM, the paper's raw-over-IP
+// encapsulation protocol (§5.4, §7.4) that lets any host with IP
+// connectivity send AAL frames into the Xunet ATM network.
+//
+// The encapsulation header carries exactly the paper's three fields —
+// the sending node's ATM address, a sequence number to detect
+// out-of-order packets, and the VCI — and deliberately has no checksum
+// ("our IP links are over reliable FDDI links") and does no
+// segmentation, so cell loss within a frame remains impossible on the
+// IP path.
+//
+// Host side: the Orc driver's output routine calls Encap, and Decap
+// feeds the driver's input routine. A configuration write sets the
+// host's target router (the IP forwarding address for IPPROTO_ATM).
+//
+// Router side: Decap checks sequencing and hands the mbuf chain to the
+// Orc driver along with the VCI — the Hobbit board does the AAL5
+// trailer, segmentation and transmission. For the reverse flow, the
+// router keeps a per-VCI IP destination table configured by VCI_BIND
+// messages; the Orc handler for such VCIs is the encapsulation routine,
+// re-encapsulating ATM data toward the remote host. VCI_SHUT clears the
+// mappings and tells the driver to discard further data on the VCI.
+package protoatm
+
+import (
+	"errors"
+	"fmt"
+
+	"xunet/internal/atm"
+	"xunet/internal/cost"
+	"xunet/internal/kern"
+	"xunet/internal/mbuf"
+	"xunet/internal/memnet"
+)
+
+// Errors from the encapsulation layer.
+var (
+	ErrNoRouter    = errors.New("protoatm: no target router configured")
+	ErrNoBinding   = errors.New("protoatm: no IP destination bound for VCI")
+	ErrBadHeader   = errors.New("protoatm: malformed encapsulation header")
+	ErrBadChecksum = errors.New("protoatm: encapsulation header checksum mismatch")
+	ErrAddrTooBig  = errors.New("protoatm: ATM address exceeds 255 bytes")
+)
+
+// header is the encapsulation header: source ATM address (length
+// prefixed), sequence number, VCI, and — when the layer is configured
+// for it — the header checksum the paper leaves as an option ("We do
+// not currently have a header checksum field, since our IP links are
+// over reliable FDDI links. A header checksum could be added to the
+// encapsulation header if needed.").
+type header struct {
+	src atm.Addr
+	seq uint32
+	vci atm.VCI
+}
+
+// Header flag bits (first octet).
+const flagChecksum = 0x01
+
+func (h *header) encode(withChecksum bool) []byte {
+	a := []byte(h.src)
+	n := 2 + len(a) + 6
+	if withChecksum {
+		n += 2
+	}
+	out := make([]byte, n)
+	if withChecksum {
+		out[0] = flagChecksum
+	}
+	out[1] = byte(len(a))
+	copy(out[2:], a)
+	p := 2 + len(a)
+	out[p], out[p+1], out[p+2], out[p+3] = byte(h.seq>>24), byte(h.seq>>16), byte(h.seq>>8), byte(h.seq)
+	out[p+4], out[p+5] = byte(h.vci>>8), byte(h.vci)
+	if withChecksum {
+		ck := headerChecksum(out[:p+6])
+		out[p+6], out[p+7] = byte(ck>>8), byte(ck)
+	}
+	return out
+}
+
+// headerChecksum is the 16-bit ones-complement sum over the header
+// octets (the internet checksum the paper's option implies).
+func headerChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// decode parses a header from the front of b, returning the header size.
+func decode(b []byte) (header, int, error) {
+	if len(b) < 2 {
+		return header{}, 0, ErrBadHeader
+	}
+	flags := b[0]
+	alen := int(b[1])
+	n := 2 + alen + 6
+	if flags&flagChecksum != 0 {
+		n += 2
+	}
+	if len(b) < n {
+		return header{}, 0, ErrBadHeader
+	}
+	if flags&flagChecksum != 0 {
+		want := uint16(b[n-2])<<8 | uint16(b[n-1])
+		if headerChecksum(b[:n-2]) != want {
+			return header{}, 0, ErrBadChecksum
+		}
+	}
+	h := header{
+		src: atm.Addr(b[2 : 2+alen]),
+		seq: uint32(b[2+alen])<<24 | uint32(b[3+alen])<<16 | uint32(b[4+alen])<<8 | uint32(b[5+alen]),
+		vci: atm.VCI(uint16(b[6+alen])<<8 | uint16(b[7+alen])),
+	}
+	return h, n, nil
+}
+
+// seqKey tracks sequencing per sending node per VCI.
+type seqKey struct {
+	src atm.Addr
+	vci atm.VCI
+}
+
+// Mode selects host or router behaviour.
+type Mode uint8
+
+// Layer modes.
+const (
+	HostMode Mode = iota
+	RouterMode
+)
+
+// Layer is the IPPROTO_ATM protocol instance on one machine.
+type Layer struct {
+	m         *kern.Machine
+	localAddr atm.Addr
+	mode      Mode
+
+	// routerIP is the host's IP forwarding address for IPPROTO_ATM,
+	// set by the configuration write.
+	routerIP memnet.IPAddr
+
+	// fwd is the router's per-VCI IP destination address table.
+	fwd map[atm.VCI]memnet.IPAddr
+
+	sendSeq map[atm.VCI]uint32
+	recvSeq map[seqKey]uint32
+
+	// checksum enables the optional header checksum on the send side;
+	// receivers always verify when the flag bit is present.
+	checksum bool
+
+	// Counters for experiments.
+	Encapsulated   uint64
+	Decapsulated   uint64
+	OutOfOrder     uint64
+	Switched       uint64 // router: host->ATM transits
+	ReEncapsulated uint64 // router: ATM->host transits
+	Unbound        uint64 // router: frames for VCIs with no IP binding
+	ChecksumErrors uint64 // headers rejected by the optional checksum
+}
+
+// New installs the layer on a machine in the given mode, binding the
+// IPPROTO_ATM protocol number and (on hosts) wiring the Orc driver's
+// output to the encapsulation routine.
+func New(m *kern.Machine, localAddr atm.Addr, mode Mode) *Layer {
+	l := &Layer{
+		m:         m,
+		localAddr: localAddr,
+		mode:      mode,
+		fwd:       make(map[atm.VCI]memnet.IPAddr),
+		sendSeq:   make(map[atm.VCI]uint32),
+		recvSeq:   make(map[seqKey]uint32),
+	}
+	m.IP.BindProto(memnet.ProtoATM, l.input)
+	if mode == HostMode {
+		m.Orc.SetEncap(l.Encap)
+	}
+	return l
+}
+
+// SetHeaderChecksum enables (or disables) the optional encapsulation
+// header checksum on frames this layer sends. Verification on receive
+// is driven by the header's own flag bit, so mixed deployments
+// interoperate. The extra computation is charged to the meter.
+func (l *Layer) SetHeaderChecksum(on bool) { l.checksum = on }
+
+// ConfigureRouter sets the host's target router. In the original this
+// is a message written to an IPPROTO_ATM socket whose destination
+// address becomes the forwarding address; anand client does it at boot,
+// and "this allows a host to reconfigure its target router easily".
+func (l *Layer) ConfigureRouter(ip memnet.IPAddr) { l.routerIP = ip }
+
+// RouterIP reports the configured forwarding address.
+func (l *Layer) RouterIP() memnet.IPAddr { return l.routerIP }
+
+// VCIBind installs a router's VCI-to-IP-destination mapping (the
+// VCI_BIND message from anand server): data arriving on vci from the
+// ATM network is re-encapsulated and forwarded to hostIP.
+func (l *Layer) VCIBind(vci atm.VCI, hostIP memnet.IPAddr) {
+	l.fwd[vci] = hostIP
+	l.m.Orc.SetHandler(vci, func(v atm.VCI, frame *mbuf.Chain) {
+		if err := l.reEncap(v, frame); err != nil {
+			l.Unbound++
+		}
+	})
+}
+
+// VCIShut clears a binding (the VCI_SHUT message): both mappings are
+// removed and the Orc driver discards further data on the VCI.
+func (l *Layer) VCIShut(vci atm.VCI) {
+	delete(l.fwd, vci)
+	delete(l.sendSeq, vci)
+	l.m.Orc.Shut(vci)
+}
+
+// Bound reports whether a VCI has an IP forwarding binding.
+func (l *Layer) Bound(vci atm.VCI) bool {
+	_, ok := l.fwd[vci]
+	return ok
+}
+
+// Encap is the host-side encapsulation routine, called by the Orc
+// driver's output path: the frame (unsegmented, no AAL5 trailer) is
+// wrapped in the three-field header and sent to the configured router.
+// Costs follow Table 1's send column: 58 + 8·mbufs for IPPROTO_ATM.
+func (l *Layer) Encap(vci atm.VCI, frame *mbuf.Chain) error {
+	if l.routerIP == 0 {
+		return ErrNoRouter
+	}
+	return l.encapTo(vci, frame, l.routerIP)
+}
+
+// reEncap is the router-side re-encapsulation for ATM->host flow.
+func (l *Layer) reEncap(vci atm.VCI, frame *mbuf.Chain) error {
+	dst, ok := l.fwd[vci]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoBinding, vci)
+	}
+	l.ReEncapsulated++
+	return l.encapTo(vci, frame, dst)
+}
+
+func (l *Layer) encapTo(vci atm.VCI, frame *mbuf.Chain, dst memnet.IPAddr) error {
+	meter := l.m.Meter
+	if len(l.localAddr) > 255 {
+		return ErrAddrTooBig
+	}
+	// Header build and sequence stamp.
+	meter.Charge(cost.ProtoATM, cost.ProtoATMHeaderBuild)
+	h := header{src: l.localAddr, seq: l.sendSeq[vci], vci: vci}
+	meter.Charge(cost.ProtoATM, cost.ProtoATMSeqStamp)
+	l.sendSeq[vci] = h.seq + 1
+	// Forwarding-address lookup.
+	meter.Charge(cost.ProtoATM, cost.ProtoATMRouteLookup)
+	// Length walk over the chain (computing the IP length field).
+	meter.Charge(cost.ProtoATM, cost.ProtoATMLenWalkBase)
+	meter.ChargePerMbuf(cost.ProtoATM, frame.Count())
+	if l.checksum {
+		meter.Charge(cost.ProtoATM, cost.ProtoATMChecksum)
+	}
+	l.Encapsulated++
+	frame.Prepend(h.encode(l.checksum))
+	return l.m.IP.SendIP(&memnet.Packet{Dst: dst, Proto: memnet.ProtoATM, Payload: frame})
+}
+
+// input receives IPPROTO_ATM packets from IP.
+func (l *Layer) input(pkt *memnet.Packet) {
+	meter := l.m.Meter
+	chain := pkt.Payload
+	hdrLen := headerPeekLen(chain)
+	if hdrLen < 0 || !chain.Pullup(hdrLen) {
+		return
+	}
+	h, n, err := decode(chain.Head().Data())
+	if err != nil {
+		if errors.Is(err, ErrBadChecksum) {
+			l.ChecksumErrors++
+		}
+		return
+	}
+	chain.TrimFront(n)
+	l.Decapsulated++
+
+	if l.mode == RouterMode {
+		// §9: switching an encapsulated packet adds 39 instructions —
+		// decapsulation checks, VCI table lookup, and the Orc hand-off.
+		meter.Charge(cost.ProtoATM, cost.RouterDecapChecks)
+		l.checkSeq(h)
+		meter.Charge(cost.ProtoATM, cost.RouterVCILookup)
+		meter.Charge(cost.ProtoATM, cost.RouterReEncap)
+		l.Switched++
+		// Hand the mbuf chain to the Orc driver along with the VCI; the
+		// Hobbit board does trailer, segmentation and transmission.
+		_ = l.m.Orc.Output(h.vci, chain)
+		return
+	}
+
+	// Host receive path: Table 1's 36 instructions.
+	meter.Charge(cost.ProtoATM, cost.ProtoATMHeaderLoad)
+	meter.Charge(cost.ProtoATM, cost.ProtoATMSeqCheck)
+	l.checkSeq(h)
+	meter.Charge(cost.ProtoATM, cost.ProtoATMVCILookup)
+	meter.Charge(cost.ProtoATM, cost.ProtoATMHandoff)
+	l.m.Orc.Input(h.vci, chain)
+}
+
+// checkSeq verifies per-source per-VCI sequencing, counting gaps and
+// reorderings, then resynchronizes.
+func (l *Layer) checkSeq(h header) {
+	k := seqKey{src: h.src, vci: h.vci}
+	want, seen := l.recvSeq[k]
+	if seen && h.seq != want {
+		l.OutOfOrder++
+	}
+	l.recvSeq[k] = h.seq + 1
+}
+
+// headerPeekLen returns the full header length by peeking the address
+// length byte, or -1 if the chain is too short.
+func headerPeekLen(c *mbuf.Chain) int {
+	var b [1]byte
+	if c.CopyTo(b[:]) != 1 {
+		return -1
+	}
+	return 1 + int(b[0]) + 6
+}

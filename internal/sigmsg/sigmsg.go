@@ -1,0 +1,239 @@
+// Package sigmsg defines the signaling protocol messages and their wire
+// encoding: the application–signaling RPC messages of Figures 3 and 4
+// (EXPORT_SRV, SERVICE_REGS, INCOMING_CONN, ACCEPT_CONN, REJECT_CONN,
+// VCI_FOR_CONN, CONNECT_REQ, REQ_ID, CANCEL_REQ) plus the
+// sighost-to-sighost call-control messages that ride the signaling PVC
+// (SETUP, SETUP_ACK, SETUP_REJ, CONNECT_DONE, RELEASE).
+//
+// Messages travel as length-delimited binary frames over reliable
+// streams (the paper's TCP IPC) or as AAL frames on the peer PVC. The
+// QoS descriptor travels as an uninterpreted string, exactly as the
+// paper specifies, so the signaling layer never depends on its grammar.
+package sigmsg
+
+import (
+	"errors"
+	"fmt"
+
+	"xunet/internal/atm"
+)
+
+// Kind identifies a message type.
+type Kind uint8
+
+// Application-signaling messages (Figures 3 and 4).
+const (
+	// KindExportSrv registers a service: Service, NotifyPort.
+	KindExportSrv Kind = iota + 1
+	// KindServiceRegs acknowledges registration: Service.
+	KindServiceRegs
+	// KindUnexportSrv cancels a registration: Service.
+	KindUnexportSrv
+	// KindIncomingConn notifies a server of a call: Service, Cookie,
+	// QoS, Comment.
+	KindIncomingConn
+	// KindAcceptConn accepts a call with possibly modified QoS: Cookie,
+	// QoS, Comment.
+	KindAcceptConn
+	// KindRejectConn declines a call: Cookie, Reason.
+	KindRejectConn
+	// KindVCIForConn delivers the established circuit: Cookie, VCI, QoS.
+	KindVCIForConn
+	// KindConnectReq asks for a call: Dest, Service, QoS, NotifyPort,
+	// Comment.
+	KindConnectReq
+	// KindReqID acknowledges a connect request with its cookie: Cookie.
+	KindReqID
+	// KindCancelReq cancels an outstanding request: Cookie.
+	KindCancelReq
+	// KindConnFailed reports an asynchronous call failure: Cookie,
+	// Reason.
+	KindConnFailed
+	// KindError reports a synchronous protocol error: Reason.
+	KindError
+	// KindMgmtQuery asks the signaling entity for management state
+	// (§5.1: "Signaling state information is easily available and can
+	// be used by network management software"): Service selects the
+	// query ("services", "calls", "stats", "lists").
+	KindMgmtQuery
+	// KindMgmtReply returns the rendered state: Comment.
+	KindMgmtReply
+)
+
+// Peer sighost-to-sighost messages.
+const (
+	// KindSetup opens a call: CallID, Src, Dest, Service, QoS, Comment.
+	KindSetup Kind = iota + 64
+	// KindSetupAck reports server acceptance: CallID, QoS (negotiated).
+	KindSetupAck
+	// KindSetupRej reports rejection: CallID, Reason.
+	KindSetupRej
+	// KindConnectDone carries the programmed circuit: CallID, VCI (the
+	// VCI at the destination side), QoS.
+	KindConnectDone
+	// KindRelease tears a call down: CallID, Reason.
+	KindRelease
+)
+
+var kindNames = map[Kind]string{
+	KindExportSrv:    "EXPORT_SRV",
+	KindServiceRegs:  "SERVICE_REGS",
+	KindUnexportSrv:  "UNEXPORT_SRV",
+	KindIncomingConn: "INCOMING_CONN",
+	KindAcceptConn:   "ACCEPT_CONN",
+	KindRejectConn:   "REJECT_CONN",
+	KindVCIForConn:   "VCI_FOR_CONN",
+	KindConnectReq:   "CONNECT_REQ",
+	KindReqID:        "REQ_ID",
+	KindCancelReq:    "CANCEL_REQ",
+	KindConnFailed:   "CONN_FAILED",
+	KindError:        "SIG_ERROR",
+	KindMgmtQuery:    "MGMT_QUERY",
+	KindMgmtReply:    "MGMT_REPLY",
+	KindSetup:        "SETUP",
+	KindSetupAck:     "SETUP_ACK",
+	KindSetupRej:     "SETUP_REJ",
+	KindConnectDone:  "CONNECT_DONE",
+	KindRelease:      "RELEASE",
+}
+
+// String returns the protocol name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Msg is one signaling message. Fields not used by a kind are zero.
+type Msg struct {
+	Kind       Kind
+	Service    string
+	Dest       atm.Addr
+	Src        atm.Addr
+	QoS        string // uninterpreted QoS descriptor
+	Comment    string
+	Reason     string
+	Cookie     uint16
+	VCI        atm.VCI
+	NotifyPort uint16
+	CallID     uint32
+	// FromOrigin disambiguates peer messages: call IDs are scoped to
+	// the originating sighost, so a RELEASE must say whether its sender
+	// originated the call (true) or served its destination (false).
+	FromOrigin bool
+	// PID identifies the requesting process on CONNECT_REQ, so the
+	// kernel's termination indication can cancel the process's
+	// outstanding requests (§7.2: "the termination indication is needed
+	// to allow sighost to inform the remote router (or host) that the
+	// client (or server) no longer exists").
+	PID uint32
+}
+
+// String renders the message for traces, in the style of the paper's
+// message sequence figures.
+func (m Msg) String() string {
+	s := m.Kind.String()
+	if m.Service != "" {
+		s += " svc=" + m.Service
+	}
+	if m.Dest != "" {
+		s += " dest=" + string(m.Dest)
+	}
+	if m.Cookie != 0 {
+		s += fmt.Sprintf(" cookie=%d", m.Cookie)
+	}
+	if m.VCI != 0 {
+		s += fmt.Sprintf(" vci=%d", m.VCI)
+	}
+	if m.QoS != "" {
+		s += " qos=" + m.QoS
+	}
+	if m.CallID != 0 {
+		s += fmt.Sprintf(" call=%d", m.CallID)
+	}
+	if m.Reason != "" {
+		s += " reason=" + m.Reason
+	}
+	return s
+}
+
+// Errors from decoding.
+var (
+	ErrShort   = errors.New("sigmsg: truncated message")
+	ErrBadKind = errors.New("sigmsg: unknown message kind")
+)
+
+// Encode serializes the message. The format is a kind byte followed by
+// fixed fields and length-prefixed strings; it is identical for every
+// kind to keep the codec simple and the fuzz surface small.
+func (m Msg) Encode() []byte {
+	out := make([]byte, 0, 32+len(m.Service)+len(m.QoS)+len(m.Comment)+len(m.Reason)+len(m.Dest)+len(m.Src))
+	out = append(out, byte(m.Kind))
+	out = append(out, byte(m.Cookie>>8), byte(m.Cookie))
+	out = append(out, byte(m.VCI>>8), byte(m.VCI))
+	out = append(out, byte(m.NotifyPort>>8), byte(m.NotifyPort))
+	out = append(out, byte(m.CallID>>24), byte(m.CallID>>16), byte(m.CallID>>8), byte(m.CallID))
+	if m.FromOrigin {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = append(out, byte(m.PID>>24), byte(m.PID>>16), byte(m.PID>>8), byte(m.PID))
+	for _, s := range []string{m.Service, string(m.Dest), string(m.Src), m.QoS, m.Comment, m.Reason} {
+		out = appendString(out, s)
+	}
+	return out
+}
+
+func appendString(out []byte, s string) []byte {
+	out = append(out, byte(len(s)>>8), byte(len(s)))
+	return append(out, s...)
+}
+
+// Decode parses a message encoded by Encode.
+func Decode(b []byte) (Msg, error) {
+	var m Msg
+	if len(b) < 16 {
+		return m, ErrShort
+	}
+	m.Kind = Kind(b[0])
+	if _, ok := kindNames[m.Kind]; !ok {
+		return m, fmt.Errorf("%w: %d", ErrBadKind, b[0])
+	}
+	m.Cookie = uint16(b[1])<<8 | uint16(b[2])
+	m.VCI = atm.VCI(uint16(b[3])<<8 | uint16(b[4]))
+	m.NotifyPort = uint16(b[5])<<8 | uint16(b[6])
+	m.CallID = uint32(b[7])<<24 | uint32(b[8])<<16 | uint32(b[9])<<8 | uint32(b[10])
+	m.FromOrigin = b[11] == 1
+	m.PID = uint32(b[12])<<24 | uint32(b[13])<<16 | uint32(b[14])<<8 | uint32(b[15])
+	rest := b[16:]
+	var fields [6]string
+	for i := range fields {
+		var s string
+		var err error
+		s, rest, err = takeString(rest)
+		if err != nil {
+			return m, err
+		}
+		fields[i] = s
+	}
+	m.Service = fields[0]
+	m.Dest = atm.Addr(fields[1])
+	m.Src = atm.Addr(fields[2])
+	m.QoS = fields[3]
+	m.Comment = fields[4]
+	m.Reason = fields[5]
+	return m, nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrShort
+	}
+	n := int(b[0])<<8 | int(b[1])
+	if len(b) < 2+n {
+		return "", nil, ErrShort
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}

@@ -1,0 +1,55 @@
+package signaling
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xunet/internal/sigmsg"
+)
+
+// Management queries: the operational payoff of the user-space design
+// decision (§5.1) — "Signaling state information is easily available
+// and can be used by network management software." A MGMT_QUERY over
+// the ordinary RPC connection returns a rendered view of the daemon's
+// state; cmd/xunetsim and the libraries expose it.
+
+// Management query names.
+const (
+	MgmtServices = "services"
+	MgmtCalls    = "calls"
+	MgmtStats    = "stats"
+	MgmtLists    = "lists"
+)
+
+// handleMgmtQuery renders the requested view.
+func (sh *Sighost) handleMgmtQuery(conn Conn, m sigmsg.Msg) {
+	var body string
+	switch m.Service {
+	case MgmtServices:
+		var names []string
+		for name, e := range sh.services {
+			names = append(names, fmt.Sprintf("%s -> %v:%d", name, e.ip, e.port))
+		}
+		sort.Strings(names)
+		body = strings.Join(names, "\n")
+	case MgmtCalls:
+		var lines []string
+		for key, c := range sh.calls {
+			lines = append(lines, fmt.Sprintf("call=%d peer=%s origin=%v state=%d svc=%s vci=%d qos=%q",
+				key.id, key.peer, key.origin, c.state, c.service, c.localVCI, c.qosStr))
+		}
+		sort.Strings(lines)
+		body = strings.Join(lines, "\n")
+	case MgmtStats:
+		body = fmt.Sprintf("%+v", sh.Stats)
+	case MgmtLists:
+		svc, out, in, wb, vm := sh.ListSizes()
+		body = fmt.Sprintf("service_list=%d outgoing_requests=%d incoming_requests=%d wait_for_bind=%d VCI_mapping=%d cookies=%d",
+			svc, out, in, wb, vm, len(sh.cookies))
+	default:
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unknown management query " + m.Service})
+		return
+	}
+	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindMgmtReply, Service: m.Service, Comment: body})
+}

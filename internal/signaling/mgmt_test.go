@@ -1,0 +1,136 @@
+package signaling_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"xunet/internal/sigmsg"
+	"xunet/internal/signaling"
+)
+
+// Management queries over the real-TCP deployment (the sim-side path is
+// covered in internal/ulib).
+
+func realQuery(t *testing.T, addr, what string) (sigmsg.Msg, error) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := signaling.WriteFrame(conn, sigmsg.Msg{Kind: sigmsg.KindMgmtQuery, Service: what}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	raw, err := signaling.ReadFrame(conn)
+	if err != nil {
+		return sigmsg.Msg{}, err
+	}
+	return sigmsg.Decode(raw)
+}
+
+func TestRealManagementQueries(t *testing.T) {
+	h := startReal(t)
+	c := &signaling.RealClient{SighostAddr: h.ListenAddr()}
+	if err := c.ExportService("mgmt-demo", 19100); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{signaling.MgmtServices, signaling.MgmtCalls, signaling.MgmtStats, signaling.MgmtLists} {
+		reply, err := realQuery(t, h.ListenAddr(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if reply.Kind != sigmsg.KindMgmtReply {
+			t.Fatalf("%s: reply kind %v", q, reply.Kind)
+		}
+		switch q {
+		case signaling.MgmtServices:
+			if !strings.Contains(reply.Comment, "mgmt-demo") {
+				t.Errorf("services view missing registration: %q", reply.Comment)
+			}
+		case signaling.MgmtStats:
+			if !strings.Contains(reply.Comment, "ServicesRegistered:1") {
+				t.Errorf("stats view = %q", reply.Comment)
+			}
+		case signaling.MgmtLists:
+			if !strings.Contains(reply.Comment, "service_list=1") {
+				t.Errorf("lists view = %q", reply.Comment)
+			}
+		}
+	}
+	// Unknown query draws SIG_ERROR.
+	reply, err := realQuery(t, h.ListenAddr(), "bogus")
+	if err != nil || reply.Kind != sigmsg.KindError {
+		t.Fatalf("bogus query: %v %v", reply.Kind, err)
+	}
+}
+
+func TestRealServerReject(t *testing.T) {
+	h := startReal(t)
+	c := &signaling.RealClient{SighostAddr: h.ListenAddr()}
+	srvL, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer srvL.Close()
+	if err := c.ExportService("refuser", uint16(srvL.Addr().(*net.TCPAddr).Port)); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		req, err := signaling.AwaitServiceRequest(srvL)
+		if err != nil {
+			return
+		}
+		_ = req.Reject("maintenance window")
+	}()
+	cliL, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer cliL.Close()
+	_, err := c.OpenConnection("mh.rt", "refuser", cliL, uint16(cliL.Addr().(*net.TCPAddr).Port), "", "")
+	if err == nil || !strings.Contains(err.Error(), "maintenance window") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRealCancelOutstanding(t *testing.T) {
+	h := startReal(t)
+	c := &signaling.RealClient{SighostAddr: h.ListenAddr()}
+	// A server that exports but never answers its notify port.
+	srvL, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer srvL.Close()
+	if err := c.ExportService("sleepy", uint16(srvL.Addr().(*net.TCPAddr).Port)); err != nil {
+		t.Fatal(err)
+	}
+	// Issue the CONNECT_REQ by hand so we hold the cookie while the
+	// request is pending.
+	conn, err := net.Dial("tcp", h.ListenAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := signaling.WriteFrame(conn, sigmsg.Msg{
+		Kind: sigmsg.KindConnectReq, Dest: "mh.rt", Service: "sleepy", NotifyPort: 19999,
+	}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	raw, err := signaling.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, _ := sigmsg.Decode(raw)
+	if reply.Kind != sigmsg.KindReqID {
+		t.Fatalf("reply = %v", reply.Kind)
+	}
+	if err := c.CancelRequest(reply.Cookie); err != nil {
+		t.Fatal(err)
+	}
+	// State must drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, out, in, _, _ := h.SH.ListSizes()
+		if out == 0 && in == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("request state did not drain after cancel")
+}

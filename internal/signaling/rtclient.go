@@ -1,0 +1,169 @@
+package signaling
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/sigmsg"
+)
+
+// RealClient is the user library for the real-TCP deployment: the same
+// RPC exchanges as internal/ulib, spoken to a RealHost daemon over the
+// loopback (or any) network. cmd/sigdemo and the realtime tests use it.
+type RealClient struct {
+	// SighostAddr is the daemon's TCP address ("127.0.0.1:3177").
+	SighostAddr string
+}
+
+// rpc performs one request/reply exchange over a fresh connection.
+func (c *RealClient) rpc(m sigmsg.Msg) (sigmsg.Msg, error) {
+	conn, err := net.DialTimeout("tcp", c.SighostAddr, 5*time.Second)
+	if err != nil {
+		return sigmsg.Msg{}, err
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, m.Encode()); err != nil {
+		return sigmsg.Msg{}, err
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	raw, err := ReadFrame(conn)
+	if err != nil {
+		return sigmsg.Msg{}, err
+	}
+	reply, err := sigmsg.Decode(raw)
+	if err != nil {
+		return sigmsg.Msg{}, err
+	}
+	if reply.Kind == sigmsg.KindError {
+		return reply, errors.New("sighost: " + reply.Reason)
+	}
+	return reply, nil
+}
+
+// ExportService registers a service, with notifications delivered to
+// the given local TCP port.
+func (c *RealClient) ExportService(name string, notifyPort uint16) error {
+	reply, err := c.rpc(sigmsg.Msg{Kind: sigmsg.KindExportSrv, Service: name, NotifyPort: notifyPort})
+	if err != nil {
+		return err
+	}
+	if reply.Kind != sigmsg.KindServiceRegs {
+		return fmt.Errorf("sighost: unexpected reply %v", reply.Kind)
+	}
+	return nil
+}
+
+// RealRequest is an incoming call delivered to a real server.
+type RealRequest struct {
+	Cookie  uint16
+	QoS     string
+	Comment string
+	Service string
+	conn    net.Conn
+}
+
+// AwaitServiceRequest accepts one incoming-connection notification on
+// the listener.
+func AwaitServiceRequest(l net.Listener) (*RealRequest, error) {
+	conn, err := l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	m, err := sigmsg.Decode(raw)
+	if err != nil || m.Kind != sigmsg.KindIncomingConn {
+		conn.Close()
+		return nil, fmt.Errorf("sighost: unexpected notification %v", m.Kind)
+	}
+	return &RealRequest{Cookie: m.Cookie, QoS: m.QoS, Comment: m.Comment, Service: m.Service, conn: conn}, nil
+}
+
+// Accept accepts the call and returns the granted VCI and QoS.
+func (r *RealRequest) Accept(modifiedQoS string) (atm.VCI, string, error) {
+	defer r.conn.Close()
+	if err := WriteFrame(r.conn, sigmsg.Msg{Kind: sigmsg.KindAcceptConn, Cookie: r.Cookie, QoS: modifiedQoS}.Encode()); err != nil {
+		return 0, "", err
+	}
+	r.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	raw, err := ReadFrame(r.conn)
+	if err != nil {
+		return 0, "", err
+	}
+	m, err := sigmsg.Decode(raw)
+	if err != nil || m.Kind != sigmsg.KindVCIForConn {
+		return 0, "", fmt.Errorf("sighost: expected VCI_FOR_CONN, got %v", m.Kind)
+	}
+	return m.VCI, m.QoS, nil
+}
+
+// Reject declines the call.
+func (r *RealRequest) Reject(reason string) error {
+	defer r.conn.Close()
+	return WriteFrame(r.conn, sigmsg.Msg{Kind: sigmsg.KindRejectConn, Cookie: r.Cookie, Reason: reason}.Encode())
+}
+
+// RealConnection is an established client-side circuit.
+type RealConnection struct {
+	VCI    atm.VCI
+	Cookie uint16
+	QoS    string
+}
+
+// OpenConnection requests a circuit and blocks until established.
+// notifyListener must already be listening on the port passed here.
+func (c *RealClient) OpenConnection(dest atm.Addr, service string, notifyListener net.Listener, notifyPort uint16, comment, qosStr string) (*RealConnection, error) {
+	reply, err := c.rpc(sigmsg.Msg{
+		Kind: sigmsg.KindConnectReq, Dest: dest, Service: service,
+		QoS: qosStr, NotifyPort: notifyPort, Comment: comment,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind != sigmsg.KindReqID {
+		return nil, fmt.Errorf("sighost: expected REQ_ID, got %v", reply.Kind)
+	}
+	cookie := reply.Cookie
+	if d, ok := notifyListener.(*net.TCPListener); ok {
+		d.SetDeadline(time.Now().Add(15 * time.Second))
+	}
+	conn, err := notifyListener.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("sighost: no establishment notification: %w", err)
+	}
+	defer conn.Close()
+	raw, err := ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sigmsg.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	switch m.Kind {
+	case sigmsg.KindVCIForConn:
+		return &RealConnection{VCI: m.VCI, Cookie: cookie, QoS: m.QoS}, nil
+	case sigmsg.KindConnFailed:
+		return nil, errors.New("sighost: " + m.Reason)
+	default:
+		return nil, fmt.Errorf("sighost: unexpected %v", m.Kind)
+	}
+}
+
+// CancelRequest cancels an outstanding request by cookie.
+func (c *RealClient) CancelRequest(cookie uint16) error {
+	reply, err := c.rpc(sigmsg.Msg{Kind: sigmsg.KindCancelReq, Cookie: cookie})
+	if err != nil {
+		return err
+	}
+	if reply.Kind != sigmsg.KindCancelReq {
+		return fmt.Errorf("sighost: unexpected reply %v", reply.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package signaling
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/memnet"
+	"xunet/internal/qos"
+	"xunet/internal/sigmsg"
+)
+
+// RealHost drives the same Sighost state machine over real TCP: the
+// deployable daemon of cmd/sighost. It serves the application-signaling
+// RPC protocol on a listener, with local-call switching backed by a VCI
+// pool and an admission-control book (a standalone signaling entity has
+// no ATM fabric or peer PVC mesh; DESIGN.md §2 records the
+// substitution). The actor discipline is preserved: one goroutine runs
+// every handler, fed by a channel of closures.
+type RealHost struct {
+	SH   *Sighost
+	Addr atm.Addr
+
+	ln    net.Listener
+	inbox chan func()
+	wg    sync.WaitGroup
+	quit  chan struct{}
+
+	mu     sync.Mutex // guards vcis and closed
+	vcis   map[atm.VCI]bool
+	next   atm.VCI
+	book   *qos.Book
+	closed bool
+}
+
+// frame I/O: 4-byte big-endian length prefix, then the encoded message.
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame (1 MiB cap).
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 1<<20 {
+		return nil, errors.New("signaling: oversized frame")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// StartReal launches a standalone signaling entity listening on
+// listenAddr (e.g. "127.0.0.1:0"). The returned host reports its bound
+// address via ListenAddr.
+func StartReal(addr atm.Addr, listenAddr string) (*RealHost, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	h := &RealHost{
+		Addr:  addr,
+		ln:    ln,
+		inbox: make(chan func(), 256),
+		quit:  make(chan struct{}),
+		vcis:  make(map[atm.VCI]bool),
+		next:  32,
+		book:  qos.NewBook(622_000), // one OC-12's worth of local capacity
+	}
+	env := &realEnv{h: h}
+	// Real time passes by itself; the cost model charges nothing.
+	h.SH = New(env, CostModel{BindTimeout: 30 * time.Second})
+
+	// Actor.
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for {
+			select {
+			case fn := <-h.inbox:
+				fn()
+			case <-h.quit:
+				return
+			}
+		}
+	}()
+
+	// Acceptor.
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			h.serveConn(conn)
+		}
+	}()
+	return h, nil
+}
+
+// ListenAddr reports the daemon's bound TCP address.
+func (h *RealHost) ListenAddr() string { return h.ln.Addr().String() }
+
+// Close stops the daemon.
+func (h *RealHost) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	h.ln.Close()
+	close(h.quit)
+	h.wg.Wait()
+}
+
+// post runs fn in actor context (dropped after Close).
+func (h *RealHost) post(fn func()) {
+	select {
+	case h.inbox <- fn:
+	case <-h.quit:
+	}
+}
+
+// serveConn pumps one application connection into the actor.
+func (h *RealHost) serveConn(conn net.Conn) {
+	from := ipOf(conn.RemoteAddr())
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		defer conn.Close()
+		c := &realConn{c: conn}
+		for {
+			raw, err := ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			m, err := sigmsg.Decode(raw)
+			if err != nil {
+				continue
+			}
+			h.post(func() { h.SH.HandleApp(c, from, m) })
+		}
+	}()
+}
+
+// ipOf maps a TCP address to the 32-bit address type the state machine
+// uses for endpoint identity.
+func ipOf(a net.Addr) memnet.IPAddr {
+	ta, ok := a.(*net.TCPAddr)
+	if !ok {
+		return 0
+	}
+	v4 := ta.IP.To4()
+	if v4 == nil {
+		return 0
+	}
+	return memnet.IP4(v4[0], v4[1], v4[2], v4[3])
+}
+
+// realConn adapts a net.Conn to the signaling Conn interface.
+type realConn struct {
+	c  net.Conn
+	mu sync.Mutex
+}
+
+func (c *realConn) Send(m sigmsg.Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return WriteFrame(c.c, m.Encode())
+}
+
+func (c *realConn) Close() { c.c.Close() }
+
+// realEnv implements Env over the real network and clock.
+type realEnv struct {
+	h *RealHost
+}
+
+func (e *realEnv) Addr() atm.Addr         { return e.h.Addr }
+func (e *realEnv) LocalIP() memnet.IPAddr { return memnet.IP4(127, 0, 0, 1) }
+func (e *realEnv) Charge(d time.Duration) {} // real time passes on its own
+func (e *realEnv) Rand16() uint16         { return uint16(rand.Uint32()) }
+
+func (e *realEnv) After(d time.Duration, fn func()) CancelFunc {
+	t := time.AfterFunc(d, func() { e.h.post(fn) })
+	return func() { t.Stop() }
+}
+
+// SendPeer supports only local loopback: the standalone daemon has no
+// PVC mesh.
+func (e *realEnv) SendPeer(dst atm.Addr, m sigmsg.Msg) error {
+	if dst != e.h.Addr {
+		return fmt.Errorf("signaling: standalone daemon has no peer %s", dst)
+	}
+	e.h.post(func() { e.h.SH.HandlePeer(dst, m) })
+	return nil
+}
+
+// Dial connects to an application's notify port over TCP.
+func (e *realEnv) Dial(ip memnet.IPAddr, port uint16, cb func(Conn, error)) {
+	h := e.h
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		target := fmt.Sprintf("%s:%d", ip, port)
+		conn, err := net.DialTimeout("tcp", target, 5*time.Second)
+		if err != nil {
+			h.post(func() { cb(nil, err) })
+			return
+		}
+		c := &realConn{c: conn}
+		h.post(func() { cb(c, nil) })
+		for {
+			raw, err := ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			m, derr := sigmsg.Decode(raw)
+			if derr != nil {
+				continue
+			}
+			h.post(func() { h.SH.HandleApp(c, ip, m) })
+		}
+	}()
+}
+
+// SetupVC allocates a local circuit identity from the VCI pool with
+// admission control, standing in for fabric programming.
+func (e *realEnv) SetupVC(dst atm.Addr, q qos.QoS) (*VCHandle, error) {
+	h := e.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key, err := h.book.Admit(q)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(atm.MaxVCI); i++ {
+		v := h.next
+		h.next++
+		if h.next > atm.MaxVCI {
+			h.next = 32
+		}
+		if !h.vcis[v] {
+			h.vcis[v] = true
+			return &VCHandle{
+				SrcVCI: v,
+				DstVCI: v,
+				Release: func() {
+					h.mu.Lock()
+					delete(h.vcis, v)
+					h.book.Release(key)
+					h.mu.Unlock()
+				},
+			}, nil
+		}
+	}
+	h.book.Release(key)
+	return nil, errors.New("signaling: VCI pool exhausted")
+}
+
+// KernelDisconnect has no kernel to reach in standalone mode; the
+// endpoint learns of teardown when its next operation fails.
+func (e *realEnv) KernelDisconnect(endpoint memnet.IPAddr, vci atm.VCI) {}

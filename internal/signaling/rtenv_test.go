@@ -1,0 +1,157 @@
+package signaling_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"xunet/internal/signaling"
+)
+
+// These tests exercise the real-TCP deployment of the signaling entity
+// over the loopback interface: the same state machine as the simulated
+// world, driven by actual sockets.
+
+func startReal(t *testing.T) *signaling.RealHost {
+	t.Helper()
+	h, err := signaling.StartReal("mh.rt", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+func TestRealRegisterService(t *testing.T) {
+	h := startReal(t)
+	c := &signaling.RealClient{SighostAddr: h.ListenAddr()}
+	if err := c.ExportService("file-service", 19001); err != nil {
+		t.Fatal(err)
+	}
+	svc, _, _, _, _ := h.SH.ListSizes()
+	if svc != 1 {
+		t.Fatalf("service_list = %d", svc)
+	}
+}
+
+func TestRealLocalCallEndToEnd(t *testing.T) {
+	h := startReal(t)
+	c := &signaling.RealClient{SighostAddr: h.ListenAddr()}
+
+	// Server side: register, then accept one call.
+	srvL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvL.Close()
+	srvPort := uint16(srvL.Addr().(*net.TCPAddr).Port)
+	if err := c.ExportService("echo", srvPort); err != nil {
+		t.Fatal(err)
+	}
+	type srvResult struct {
+		vci  uint16
+		qos  string
+		err  error
+		qreq string
+	}
+	srvCh := make(chan srvResult, 1)
+	go func() {
+		req, err := signaling.AwaitServiceRequest(srvL)
+		if err != nil {
+			srvCh <- srvResult{err: err}
+			return
+		}
+		vci, granted, err := req.Accept("cbr:500")
+		srvCh <- srvResult{vci: uint16(vci), qos: granted, err: err, qreq: req.QoS}
+	}()
+
+	// Client side.
+	cliL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliL.Close()
+	cliPort := uint16(cliL.Addr().(*net.TCPAddr).Port)
+	conn, err := c.OpenConnection("mh.rt", "echo", cliL, cliPort, "real demo", "cbr:1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := <-srvCh
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	if conn.VCI == 0 || uint16(conn.VCI) != sr.vci {
+		t.Fatalf("VCIs differ: client %v server %v", conn.VCI, sr.vci)
+	}
+	// Negotiation: server countered cbr:1000 with cbr:500.
+	if conn.QoS != "cbr:500" || sr.qos != "cbr:500" {
+		t.Fatalf("negotiated qos client=%q server=%q", conn.QoS, sr.qos)
+	}
+	if sr.qreq != "cbr:1000" {
+		t.Fatalf("server saw request qos %q", sr.qreq)
+	}
+}
+
+func TestRealUnknownServiceFails(t *testing.T) {
+	h := startReal(t)
+	c := &signaling.RealClient{SighostAddr: h.ListenAddr()}
+	cliL, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer cliL.Close()
+	_, err := c.OpenConnection("mh.rt", "ghost", cliL, uint16(cliL.Addr().(*net.TCPAddr).Port), "", "")
+	if err == nil || !strings.Contains(err.Error(), "no such service") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRealRemoteDestinationRejected(t *testing.T) {
+	// The standalone daemon has no PVC mesh: a call to another router
+	// must fail cleanly rather than hang.
+	h := startReal(t)
+	c := &signaling.RealClient{SighostAddr: h.ListenAddr()}
+	srvL, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer srvL.Close()
+	if err := c.ExportService("echo", uint16(srvL.Addr().(*net.TCPAddr).Port)); err != nil {
+		t.Fatal(err)
+	}
+	cliL, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer cliL.Close()
+	_, err := c.OpenConnection("ucb.rt", "echo", cliL, uint16(cliL.Addr().(*net.TCPAddr).Port), "", "")
+	if err == nil {
+		t.Fatal("remote call succeeded on standalone daemon")
+	}
+}
+
+func TestRealCancelUnknownCookie(t *testing.T) {
+	h := startReal(t)
+	c := &signaling.RealClient{SighostAddr: h.ListenAddr()}
+	if err := c.CancelRequest(0xBEEF); err == nil {
+		t.Fatal("cancel of unknown cookie succeeded")
+	}
+}
+
+func TestRealAdmissionControl(t *testing.T) {
+	// The standalone book holds 622,000 kb/s; an over-ask fails and the
+	// client hears CONN_FAILED.
+	h := startReal(t)
+	c := &signaling.RealClient{SighostAddr: h.ListenAddr()}
+	srvL, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer srvL.Close()
+	if err := c.ExportService("big", uint16(srvL.Addr().(*net.TCPAddr).Port)); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			req, err := signaling.AwaitServiceRequest(srvL)
+			if err != nil {
+				return
+			}
+			req.Accept(req.QoS)
+		}
+	}()
+	cliL, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer cliL.Close()
+	_, err := c.OpenConnection("mh.rt", "big", cliL, uint16(cliL.Addr().(*net.TCPAddr).Port), "", "cbr:999999999")
+	if err == nil || !strings.Contains(err.Error(), "admission") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,744 @@
+// Package signaling implements sighost, the user-space signaling entity
+// at the center of the paper's design (§6–§7).
+//
+// The Sighost type is a pure state machine: it "only acts in response to
+// messages received from the user library, the local or remote kernel,
+// or the peer signaling entity". All I/O happens through the Env
+// interface, so the same state machine runs inside the discrete-event
+// simulation (SimHost, in this package) and inside a real daemon over
+// TCP (cmd/sighost). Exactly as §7.3 describes, internal state lives in
+// five lists — service_list, outgoing_requests, incoming_requests,
+// wait_for_bind and VCI_mapping — plus the per-VCI cookie table of §7.1.
+package signaling
+
+import (
+	"fmt"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/kern"
+	"xunet/internal/memnet"
+	"xunet/internal/qos"
+	"xunet/internal/sigmsg"
+)
+
+// Well-known ports.
+const (
+	// SigPort is the TCP port sighost accepts application RPCs on.
+	SigPort = 177
+	// AnandPort is the TCP port anand server accepts host relays on.
+	AnandPort = 178
+)
+
+// Conn is a signaling-side view of one reliable IPC connection to an
+// application (either accepted on SigPort or dialed to a notify port).
+type Conn interface {
+	Send(m sigmsg.Msg) error
+	Close()
+}
+
+// VCHandle is an established circuit through the fabric.
+type VCHandle struct {
+	SrcVCI  atm.VCI
+	DstVCI  atm.VCI
+	Cost    time.Duration // switch-programming cost to charge
+	Release func()
+}
+
+// CancelFunc cancels a pending timer.
+type CancelFunc func()
+
+// Env is everything sighost needs from its surroundings. Callbacks
+// (After, Dial results, message deliveries) must run serialized with
+// the handler methods — the actor discipline.
+type Env interface {
+	// Addr is this signaling entity's ATM address.
+	Addr() atm.Addr
+	// LocalIP is the router's own IP (applications on the router have
+	// this as their endpoint address).
+	LocalIP() memnet.IPAddr
+	// Charge accounts busy time (context switches, per-call logging,
+	// switch programming) against the signaling entity.
+	Charge(d time.Duration)
+	// After schedules fn in actor context after d.
+	After(d time.Duration, fn func()) CancelFunc
+	// SendPeer delivers a message to the signaling entity at dst over
+	// the signaling PVC mesh. dst may equal Addr (local call loopback).
+	SendPeer(dst atm.Addr, m sigmsg.Msg) error
+	// Dial opens an IPC connection to an application's notify port,
+	// delivering the result asynchronously in actor context. Messages
+	// arriving on the resulting Conn are fed to HandleApp.
+	Dial(ip memnet.IPAddr, port uint16, cb func(Conn, error))
+	// SetupVC programs a circuit through the fabric from Addr to dst.
+	SetupVC(dst atm.Addr, q qos.QoS) (*VCHandle, error)
+	// KernelDisconnect marks the socket bound to vci on the endpoint
+	// machine unusable (pseudo-device write; relayed through anand for
+	// hosts, which also shuts the router's VCI forwarding).
+	KernelDisconnect(endpoint memnet.IPAddr, vci atm.VCI)
+	// Rand16 returns entropy for cookie generation.
+	Rand16() uint16
+}
+
+// Stats counts signaling activity for the experiments.
+type Stats struct {
+	ServicesRegistered uint64
+	CallsRequested     uint64
+	CallsEstablished   uint64
+	CallsRejected      uint64
+	CallsFailed        uint64
+	CallsTorn          uint64
+	CallsCanceled      uint64
+	AuthFailures       uint64
+	BindTimeouts       uint64
+	KernelMsgs         uint64
+	PeerMsgs           uint64
+	AppMsgs            uint64
+}
+
+// service_list entry.
+type serviceEntry struct {
+	name string
+	ip   memnet.IPAddr
+	port uint16
+}
+
+// callKey identifies a call; the id is scoped to the originating
+// sighost, and origin distinguishes the two views of a call both of
+// whose endpoints this sighost serves.
+type callKey struct {
+	peer   atm.Addr
+	id     uint32
+	origin bool
+}
+
+type callState uint8
+
+const (
+	callSetupSent   callState = iota // origin: SETUP sent, awaiting ack
+	callWaitServer                   // dest: INCOMING_CONN sent, awaiting accept
+	callProgramming                  // origin: accepted, fabric being set up
+	callEstablished                  // VCI handed out
+	callReleased
+)
+
+type call struct {
+	key     callKey
+	state   callState
+	service string
+	qosStr  string
+	comment string
+
+	// Endpoint application this side serves.
+	endIP   memnet.IPAddr
+	endPort uint16
+	// ownerPID is the requesting process at the origin (0 if unknown),
+	// used to cancel outstanding requests when the process dies.
+	ownerPID uint32
+	cookie   uint16 // the capability handed to this side's application
+
+	// localVCI is this side's VCI (origin: source VCI, dest:
+	// destination VCI).
+	localVCI atm.VCI
+
+	// vc is held at the origin only; releasing it unprograms the path.
+	vc *VCHandle
+
+	// serverConn is the per-call connection to the server's notify
+	// port, held at the destination side during establishment.
+	serverConn Conn
+}
+
+// outRequest is an outgoing_requests entry (client requests awaiting a
+// reply from a server), keyed by the client cookie.
+type outRequest struct {
+	c *call
+}
+
+// inRequest is an incoming_requests entry (calls awaiting acceptance or
+// rejection by the server), keyed by the server cookie.
+type inRequest struct {
+	c *call
+}
+
+// bindWait is a wait_for_bind entry: a VCI handed to an application
+// that has not yet bound or connected, guarded by the per-VCI timer.
+type bindWait struct {
+	c      *call
+	cancel CancelFunc
+}
+
+// Sighost is the signaling entity.
+type Sighost struct {
+	env Env
+	cm  CostModel
+
+	// The five lists of §7.3.
+	services map[string]*serviceEntry // service_list
+	outgoing map[uint16]*outRequest   // outgoing_requests
+	incoming map[uint16]*inRequest    // incoming_requests
+	waitBind map[atm.VCI]*bindWait    // wait_for_bind
+	vciMap   map[atm.VCI]*call        // VCI_mapping
+
+	// cookies is the per-VCI table of cookies (§7.1).
+	cookies map[atm.VCI]uint16
+
+	calls map[callKey]*call
+	pvcs  map[atm.VCI]bool
+
+	nextCallID uint32
+
+	// Stats is read by experiments; Trace, when non-nil, receives one
+	// line per message handled or sent (Figure 3/4 golden tests).
+	Stats Stats
+	Trace func(line string)
+}
+
+// CostModel is the slice of the simulation cost model sighost charges:
+// context switches per IPC hop, per-call maintenance logging (§9's
+// dominant call-setup cost, toggleable for the E3 ablation), and the
+// wait_for_bind timeout.
+type CostModel struct {
+	ContextSwitch time.Duration
+	CallLogging   time.Duration
+	// TeardownLogging is the smaller per-call record written when a
+	// call is released (part of the same maintenance information).
+	TeardownLogging time.Duration
+	BindTimeout     time.Duration
+	LoggingEnabled  bool
+}
+
+// New creates a signaling entity over env.
+func New(env Env, cm CostModel) *Sighost {
+	if cm.BindTimeout <= 0 {
+		cm.BindTimeout = 30 * time.Second
+	}
+	return &Sighost{
+		env:      env,
+		cm:       cm,
+		services: make(map[string]*serviceEntry),
+		outgoing: make(map[uint16]*outRequest),
+		incoming: make(map[uint16]*inRequest),
+		waitBind: make(map[atm.VCI]*bindWait),
+		vciMap:   make(map[atm.VCI]*call),
+		cookies:  make(map[atm.VCI]uint16),
+		calls:    make(map[callKey]*call),
+		pvcs:     make(map[atm.VCI]bool),
+	}
+}
+
+// AllowPVC marks a VCI as a preauthorized permanent circuit (the
+// signaling PVCs themselves), exempt from cookie authentication.
+func (sh *Sighost) AllowPVC(vci atm.VCI) { sh.pvcs[vci] = true }
+
+// SetLogging toggles the per-call maintenance logging cost — the E3
+// ablation isolating §9's dominant call-setup cost.
+func (sh *Sighost) SetLogging(on bool) { sh.cm.LoggingEnabled = on }
+
+// ListSizes reports the five list sizes (service_list,
+// outgoing_requests, incoming_requests, wait_for_bind, VCI_mapping) for
+// the robustness assertions: after a storm with everything torn down,
+// all but service_list must be empty.
+func (sh *Sighost) ListSizes() (services, outgoing, incoming, waitBind, vciMapping int) {
+	return len(sh.services), len(sh.outgoing), len(sh.incoming), len(sh.waitBind), len(sh.vciMap)
+}
+
+// CookieCount reports live per-VCI cookie entries.
+func (sh *Sighost) CookieCount() int { return len(sh.cookies) }
+
+func (sh *Sighost) tracef(format string, args ...any) {
+	if sh.Trace != nil {
+		sh.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// newCookie allocates an unused nonzero 16-bit capability.
+func (sh *Sighost) newCookie() uint16 {
+	for {
+		c := sh.env.Rand16()
+		if c == 0 {
+			continue
+		}
+		if _, dup := sh.outgoing[c]; dup {
+			continue
+		}
+		if _, dup := sh.incoming[c]; dup {
+			continue
+		}
+		return c
+	}
+}
+
+// sendApp replies to an application, charging the kernel-to-application
+// context switch.
+func (sh *Sighost) sendApp(conn Conn, m sigmsg.Msg) {
+	sh.env.Charge(sh.cm.ContextSwitch)
+	sh.tracef("sighost->app %v", m)
+	_ = conn.Send(m)
+}
+
+// HandleApp processes one message from an application IPC connection.
+// from is the application machine's IP address (getpeername).
+func (sh *Sighost) HandleApp(conn Conn, from memnet.IPAddr, m sigmsg.Msg) {
+	sh.Stats.AppMsgs++
+	// Application-to-kernel-to-sighost delivery: one switch charged at
+	// the sender, one here.
+	sh.env.Charge(sh.cm.ContextSwitch)
+	sh.tracef("app->sighost %v", m)
+	switch m.Kind {
+	case sigmsg.KindExportSrv:
+		sh.handleExport(conn, from, m)
+	case sigmsg.KindUnexportSrv:
+		sh.handleUnexport(conn, m)
+	case sigmsg.KindConnectReq:
+		sh.handleConnectReq(conn, from, m)
+	case sigmsg.KindCancelReq:
+		sh.handleCancelReq(conn, m)
+	case sigmsg.KindAcceptConn:
+		sh.handleAcceptConn(conn, m)
+	case sigmsg.KindRejectConn:
+		sh.handleRejectConn(conn, m)
+	case sigmsg.KindMgmtQuery:
+		sh.handleMgmtQuery(conn, m)
+	default:
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unexpected " + m.Kind.String()})
+	}
+}
+
+func (sh *Sighost) handleExport(conn Conn, from memnet.IPAddr, m sigmsg.Msg) {
+	if m.Service == "" || m.NotifyPort == 0 {
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "bad EXPORT_SRV"})
+		return
+	}
+	sh.services[m.Service] = &serviceEntry{name: m.Service, ip: from, port: m.NotifyPort}
+	sh.Stats.ServicesRegistered++
+	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindServiceRegs, Service: m.Service})
+}
+
+func (sh *Sighost) handleUnexport(conn Conn, m sigmsg.Msg) {
+	if _, ok := sh.services[m.Service]; !ok {
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "no such service"})
+		return
+	}
+	delete(sh.services, m.Service)
+	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindServiceRegs, Service: m.Service})
+}
+
+// handleConnectReq starts a call on behalf of a client (Figure 4).
+func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg) {
+	if m.Dest == "" || m.Service == "" || m.NotifyPort == 0 {
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "bad CONNECT_REQ"})
+		return
+	}
+	sh.Stats.CallsRequested++
+	sh.nextCallID++
+	cookie := sh.newCookie()
+	c := &call{
+		key:      callKey{peer: m.Dest, id: sh.nextCallID, origin: true},
+		state:    callSetupSent,
+		service:  m.Service,
+		qosStr:   m.QoS,
+		comment:  m.Comment,
+		endIP:    from,
+		endPort:  m.NotifyPort,
+		ownerPID: m.PID,
+		cookie:   cookie,
+	}
+	sh.calls[c.key] = c
+	sh.outgoing[cookie] = &outRequest{c: c}
+	// REQ_ID carries the cookie identifying the connection that will be
+	// established on the client's behalf.
+	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindReqID, Cookie: cookie})
+	// The large per-call maintenance logging of §9.
+	if sh.cm.LoggingEnabled {
+		sh.env.Charge(sh.cm.CallLogging)
+	}
+	err := sh.sendPeer(m.Dest, sigmsg.Msg{
+		Kind: sigmsg.KindSetup, CallID: c.key.id, Src: sh.env.Addr(), Dest: m.Dest,
+		Service: m.Service, QoS: m.QoS, Comment: m.Comment,
+	})
+	if err != nil {
+		// No signaling path to the destination: fail the call now.
+		sh.Stats.CallsFailed++
+		sh.notifyClientFailure(c, "destination unreachable: "+err.Error())
+		delete(sh.outgoing, cookie)
+		delete(sh.calls, c.key)
+		c.state = callReleased
+	}
+}
+
+func (sh *Sighost) handleCancelReq(conn Conn, m sigmsg.Msg) {
+	req, ok := sh.outgoing[m.Cookie]
+	if !ok {
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unknown request cookie"})
+		return
+	}
+	sh.Stats.CallsCanceled++
+	sh.teardown(req.c, "canceled by client", true)
+	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindCancelReq, Cookie: m.Cookie})
+}
+
+// handleAcceptConn completes the server's half of Figure 3.
+func (sh *Sighost) handleAcceptConn(conn Conn, m sigmsg.Msg) {
+	req, ok := sh.incoming[m.Cookie]
+	if !ok {
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unknown incoming cookie"})
+		return
+	}
+	c := req.c
+	// Negotiation: the server may modify the QoS, but the result never
+	// exceeds the client's request. Unparseable descriptors pass
+	// through opaque, preserving the "uninterpreted string" contract.
+	granted := m.QoS
+	if reqQ, err1 := qos.Parse(c.qosStr); err1 == nil {
+		if offQ, err2 := qos.Parse(m.QoS); err2 == nil {
+			granted = qos.Negotiate(reqQ, offQ).String()
+		}
+	}
+	c.qosStr = granted
+	sh.sendPeer(c.key.peer, sigmsg.Msg{Kind: sigmsg.KindSetupAck, CallID: c.key.id, QoS: granted})
+}
+
+func (sh *Sighost) handleRejectConn(conn Conn, m sigmsg.Msg) {
+	req, ok := sh.incoming[m.Cookie]
+	if !ok {
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unknown incoming cookie"})
+		return
+	}
+	c := req.c
+	reason := m.Reason
+	if reason == "" {
+		reason = "rejected by server"
+	}
+	sh.Stats.CallsRejected++
+	sh.sendPeer(c.key.peer, sigmsg.Msg{Kind: sigmsg.KindSetupRej, CallID: c.key.id, Reason: reason})
+	sh.dropIncoming(c)
+}
+
+// dropIncoming removes destination-side establishment state.
+func (sh *Sighost) dropIncoming(c *call) {
+	delete(sh.incoming, c.cookie)
+	delete(sh.calls, c.key)
+	if c.serverConn != nil {
+		c.serverConn.Close()
+		c.serverConn = nil
+	}
+	c.state = callReleased
+}
+
+func (sh *Sighost) sendPeer(dst atm.Addr, m sigmsg.Msg) error {
+	sh.tracef("peer->%s %v", dst, m)
+	return sh.env.SendPeer(dst, m)
+}
+
+// HandlePeer processes one message from the signaling entity at from.
+func (sh *Sighost) HandlePeer(from atm.Addr, m sigmsg.Msg) {
+	sh.Stats.PeerMsgs++
+	sh.tracef("peer<-%s %v", from, m)
+	switch m.Kind {
+	case sigmsg.KindSetup:
+		sh.peerSetup(from, m)
+	case sigmsg.KindSetupAck:
+		sh.peerSetupAck(from, m)
+	case sigmsg.KindSetupRej:
+		sh.peerSetupRej(from, m)
+	case sigmsg.KindConnectDone:
+		sh.peerConnectDone(from, m)
+	case sigmsg.KindRelease:
+		sh.peerRelease(from, m)
+	}
+}
+
+// peerSetup is the destination side of call establishment: look the
+// service up, dial the server's notify port, forward INCOMING_CONN.
+func (sh *Sighost) peerSetup(from atm.Addr, m sigmsg.Msg) {
+	svc, ok := sh.services[m.Service]
+	if !ok {
+		sh.sendPeer(from, sigmsg.Msg{Kind: sigmsg.KindSetupRej, CallID: m.CallID, Reason: "no such service: " + m.Service})
+		return
+	}
+	if sh.cm.LoggingEnabled {
+		sh.env.Charge(sh.cm.CallLogging)
+	}
+	cookie := sh.newCookie()
+	c := &call{
+		key:     callKey{peer: from, id: m.CallID, origin: false},
+		state:   callWaitServer,
+		service: m.Service,
+		qosStr:  m.QoS,
+		comment: m.Comment,
+		endIP:   svc.ip,
+		endPort: svc.port,
+		cookie:  cookie,
+	}
+	sh.calls[c.key] = c
+	sh.incoming[cookie] = &inRequest{c: c}
+	sh.env.Dial(svc.ip, svc.port, func(conn Conn, err error) {
+		// The call may have been released while the dial was in flight.
+		cur, live := sh.calls[c.key]
+		if !live || cur != c || c.state != callWaitServer {
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		if err != nil {
+			sh.sendPeer(from, sigmsg.Msg{Kind: sigmsg.KindSetupRej, CallID: m.CallID, Reason: "server unreachable"})
+			sh.dropIncoming(c)
+			return
+		}
+		c.serverConn = conn
+		sh.sendApp(conn, sigmsg.Msg{
+			Kind: sigmsg.KindIncomingConn, Service: m.Service, Cookie: cookie,
+			QoS: m.QoS, Comment: m.Comment,
+		})
+	})
+}
+
+// peerSetupAck is the origin side after the server accepted: program
+// the fabric, hand the VCI to the client, tell the peer the circuit.
+func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
+	c, ok := sh.calls[callKey{peer: from, id: m.CallID, origin: true}]
+	if !ok || c.state != callSetupSent {
+		return
+	}
+	c.state = callProgramming
+	c.qosStr = m.QoS
+	q, err := qos.Parse(m.QoS)
+	if err != nil {
+		q = qos.BestEffortQoS
+	}
+	vc, err := sh.env.SetupVC(c.key.peer, q)
+	if err != nil {
+		sh.Stats.CallsFailed++
+		sh.sendPeer(from, sigmsg.Msg{Kind: sigmsg.KindRelease, CallID: m.CallID, Reason: "admission failed", FromOrigin: true})
+		sh.notifyClientFailure(c, "network admission failed: "+err.Error())
+		delete(sh.outgoing, c.cookie)
+		delete(sh.calls, c.key)
+		return
+	}
+	sh.env.Charge(vc.Cost)
+	c.vc = vc
+	c.localVCI = vc.SrcVCI
+	// Per-VCI cookie table entry and wait_for_bind timer for the client
+	// side.
+	sh.grantVCI(c, vc.SrcVCI)
+	sh.sendPeer(from, sigmsg.Msg{Kind: sigmsg.KindConnectDone, CallID: m.CallID, VCI: vc.DstVCI, QoS: c.qosStr})
+	// Hand the VCI to the client on its notify port.
+	cookie := c.cookie
+	sh.env.Dial(c.endIP, c.endPort, func(conn Conn, err error) {
+		if err != nil {
+			// Client vanished before establishment completed: tear the
+			// call down end to end.
+			if cur, live := sh.calls[c.key]; live && cur == c {
+				sh.Stats.CallsFailed++
+				sh.teardown(c, "client unreachable", true)
+			}
+			return
+		}
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindVCIForConn, Cookie: cookie, VCI: c.localVCI, QoS: c.qosStr})
+		conn.Close()
+	})
+	c.state = callEstablished
+	delete(sh.outgoing, c.cookie)
+	sh.Stats.CallsEstablished++
+}
+
+// peerSetupRej is the origin side after rejection.
+func (sh *Sighost) peerSetupRej(from atm.Addr, m sigmsg.Msg) {
+	c, ok := sh.calls[callKey{peer: from, id: m.CallID, origin: true}]
+	if !ok {
+		return
+	}
+	sh.Stats.CallsFailed++
+	sh.notifyClientFailure(c, m.Reason)
+	delete(sh.outgoing, c.cookie)
+	delete(sh.calls, c.key)
+	c.state = callReleased
+}
+
+// notifyClientFailure delivers CONN_FAILED to the client's notify port.
+func (sh *Sighost) notifyClientFailure(c *call, reason string) {
+	cookie := c.cookie
+	sh.env.Dial(c.endIP, c.endPort, func(conn Conn, err error) {
+		if err != nil {
+			return
+		}
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindConnFailed, Cookie: cookie, Reason: reason})
+		conn.Close()
+	})
+}
+
+// peerConnectDone is the destination side when the circuit is
+// programmed: hand the VCI to the server over the held per-call
+// connection, then close it.
+func (sh *Sighost) peerConnectDone(from atm.Addr, m sigmsg.Msg) {
+	c, ok := sh.calls[callKey{peer: from, id: m.CallID, origin: false}]
+	if !ok || c.state != callWaitServer {
+		return
+	}
+	c.state = callEstablished
+	c.localVCI = m.VCI
+	c.qosStr = m.QoS
+	sh.grantVCI(c, m.VCI)
+	delete(sh.incoming, c.cookie)
+	if c.serverConn != nil {
+		sh.sendApp(c.serverConn, sigmsg.Msg{Kind: sigmsg.KindVCIForConn, Cookie: c.cookie, VCI: m.VCI, QoS: m.QoS})
+		c.serverConn.Close()
+		c.serverConn = nil
+	}
+	sh.Stats.CallsEstablished++
+}
+
+// peerRelease tears down the local side of a call at the peer's
+// request. Call IDs are scoped to the originating sighost, so the
+// message's FromOrigin flag selects exactly one local view: a release
+// from the call's origin tears our destination view, and vice versa.
+// (Without the flag, two routers that each originated a call with the
+// same ID toward each other would tear both down.)
+func (sh *Sighost) peerRelease(from atm.Addr, m sigmsg.Msg) {
+	if c, ok := sh.calls[callKey{peer: from, id: m.CallID, origin: !m.FromOrigin}]; ok {
+		sh.teardown(c, m.Reason, false)
+	}
+}
+
+// grantVCI installs the per-VCI cookie and starts the wait_for_bind
+// timer: "sighost keeps a per-VCI timer that is loaded when a VCI is
+// handed to an application. If no bind (resp. connect) indication is
+// received before timeout, the connection is torn down."
+func (sh *Sighost) grantVCI(c *call, vci atm.VCI) {
+	sh.cookies[vci] = c.cookie
+	cancel := sh.env.After(sh.cm.BindTimeout, func() {
+		if bw, ok := sh.waitBind[vci]; ok && bw.c == c {
+			sh.Stats.BindTimeouts++
+			sh.teardown(c, "bind timeout", true)
+		}
+	})
+	sh.waitBind[vci] = &bindWait{c: c, cancel: cancel}
+}
+
+// HandleKernel processes one pseudo-device (or anand-relayed) message.
+// from is the machine whose kernel produced it: the router itself, or
+// an IP-connected host.
+func (sh *Sighost) HandleKernel(from memnet.IPAddr, k kern.KMsg) {
+	sh.Stats.KernelMsgs++
+	sh.tracef("kernel<-%v %v", from, k)
+	switch k.Kind {
+	case kern.MsgBind, kern.MsgConnect:
+		sh.kernelBindConnect(from, k)
+	case kern.MsgClose:
+		sh.kernelClose(from, k)
+	case kern.MsgExit:
+		// Per-socket close indications have already arrived (exit
+		// processing closes descriptors first), so bound circuits are
+		// gone. What remains is the §7.2 case: the process had
+		// *outstanding requests* — calls still being established — and
+		// "the termination indication is needed to allow sighost to
+		// inform the remote router (or host) that the client no longer
+		// exists, and the connection can be torn down."
+		sh.kernelExit(from, k)
+	}
+}
+
+// kernelBindConnect authenticates a bind/connect against the per-VCI
+// cookie table. "If authentication fails, the call is torn down, and
+// the socket marked unusable."
+func (sh *Sighost) kernelBindConnect(from memnet.IPAddr, k kern.KMsg) {
+	if sh.pvcs[k.VCI] {
+		return // signaling's own permanent circuits
+	}
+	want, known := sh.cookies[k.VCI]
+	if !known {
+		// A bind to a VCI signaling never granted: malicious or stale.
+		sh.Stats.AuthFailures++
+		sh.env.KernelDisconnect(from, k.VCI)
+		return
+	}
+	bw, waiting := sh.waitBind[k.VCI]
+	if k.Cookie != want {
+		sh.Stats.AuthFailures++
+		if waiting {
+			sh.teardown(bw.c, "cookie authentication failed", true)
+		} else if c, ok := sh.vciMap[k.VCI]; ok {
+			sh.teardown(c, "cookie authentication failed", true)
+		}
+		sh.env.KernelDisconnect(from, k.VCI)
+		return
+	}
+	if waiting {
+		bw.cancel()
+		delete(sh.waitBind, k.VCI)
+		sh.vciMap[k.VCI] = bw.c
+	}
+}
+
+// kernelExit cancels the dead process's outstanding requests.
+func (sh *Sighost) kernelExit(from memnet.IPAddr, k kern.KMsg) {
+	var doomed []*call
+	for _, req := range sh.outgoing {
+		c := req.c
+		if c.ownerPID != 0 && c.ownerPID == k.PID && c.endIP == from {
+			doomed = append(doomed, c)
+		}
+	}
+	for _, c := range doomed {
+		sh.teardown(c, "client terminated", true)
+	}
+}
+
+// kernelClose tears down the call whose endpoint closed its socket.
+func (sh *Sighost) kernelClose(from memnet.IPAddr, k kern.KMsg) {
+	if sh.pvcs[k.VCI] {
+		return
+	}
+	if c, ok := sh.vciMap[k.VCI]; ok {
+		sh.teardown(c, "socket closed", true)
+		return
+	}
+	if bw, ok := sh.waitBind[k.VCI]; ok {
+		sh.teardown(bw.c, "socket closed before use", true)
+	}
+}
+
+// teardown releases everything this side holds for a call and, when
+// notifyPeer is set, sends RELEASE so the other side does the same.
+func (sh *Sighost) teardown(c *call, reason string, notifyPeer bool) {
+	if c.state == callReleased {
+		return
+	}
+	c.state = callReleased
+	sh.Stats.CallsTorn++
+	sh.tracef("teardown call=%d origin=%v reason=%q", c.key.id, c.key.origin, reason)
+	if sh.cm.LoggingEnabled {
+		sh.env.Charge(sh.cm.TeardownLogging)
+	}
+	if bw, ok := sh.waitBind[c.localVCI]; ok && bw.c == c {
+		bw.cancel()
+		delete(sh.waitBind, c.localVCI)
+	}
+	if sh.vciMap[c.localVCI] == c {
+		delete(sh.vciMap, c.localVCI)
+	}
+	if c.localVCI != 0 {
+		delete(sh.cookies, c.localVCI)
+		// Mark the endpoint's socket unusable (and shut host
+		// forwarding) so no more data flows on the dead circuit.
+		sh.env.KernelDisconnect(c.endIP, c.localVCI)
+	}
+	if c.serverConn != nil {
+		c.serverConn.Close()
+		c.serverConn = nil
+	}
+	delete(sh.outgoing, c.cookie)
+	delete(sh.incoming, c.cookie)
+	delete(sh.calls, c.key)
+	if c.vc != nil {
+		c.vc.Release()
+		c.vc = nil
+	}
+	if notifyPeer {
+		sh.sendPeer(c.key.peer, sigmsg.Msg{
+			Kind: sigmsg.KindRelease, CallID: c.key.id, Reason: reason,
+			FromOrigin: c.key.origin,
+		})
+	}
+}

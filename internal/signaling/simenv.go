@@ -1,0 +1,291 @@
+package signaling
+
+import (
+	"fmt"
+	"time"
+
+	"xunet/internal/anand"
+	"xunet/internal/atm"
+	"xunet/internal/core"
+	"xunet/internal/kern"
+	"xunet/internal/memnet"
+	"xunet/internal/pfxunet"
+	"xunet/internal/qos"
+	"xunet/internal/sigmsg"
+	"xunet/internal/sim"
+	"xunet/internal/xswitch"
+)
+
+// SimHost runs a Sighost on a simulated router: an actor process
+// draining an inbox of closures, fed by the SigPort listener, the local
+// pseudo-device, the anand server, and per-peer PVC readers. All
+// handler execution is serialized through the actor, preserving the
+// paper's single-threaded select()-driven daemon structure.
+type SimHost struct {
+	SH     *Sighost
+	Stack  *core.Stack
+	Fabric *xswitch.Fabric
+	Anand  *anand.Server
+
+	inbox *sim.Queue[func()]
+	actor *sim.Proc
+	peers map[atm.Addr]*pfxunet.Socket
+	env   *simEnv
+}
+
+// signalingPVCQoS reserves a little guaranteed bandwidth for each
+// signaling PVC.
+var signalingPVCQoS = qos.QoS{Class: qos.CBR, BandwidthKbs: 64}
+
+// StartSim launches a signaling entity on a router stack. The entity's
+// cost model derives from the machine's. Call ConnectSighosts to join
+// entities with signaling PVCs before establishing inter-router calls.
+func StartSim(stack *core.Stack, fab *xswitch.Fabric) *SimHost {
+	h := &SimHost{
+		Stack:  stack,
+		Fabric: fab,
+		inbox:  sim.NewQueue[func()](stack.M.E),
+		peers:  make(map[atm.Addr]*pfxunet.Socket),
+	}
+	h.env = &simEnv{h: h}
+	h.SH = New(h.env, CostModel{
+		ContextSwitch:   stack.M.CM.ContextSwitch,
+		CallLogging:     stack.M.CM.CallLogging,
+		TeardownLogging: stack.M.CM.CallLogging / 5,
+		BindTimeout:     stack.M.CM.BindTimeout,
+		LoggingEnabled:  true,
+	})
+	e := stack.M.E
+
+	// Actor loop.
+	h.actor = e.Go(stack.M.Name+"/sighost", func(p *sim.Proc) {
+		for {
+			fn, ok := h.inbox.Get(p)
+			if !ok {
+				return
+			}
+			fn()
+		}
+	})
+
+	// Application RPC listener on the well-known signaling port.
+	e.Go(stack.M.Name+"/sighost-listen", func(p *sim.Proc) {
+		l, err := stack.M.IP.ListenStream(SigPort)
+		if err != nil {
+			return
+		}
+		for {
+			conn, ok := l.Accept(p)
+			if !ok {
+				return
+			}
+			h.pumpConn(conn, conn.RemoteAddr())
+		}
+	})
+
+	// Local pseudo-device reader (the router's own kernel indications).
+	// The handoff is synchronous: the reader does not take the next
+	// message off the device until the actor has processed the current
+	// one, exactly like a select()-driven daemon. While the daemon is
+	// busy, indications back up in the device's bounded buffer — the
+	// loss mechanism of §10.
+	e.Go(stack.M.Name+"/sighost-anand", func(p *sim.Proc) {
+		for {
+			k, ok := stack.M.Dev.ReadUp(p)
+			if !ok {
+				return
+			}
+			from := stack.M.IP.Addr
+			msg := k
+			h.inbox.Put(func() {
+				h.SH.HandleKernel(from, msg)
+				p.Unpark()
+			})
+			p.Park()
+		}
+	})
+
+	// anand server for IP-connected hosts.
+	srv, err := anand.StartServer(stack, AnandPort)
+	if err == nil {
+		h.Anand = srv
+		srv.OnKernel = func(from memnet.IPAddr, k kern.KMsg) {
+			h.inbox.Put(func() { h.SH.HandleKernel(from, k) })
+		}
+	}
+	return h
+}
+
+// pumpConn spawns a reader that feeds messages from an IPC stream into
+// the actor.
+func (h *SimHost) pumpConn(conn *memnet.Stream, from memnet.IPAddr) {
+	h.Stack.M.E.Go(h.Stack.M.Name+"/sighost-conn", func(p *sim.Proc) {
+		for {
+			b, ok := conn.Recv(p)
+			if !ok {
+				return
+			}
+			m, err := sigmsg.Decode(b)
+			if err != nil {
+				continue
+			}
+			c := simConn{s: conn}
+			h.inbox.Put(func() { h.SH.HandleApp(c, from, m) })
+		}
+	})
+}
+
+// ConnectSighosts provisions duplex signaling PVCs between two
+// entities and starts their PVC reader processes.
+func ConnectSighosts(a, b *SimHost) error {
+	if err := connectOneWay(a, b); err != nil {
+		return err
+	}
+	return connectOneWay(b, a)
+}
+
+// connectOneWay builds the a-to-b signaling PVC.
+func connectOneWay(a, b *SimHost) error {
+	vc, err := a.Fabric.SetupVC(a.Stack.Addr, b.Stack.Addr, signalingPVCQoS)
+	if err != nil {
+		return fmt.Errorf("signaling: PVC %s->%s: %w", a.Stack.Addr, b.Stack.Addr, err)
+	}
+	a.SH.AllowPVC(vc.SrcVCI)
+	b.SH.AllowPVC(vc.DstVCI)
+	// Sender side: a PF_XUNET socket connected to the PVC.
+	a.Stack.M.Spawn("sighost-pvc-tx", func(p *kern.Proc) {
+		s, err := a.Stack.PF.Socket(p)
+		if err != nil {
+			return
+		}
+		if err := s.Connect(vc.SrcVCI, 0); err != nil {
+			return
+		}
+		a.peers[b.Stack.Addr] = s
+		p.SP.Park() // hold the socket open for the daemon's lifetime
+	})
+	// Receiver side: a PF_XUNET socket bound to the PVC, pumping frames
+	// into b's actor.
+	from := a.Stack.Addr
+	b.Stack.M.Spawn("sighost-pvc-rx", func(p *kern.Proc) {
+		s, err := b.Stack.PF.Socket(p)
+		if err != nil {
+			return
+		}
+		if err := s.Bind(vc.DstVCI, 0); err != nil {
+			return
+		}
+		for {
+			raw, err := s.Recv()
+			if err != nil {
+				return
+			}
+			m, err := sigmsg.Decode(raw)
+			if err != nil {
+				continue
+			}
+			msg := m
+			b.inbox.Put(func() { b.SH.HandlePeer(from, msg) })
+		}
+	})
+	return nil
+}
+
+// simConn adapts a memnet stream to the signaling Conn interface.
+type simConn struct{ s *memnet.Stream }
+
+func (c simConn) Send(m sigmsg.Msg) error { return c.s.Send(m.Encode()) }
+func (c simConn) Close()                  { c.s.Close() }
+
+// simEnv implements Env on the simulation.
+type simEnv struct {
+	h *SimHost
+}
+
+func (e *simEnv) Addr() atm.Addr         { return e.h.Stack.Addr }
+func (e *simEnv) LocalIP() memnet.IPAddr { return e.h.Stack.M.IP.Addr }
+func (e *simEnv) Rand16() uint16         { return uint16(e.h.Stack.M.E.Rand().Uint64()) }
+
+// Charge makes the actor busy for d; events queue behind it, exactly as
+// a single-threaded daemon backs up.
+func (e *simEnv) Charge(d time.Duration) {
+	if d > 0 {
+		e.h.actor.Sleep(d)
+	}
+}
+
+func (e *simEnv) After(d time.Duration, fn func()) CancelFunc {
+	canceled := false
+	t := e.h.Stack.M.E.Schedule(d, func() {
+		e.h.inbox.Put(func() {
+			if !canceled {
+				fn()
+			}
+		})
+	})
+	return func() {
+		canceled = true
+		t.Stop()
+	}
+}
+
+func (e *simEnv) SendPeer(dst atm.Addr, m sigmsg.Msg) error {
+	if dst == e.h.Stack.Addr {
+		h := e.h
+		h.inbox.Put(func() { h.SH.HandlePeer(dst, m) })
+		return nil
+	}
+	sock, ok := e.h.peers[dst]
+	if !ok {
+		return fmt.Errorf("signaling: no PVC to %s", dst)
+	}
+	return sock.Send(m.Encode())
+}
+
+func (e *simEnv) Dial(ip memnet.IPAddr, port uint16, cb func(Conn, error)) {
+	h := e.h
+	h.Stack.M.E.Go(h.Stack.M.Name+"/sighost-dial", func(p *sim.Proc) {
+		conn, err := h.Stack.M.IP.DialStream(p, ip, port)
+		if err != nil {
+			h.inbox.Put(func() { cb(nil, err) })
+			return
+		}
+		h.inbox.Put(func() { cb(simConn{s: conn}, nil) })
+		// Keep pumping replies (ACCEPT_CONN etc.) into the actor.
+		for {
+			b, ok := conn.Recv(p)
+			if !ok {
+				return
+			}
+			m, derr := sigmsg.Decode(b)
+			if derr != nil {
+				continue
+			}
+			msg := m
+			h.inbox.Put(func() { h.SH.HandleApp(simConn{s: conn}, ip, msg) })
+		}
+	})
+}
+
+func (e *simEnv) SetupVC(dst atm.Addr, q qos.QoS) (*VCHandle, error) {
+	vc, err := e.h.Fabric.SetupVC(e.h.Stack.Addr, dst, q)
+	if err != nil {
+		return nil, err
+	}
+	return &VCHandle{
+		SrcVCI:  vc.SrcVCI,
+		DstVCI:  vc.DstVCI,
+		Cost:    vc.SetupCost(),
+		Release: vc.Release,
+	}, nil
+}
+
+func (e *simEnv) KernelDisconnect(endpoint memnet.IPAddr, vci atm.VCI) {
+	if endpoint == e.h.Stack.M.IP.Addr || endpoint == 0 {
+		e.h.Stack.M.Dev.WriteDown(kern.DownCmd{Kind: kern.DownDisconnect, VCI: vci})
+		return
+	}
+	if e.h.Anand != nil {
+		e.h.Anand.Disconnect(endpoint, vci)
+	}
+}

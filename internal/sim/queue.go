@@ -1,0 +1,136 @@
+package sim
+
+import "time"
+
+// Queue is an unbounded FIFO mailbox connecting simulation entities.
+// Producers Put from engine or process context; consumer processes Get,
+// blocking until an item, a timeout, or Close. Items are handed directly
+// to the longest-waiting consumer, so delivery order is deterministic.
+type Queue[T any] struct {
+	e       *Engine
+	items   []T
+	waiters []*qwaiter[T]
+	closed  bool
+}
+
+type qwaiter[T any] struct {
+	p        *Proc
+	item     T
+	have     bool
+	timedOut bool
+	closed   bool
+}
+
+// NewQueue returns an empty open queue on engine e.
+func NewQueue[T any](e *Engine) *Queue[T] {
+	return &Queue[T]{e: e}
+}
+
+// Len reports the number of buffered (undelivered) items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Put appends v. If a consumer is waiting, v is handed to it directly.
+// Put on a closed queue drops v and reports false. Waiters whose
+// process has been killed are skipped so items are never handed to the
+// dead.
+func (q *Queue[T]) Put(v T) bool {
+	if q.closed {
+		return false
+	}
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.p.done || w.p.killed {
+			continue
+		}
+		w.item, w.have = v, true
+		w.p.Unpark()
+		return true
+	}
+	q.items = append(q.items, v)
+	return true
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Get blocks process p until an item arrives or the queue closes. The
+// second result is false if the queue closed with nothing to deliver.
+func (q *Queue[T]) Get(p *Proc) (T, bool) {
+	v, ok, _ := q.GetTimeout(p, -1)
+	return v, ok
+}
+
+// GetTimeout is Get with a timeout; d < 0 means no timeout. The third
+// result reports whether the wait timed out.
+func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (v T, ok bool, timedOut bool) {
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		return v, true, false
+	}
+	if q.closed {
+		return v, false, false
+	}
+	w := &qwaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	var timer *Timer
+	if d >= 0 {
+		timer = q.e.Schedule(d, func() {
+			if w.have || w.closed || w.timedOut {
+				return
+			}
+			w.timedOut = true
+			q.removeWaiter(w)
+			p.Unpark()
+		})
+	}
+	p.Park()
+	if timer != nil {
+		timer.Stop()
+	}
+	switch {
+	case w.have:
+		return w.item, true, false
+	case w.timedOut:
+		return v, false, true
+	default: // closed
+		return v, false, false
+	}
+}
+
+func (q *Queue[T]) removeWaiter(w *qwaiter[T]) {
+	for i, x := range q.waiters {
+		if x == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Close marks the queue closed and wakes all waiting consumers. Buffered
+// items already queued remain retrievable by TryGet but blocked Gets
+// return not-ok.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	ws := q.waiters
+	q.waiters = nil
+	for _, w := range ws {
+		w.closed = true
+		w.p.Unpark()
+	}
+}

@@ -1,0 +1,329 @@
+// Package sim provides the discrete-event simulation engine under the
+// reproduced Xunet world: a virtual clock, deterministic pseudo-random
+// numbers, cancellable timers, and cooperatively-scheduled processes.
+//
+// Everything in the simulated world — kernels, sighosts, switches,
+// applications — runs on one Engine. Exactly one goroutine executes at a
+// time: either the engine itself (running an event callback) or a single
+// Proc that the engine has resumed. Handoffs are explicit, so simulated
+// code needs no locks and every run with the same seed is bit-for-bit
+// reproducible. Processes may block (Park, Sleep, Queue.Get), which is
+// what lets application code in examples look exactly like the paper's
+// synchronous Figures 5 and 6.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event scheduler with cooperative processes.
+// Create one with New; it is not safe for concurrent use from outside
+// the simulation (the simulation itself is internally serialized).
+type Engine struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	yielded chan struct{}
+	running bool
+	live    int // procs started and not yet finished
+	procs   map[*Proc]struct{}
+	parked  map[*Proc]struct{}
+	rng     *Rand
+	current *Proc // the process currently holding execution, if any
+}
+
+// New returns an engine with its clock at zero and randomness seeded
+// with seed (two engines with equal seeds behave identically).
+func New(seed uint64) *Engine {
+	return &Engine{
+		yielded: make(chan struct{}),
+		procs:   make(map[*Proc]struct{}),
+		parked:  make(map[*Proc]struct{}),
+		rng:     NewRand(seed),
+	}
+}
+
+// Now returns the current virtual time, measured from engine creation.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// event is a scheduled callback.
+type event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the callback was still
+// pending (false if it already ran or was stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	t.ev.canceled = true
+	t.ev.fn = nil
+	return true
+}
+
+// Schedule arranges for fn to run in engine context after virtual delay
+// d (immediately-next if d <= 0). Events at equal times run in the order
+// they were scheduled.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: e.now + d, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Proc is a cooperatively-scheduled simulated process. Its body runs on
+// a dedicated goroutine but only while the engine has handed it control.
+type Proc struct {
+	e          *Engine
+	name       string
+	resume     chan struct{}
+	done       bool
+	killed     bool
+	parked     bool
+	sleepTimer *Timer
+}
+
+// Name returns the name given at Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.e.now }
+
+type killedErr struct{ name string }
+
+func (k killedErr) Error() string { return "sim: process " + k.name + " killed at shutdown" }
+
+// Go spawns a new process running fn. The process becomes runnable at
+// the current virtual time; it first executes when the engine next runs.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.live++
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedErr); !ok {
+					// Re-panic in engine context would deadlock; report loudly.
+					panic(fmt.Sprintf("sim: process %q panicked: %v", name, r))
+				}
+			}
+			p.done = true
+			e.live--
+			delete(e.procs, p)
+			e.yielded <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p and waits for it to yield. It may be
+// called from engine context or (nested) from another process.
+func (e *Engine) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.yielded
+	e.current = prev
+}
+
+// yieldToEngine transfers control from the running process back to the
+// engine and blocks until the engine resumes this process.
+func (p *Proc) yieldToEngine() {
+	p.e.yielded <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedErr{p.name})
+	}
+}
+
+// Park blocks the process until another simulation entity calls Unpark.
+// Parking with no one holding a reference to the process deadlocks the
+// process (but not the engine), which Run reports via Parked.
+func (p *Proc) Park() {
+	p.parked = true
+	p.e.parked[p] = struct{}{}
+	p.yieldToEngine()
+}
+
+// Unpark makes a parked process runnable at the current virtual time.
+// Unparking a process that is not parked is a no-op. May be called from
+// engine or process context.
+func (p *Proc) Unpark() {
+	if !p.parked {
+		return
+	}
+	p.parked = false
+	delete(p.e.parked, p)
+	p.e.Schedule(0, func() { p.e.dispatch(p) })
+}
+
+// Sleep blocks the process for virtual duration d.
+func (p *Proc) Sleep(d time.Duration) {
+	p.sleepTimer = p.e.Schedule(d, func() {
+		p.sleepTimer = nil
+		p.e.dispatch(p)
+	})
+	p.yieldToEngine()
+}
+
+// Done reports whether the process body has returned (or been killed).
+func (p *Proc) Done() bool { return p.done }
+
+// Kill terminates the process: its body unwinds (defers run) the next
+// time it would execute. A parked or sleeping process dies immediately;
+// the current process dies in place. Killing a finished process is a
+// no-op. Kill must be called from engine or process context.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	switch {
+	case p.parked:
+		p.parked = false
+		delete(p.e.parked, p)
+		p.e.Schedule(0, func() { p.e.dispatch(p) })
+	case p.sleepTimer != nil:
+		p.sleepTimer.Stop()
+		p.sleepTimer = nil
+		p.e.Schedule(0, func() { p.e.dispatch(p) })
+	default:
+		// Either running right now (self-kill: unwind immediately) or
+		// already queued for a dispatch that will observe the flag.
+		if p.e.current == p {
+			panic(killedErr{p.name})
+		}
+	}
+}
+
+// Run processes events until none remain. Processes that are still
+// parked when the event queue drains stay parked; Run returns with
+// Parked reporting how many.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the
+// clock to t.
+func (e *Engine) RunUntil(t time.Duration) {
+	if e.running {
+		panic("sim: RunUntil called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && e.events[0].at <= t {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor processes events for virtual duration d from the current time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// Parked reports how many processes are currently parked.
+func (e *Engine) Parked() int { return len(e.parked) }
+
+// Live reports how many processes have been started and not finished.
+func (e *Engine) Live() int { return e.live }
+
+// Pending reports how many events (including canceled placeholders)
+// remain queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Shutdown kills every live process — parked, sleeping, or queued for a
+// dispatch that will never run — so their goroutines exit. Call at the
+// end of a simulation (tests use it via defer) to avoid goroutine
+// leaks. Must not be called while Run is executing.
+func (e *Engine) Shutdown() {
+	for len(e.procs) > 0 {
+		for p := range e.procs {
+			p.killed = true
+			if p.parked {
+				p.parked = false
+				delete(e.parked, p)
+			}
+			if p.sleepTimer != nil {
+				p.sleepTimer.Stop()
+				p.sleepTimer = nil
+			}
+			// Every non-done process is blocked on its resume channel
+			// (the cooperative-scheduling invariant), so a direct
+			// dispatch unwinds it via the kill panic.
+			e.dispatch(p)
+			break // map mutated; restart iteration
+		}
+	}
+}

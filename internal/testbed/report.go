@@ -1,0 +1,103 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xunet/internal/atm"
+	"xunet/internal/qos"
+)
+
+// Report gathers every counter the experiments read — per-router
+// signaling statistics, pseudo-device losses, encapsulation-layer
+// counters, and fabric cell accounting — into one renderable snapshot.
+// cmd/xunetsim prints it; tests use the fields directly.
+type Report struct {
+	Routers []RouterReport
+	// Fabric totals.
+	CellsSent, CellsDropped uint64
+	PerClassSent            [3]uint64
+	PerClassDropped         [3]uint64
+	ActiveVCs               int
+}
+
+// RouterReport is one router's slice of the report.
+type RouterReport struct {
+	Addr string
+	// The five lists of §7.3 plus the cookie table.
+	Services, Outgoing, Incoming, WaitBind, VCIMap, Cookies int
+	// Pseudo-device accounting.
+	DevPosted, DevLost uint64
+	// Encapsulation layer.
+	Switched, ReEncapsulated, OutOfOrder uint64
+	// Signaling stats summary.
+	Established, Torn, Failed, AuthFailures, BindTimeouts uint64
+}
+
+// Snapshot collects a report from a deployment.
+func (n *Net) Snapshot() Report {
+	var r Report
+	r.CellsSent, r.CellsDropped = n.Fabric.TrunkStats()
+	cs := n.Fabric.ClassStats()
+	r.PerClassSent = cs.Sent
+	r.PerClassDropped = cs.Dropped
+	r.ActiveVCs = n.Fabric.ActiveVCs()
+	var addrs []string
+	for addr := range n.Routers {
+		addrs = append(addrs, string(addr))
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		router := n.Routers[atm.Addr(addr)]
+		sh := router.Sig.SH
+		svc, out, in, wb, vm := sh.ListSizes()
+		r.Routers = append(r.Routers, RouterReport{
+			Addr:     addr,
+			Services: svc, Outgoing: out, Incoming: in, WaitBind: wb, VCIMap: vm,
+			Cookies:        sh.CookieCount(),
+			DevPosted:      router.Stack.M.Dev.Posted,
+			DevLost:        router.Stack.M.Dev.Lost,
+			Switched:       router.Stack.ATM.Switched,
+			ReEncapsulated: router.Stack.ATM.ReEncapsulated,
+			OutOfOrder:     router.Stack.ATM.OutOfOrder,
+			Established:    sh.Stats.CallsEstablished,
+			Torn:           sh.Stats.CallsTorn,
+			Failed:         sh.Stats.CallsFailed,
+			AuthFailures:   sh.Stats.AuthFailures,
+			BindTimeouts:   sh.Stats.BindTimeouts,
+		})
+	}
+	return r
+}
+
+// Quiesced reports whether every router's transient state has drained.
+func (r Report) Quiesced() bool {
+	for _, rr := range r.Routers {
+		if rr.Outgoing != 0 || rr.Incoming != 0 || rr.WaitBind != 0 || rr.VCIMap != 0 || rr.Cookies != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report as aligned tables.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fabric: %d cells switched, %d dropped, %d VCs active\n",
+		r.CellsSent, r.CellsDropped, r.ActiveVCs)
+	fmt.Fprintf(&b, "per class (sent/dropped): cbr %d/%d  vbr %d/%d  besteffort %d/%d\n",
+		r.PerClassSent[qos.CBR], r.PerClassDropped[qos.CBR],
+		r.PerClassSent[qos.VBR], r.PerClassDropped[qos.VBR],
+		r.PerClassSent[qos.BestEffort], r.PerClassDropped[qos.BestEffort])
+	fmt.Fprintf(&b, "%-12s %5s %4s %4s %5s %4s %7s | %8s %7s | %6s %5s %5s %5s %5s\n",
+		"router", "svcs", "out", "in", "bind", "vci", "cookies",
+		"dev-post", "dev-lost", "estab", "torn", "fail", "auth", "btmo")
+	for _, rr := range r.Routers {
+		fmt.Fprintf(&b, "%-12s %5d %4d %4d %5d %4d %7d | %8d %7d | %6d %5d %5d %5d %5d\n",
+			rr.Addr, rr.Services, rr.Outgoing, rr.Incoming, rr.WaitBind, rr.VCIMap, rr.Cookies,
+			rr.DevPosted, rr.DevLost,
+			rr.Established, rr.Torn, rr.Failed, rr.AuthFailures, rr.BindTimeouts)
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package testbed
+
+import (
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/kern"
+)
+
+// This file implements the robustness and scaling workloads of §10:
+// "we designed an intensive workload in which a hundred calls were
+// initiated as fast as possible. Each call was held for one second,
+// then torn down."
+
+// StormConfig parameterizes a call storm.
+type StormConfig struct {
+	// Count is the number of calls (the paper's hundred).
+	Count int
+	// Hold is how long each call is held before teardown (one second).
+	Hold time.Duration
+	// FramesPerCall is data sent on each established circuit.
+	FramesPerCall int
+	// BasePort is the first client notify port; each call uses
+	// BasePort+i.
+	BasePort uint16
+	// Stagger delays successive call launches ("as fast as possible"
+	// is zero).
+	Stagger time.Duration
+	// QoS is the per-call descriptor (empty = best effort).
+	QoS string
+	// KillAfter, when positive, kills call i's client process after
+	// this delay past its launch — the §10 termination tests.
+	KillAfter time.Duration
+	// KillEvery kills every k-th client (0 = none).
+	KillEvery int
+}
+
+// StormResult aggregates a storm run.
+type StormResult struct {
+	Results   []CallResult
+	Launched  int
+	Succeeded int
+	Failed    int
+	Killed    int
+	// MaxSetup and MinSetup bound observed establishment latencies of
+	// successful calls; TotalSetup allows averaging.
+	MinSetup, MaxSetup, TotalSetup time.Duration
+}
+
+// Avg returns the mean establishment latency of successful calls.
+func (r *StormResult) Avg() time.Duration {
+	if r.Succeeded == 0 {
+		return 0
+	}
+	return r.TotalSetup / time.Duration(r.Succeeded)
+}
+
+// CallStorm launches cfg.Count concurrent client processes on ep, each
+// performing the Figure 6 flow against dest/service. It returns a
+// result that fills in as the simulation runs; inspect it after the
+// engine has drained.
+func CallStorm(ep Endpoint, dest atm.Addr, service string, cfg StormConfig) *StormResult {
+	if cfg.Count <= 0 {
+		cfg.Count = 100
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = 20000
+	}
+	res := &StormResult{Results: make([]CallResult, cfg.Count)}
+	stack := ep.EndStack()
+	for i := 0; i < cfg.Count; i++ {
+		i := i
+		port := cfg.BasePort + uint16(i)
+		launch := time.Duration(i) * cfg.Stagger
+		proc := stack.Spawn("storm-client", func(p *kern.Proc) {
+			if launch > 0 {
+				p.SP.Sleep(launch)
+			}
+			res.Launched++
+			r := OpenAndUse(ep, p, dest, service, port, cfg.QoS, cfg.FramesPerCall, func(p *kern.Proc) {
+				if cfg.Hold > 0 {
+					p.SP.Sleep(cfg.Hold)
+				}
+			})
+			res.Results[i] = r
+			if r.OK {
+				res.Succeeded++
+				res.TotalSetup += r.SetupTime
+				if res.MinSetup == 0 || r.SetupTime < res.MinSetup {
+					res.MinSetup = r.SetupTime
+				}
+				if r.SetupTime > res.MaxSetup {
+					res.MaxSetup = r.SetupTime
+				}
+			} else {
+				res.Failed++
+			}
+		})
+		if cfg.KillEvery > 0 && i%cfg.KillEvery == 0 && cfg.KillAfter > 0 {
+			victim := proc
+			res.Killed++
+			stack.M.E.Schedule(launch+cfg.KillAfter, func() { victim.Kill() })
+		}
+	}
+	return res
+}

@@ -1,0 +1,324 @@
+// Package testbed composes complete simulated Xunet deployments:
+// routers with signaling entities joined by PVC meshes, IP-connected
+// hosts running anand clients, and the workload generators the paper's
+// experiments use (call storms, echo services, traffic sources).
+//
+// NewTestbed builds the measurement setup of §9 — two SGI 4D/30-class
+// routers across a three hop (two switch) ATM path — and NewXunet
+// builds the five-site nationwide network of §1.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"xunet/internal/anand"
+	"xunet/internal/atm"
+	"xunet/internal/core"
+	"xunet/internal/kern"
+	"xunet/internal/memnet"
+	"xunet/internal/signaling"
+	"xunet/internal/sim"
+	"xunet/internal/ulib"
+	"xunet/internal/xswitch"
+)
+
+// Options tunes a testbed build.
+type Options struct {
+	// Seed drives all simulated randomness (default 1).
+	Seed uint64
+	// DeviceBuffers sizes every machine's pseudo-device (§10: 8
+	// originally, 80 after the fix; default 80 — the fixed
+	// configuration — unless a test sweeps it).
+	DeviceBuffers int
+	// FDTableSize sizes per-process descriptor tables (default
+	// kern.DefaultFDTableSize = 20).
+	FDTableSize int
+	// DisableCallLogging turns off sighost's per-call maintenance
+	// logging (the E3 ablation).
+	DisableCallLogging bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.DeviceBuffers == 0 {
+		o.DeviceBuffers = kern.FixedDeviceBuffers
+	}
+	return o
+}
+
+// Router is a machine with an ATM interface and a signaling entity.
+type Router struct {
+	Stack *core.Stack
+	Sig   *signaling.SimHost
+	Lib   *ulib.Lib
+	site  int
+	hosts int
+}
+
+// Host is an IP-connected machine reaching ATM through its router.
+type Host struct {
+	Stack  *core.Stack
+	Router *Router
+	Lib    *ulib.Lib
+	Anand  *anand.Client
+}
+
+// Net is one assembled deployment.
+type Net struct {
+	E        *sim.Engine
+	CM       sim.CostModel
+	Fabric   *xswitch.Fabric
+	IPNet    *memnet.Network
+	Routers  map[atm.Addr]*Router
+	opts     Options
+	nextSite int
+}
+
+// New builds an empty deployment; add routers and hosts, then Run.
+func New(opts Options) *Net {
+	opts = opts.withDefaults()
+	e := sim.New(opts.Seed)
+	return &Net{
+		E:       e,
+		CM:      sim.DefaultCostModel(),
+		Fabric:  xswitch.NewFabric(e),
+		IPNet:   memnet.New(e),
+		Routers: make(map[atm.Addr]*Router),
+		opts:    opts,
+	}
+}
+
+// AddRouter creates a router attached to sw and starts its signaling
+// entity. Signaling PVCs to all existing routers are provisioned.
+func (n *Net) AddRouter(addr atm.Addr, sw *xswitch.Switch) (*Router, error) {
+	n.nextSite++
+	site := n.nextSite
+	ip := n.IPNet.MustAddNode(string(addr), memnet.IP4(10, byte(site), 0, 1))
+	stack, err := core.NewRouter(n.E, n.CM, core.RouterConfig{
+		Name: string(addr), Addr: addr, IP: ip, Fabric: n.Fabric, Switch: sw,
+		DeviceBuffers: n.opts.DeviceBuffers, FDTableSize: n.opts.FDTableSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{Stack: stack, site: site}
+	r.Sig = signaling.StartSim(stack, n.Fabric)
+	if n.opts.DisableCallLogging {
+		r.Sig.SH.SetLogging(false)
+	}
+	r.Lib = ulib.New(stack, ip.Addr)
+	for _, other := range n.Routers {
+		if err := signaling.ConnectSighosts(r.Sig, other.Sig); err != nil {
+			return nil, err
+		}
+	}
+	n.Routers[addr] = r
+	return r, nil
+}
+
+// AddHost creates an IP-connected host behind a router, wired over
+// FDDI, running an anand client.
+func (n *Net) AddHost(name atm.Addr, r *Router) (*Host, error) {
+	r.hosts++
+	ip := n.IPNet.MustAddNode(string(name), memnet.IP4(10, byte(r.site), 0, byte(10+r.hosts)))
+	routerIP := r.Stack.M.IP
+	n.IPNet.Connect(ip, routerIP, memnet.FDDI())
+	ip.SetDefaultRoute(routerIP)
+	routerIP.AddRoute(ip.Addr, ip)
+	stack := core.NewHost(n.E, n.CM, core.HostConfig{
+		Name: string(name), Addr: name, IP: ip, RouterIP: routerIP.Addr,
+		DeviceBuffers: n.opts.DeviceBuffers, FDTableSize: n.opts.FDTableSize,
+	})
+	h := &Host{Stack: stack, Router: r}
+	h.Lib = ulib.New(stack, routerIP.Addr)
+	h.Anand = anand.StartClient(stack, routerIP.Addr, signaling.AnandPort)
+	return h, nil
+}
+
+// NewTestbed builds the paper's measurement testbed: two routers,
+// mh.rt and ucb.rt, across a three hop (two switch) DS3 path.
+func NewTestbed(opts Options) (*Net, *Router, *Router, error) {
+	n := New(opts)
+	swA, swB := xswitch.Testbed(n.Fabric)
+	ra, err := n.AddRouter("mh.rt", swA)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rb, err := n.AddRouter("ucb.rt", swB)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return n, ra, rb, nil
+}
+
+// NewXunet builds the five-site nationwide Xunet 2 deployment with one
+// router per site.
+func NewXunet(opts Options) (*Net, map[xswitch.XunetSite]*Router, error) {
+	n := New(opts)
+	switches := xswitch.Xunet(n.Fabric)
+	routers := make(map[xswitch.XunetSite]*Router, len(switches))
+	for _, site := range xswitch.XunetSites() {
+		r, err := n.AddRouter(atm.Addr(xswitch.SiteRouterAddr(site)), switches[site])
+		if err != nil {
+			return nil, nil, err
+		}
+		routers[site] = r
+	}
+	return n, routers, nil
+}
+
+// Endpoint is anything applications run on: a Router or a Host.
+type Endpoint interface {
+	EndStack() *core.Stack
+	EndLib() *ulib.Lib
+}
+
+// EndStack implements Endpoint.
+func (r *Router) EndStack() *core.Stack { return r.Stack }
+
+// EndLib implements Endpoint.
+func (r *Router) EndLib() *ulib.Lib { return r.Lib }
+
+// EndStack implements Endpoint.
+func (h *Host) EndStack() *core.Stack { return h.Stack }
+
+// EndLib implements Endpoint.
+func (h *Host) EndLib() *ulib.Lib { return h.Lib }
+
+// EchoServer runs the paper's echo service on an endpoint: it exports
+// the name, then accepts every incoming call, binds the granted VCI and
+// drains received frames, counting them.
+type EchoServer struct {
+	Service string
+	// Received counts frames drained; Accepted counts calls accepted.
+	Received uint64
+	Accepted uint64
+	// ModifyQoS, when non-empty, is the server's counter-offer.
+	ModifyQoS string
+
+	proc    *kern.Proc
+	workers []*kern.Proc
+}
+
+// StartEchoServer launches the Figure 5 flow on ep.
+func StartEchoServer(ep Endpoint, service string, notifyPort uint16) *EchoServer {
+	srv := &EchoServer{Service: service}
+	stack, lib := ep.EndStack(), ep.EndLib()
+	srv.proc = stack.Spawn("echo-server", func(p *kern.Proc) {
+		if err := lib.ExportService(p, service, notifyPort); err != nil {
+			return
+		}
+		kl, err := lib.CreateReceiveConnection(p, notifyPort)
+		if err != nil {
+			return
+		}
+		for {
+			req, err := lib.AwaitServiceRequest(p, kl)
+			if err != nil {
+				return
+			}
+			offer := srv.ModifyQoS
+			if offer == "" {
+				offer = req.QoS
+			}
+			vci, _, err := req.Accept(offer)
+			if err != nil {
+				continue
+			}
+			srv.Accepted++
+			// Spawn a worker to drain the circuit, as the paper's
+			// servers "spawn off a child to do the actual work".
+			cookie := req.Cookie
+			srv.workers = append(srv.workers, stack.Spawn("echo-worker", func(w *kern.Proc) {
+				sock, err := stack.PF.Socket(w)
+				if err != nil {
+					return
+				}
+				if err := sock.Bind(vci, cookie); err != nil {
+					return
+				}
+				for {
+					if _, err := sock.Recv(); err != nil {
+						return
+					}
+					srv.Received++
+				}
+			}))
+		}
+	})
+	return srv
+}
+
+// Kill terminates the server process and its per-call workers
+// (robustness experiments: the whole remote application fails).
+func (s *EchoServer) Kill() {
+	s.proc.Kill()
+	for _, w := range s.workers {
+		w.Kill()
+	}
+}
+
+// CallResult records one client call attempt for the storm workloads.
+type CallResult struct {
+	OK        bool
+	Err       error
+	SetupTime time.Duration // virtual time from request to VCI_FOR_CONN
+	VCI       atm.VCI
+	QoS       string
+}
+
+// OpenAndUse performs the Figure 6 client flow on ep: open a
+// connection, connect a socket with the cookie, send frames, close.
+func OpenAndUse(ep Endpoint, p *kern.Proc, dest atm.Addr, service string, notifyPort uint16, qosStr string, frames int, hold func(*kern.Proc)) CallResult {
+	stack, lib := ep.EndStack(), ep.EndLib()
+	start := p.SP.Now()
+	conn, err := lib.OpenConnection(p, dest, service, notifyPort, "testbed", qosStr)
+	if err != nil {
+		return CallResult{Err: err}
+	}
+	res := CallResult{OK: true, SetupTime: p.SP.Now() - start, VCI: conn.VCI, QoS: conn.QoS}
+	sock, err := stack.PF.Socket(p)
+	if err != nil {
+		return CallResult{Err: err}
+	}
+	if err := sock.Connect(conn.VCI, conn.Cookie); err != nil {
+		return CallResult{Err: err}
+	}
+	if frames > 0 {
+		// The stack is datagram-like: frames sent before the server has
+		// bound its socket are legitimately dropped, so give the far
+		// side a moment to finish its accept_connection/bind sequence.
+		p.SP.Sleep(100 * time.Millisecond)
+	}
+	for i := 0; i < frames; i++ {
+		_ = sock.Send([]byte(fmt.Sprintf("frame %d", i)))
+	}
+	if hold != nil {
+		hold(p)
+	} else if frames > 0 {
+		// Linger so in-flight cells drain before the close tears the
+		// circuit's switch entries down.
+		p.SP.Sleep(100 * time.Millisecond)
+	}
+	sock.Close()
+	return res
+}
+
+// Quiesced asserts that all transient signaling state has drained on a
+// router: outgoing_requests, incoming_requests, wait_for_bind and
+// VCI_mapping empty, and no cookies outstanding. It returns a
+// description of what leaked, or "" when clean.
+func Quiesced(r *Router) string {
+	_, out, in, wb, vm := r.Sig.SH.ListSizes()
+	if out != 0 || in != 0 || wb != 0 || vm != 0 {
+		return fmt.Sprintf("%s lists not empty: outgoing=%d incoming=%d wait_bind=%d vci_map=%d",
+			r.Stack.Addr, out, in, wb, vm)
+	}
+	if c := r.Sig.SH.CookieCount(); c != 0 {
+		return fmt.Sprintf("%s cookies leaked: %d", r.Stack.Addr, c)
+	}
+	return ""
+}

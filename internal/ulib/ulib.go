@@ -1,0 +1,343 @@
+// Package ulib is the user library of §7.1 and §8: the thin layer that
+// hides the RPC message exchanges with the signaling entity so that
+// porting a BSD-socket application to PF_XUNET is a matter of three or
+// four extra calls.
+//
+// The API mirrors the paper's Figures 5 and 6:
+//
+//	Server (Figure 5)                      Client (Figure 6)
+//	-----------------                      -----------------
+//	ExportService("traffic", port)         conn, _ := OpenConnection(...)
+//	l, _ := CreateReceiveConnection(port)  s, _ := PF.Socket(p)
+//	req, _ := AwaitServiceRequest(l)       s.Connect(conn.VCI, conn.Cookie)
+//	vci, _ := req.Accept(qos)              // client sends data
+//	s, _ := PF.Socket(p); s.Bind(vci, ck)
+//
+// Every RPC round trip charges the paper's four context switches: two
+// at the application side (these helpers) and two inside sighost.
+package ulib
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/core"
+	"xunet/internal/kern"
+	"xunet/internal/memnet"
+	"xunet/internal/sigmsg"
+	"xunet/internal/signaling"
+)
+
+// Errors from the library.
+var (
+	ErrRejected  = errors.New("ulib: connection rejected")
+	ErrFailed    = errors.New("ulib: connection failed")
+	ErrProtocol  = errors.New("ulib: unexpected signaling reply")
+	ErrSignaling = errors.New("ulib: signaling entity unreachable")
+	ErrTimeout   = errors.New("ulib: timed out awaiting signaling")
+)
+
+// acceptBackoff is how long AwaitServiceRequest sleeps when the
+// process's descriptor table is full before retrying the accept — the
+// stall behaviour of §10.
+const acceptBackoff = 50 * time.Millisecond
+
+// Lib binds the library to a stack and its signaling entity.
+type Lib struct {
+	stack *core.Stack
+	sigIP memnet.IPAddr
+}
+
+// New returns a library instance talking to the sighost at sigIP
+// (the machine's own router).
+func New(stack *core.Stack, sigIP memnet.IPAddr) *Lib {
+	return &Lib{stack: stack, sigIP: sigIP}
+}
+
+// rpc performs one request/reply exchange with sighost over a fresh
+// IPC connection.
+func (l *Lib) rpc(p *kern.Proc, m sigmsg.Msg) (sigmsg.Msg, error) {
+	p.ContextSwitches(1) // application to kernel
+	ks, err := p.Dial(l.sigIP, signaling.SigPort)
+	if err != nil {
+		return sigmsg.Msg{}, fmt.Errorf("%w: %v", ErrSignaling, err)
+	}
+	defer ks.Close()
+	if err := ks.Send(m.Encode()); err != nil {
+		return sigmsg.Msg{}, fmt.Errorf("%w: %v", ErrSignaling, err)
+	}
+	raw, ok, timedOut := ks.RecvTimeout(time.Minute)
+	if timedOut {
+		return sigmsg.Msg{}, ErrTimeout
+	}
+	if !ok {
+		return sigmsg.Msg{}, ErrSignaling
+	}
+	reply, err := sigmsg.Decode(raw)
+	if err != nil {
+		return sigmsg.Msg{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	p.ContextSwitches(1) // kernel to application
+	if reply.Kind == sigmsg.KindError {
+		return reply, fmt.Errorf("%w: %s", ErrProtocol, reply.Reason)
+	}
+	return reply, nil
+}
+
+// ExportService registers a service name with the signaling entity
+// (the export_service call of Figure 5). notifyPort is where the
+// server will listen for incoming-connection notifications.
+func (l *Lib) ExportService(p *kern.Proc, name string, notifyPort uint16) error {
+	reply, err := l.rpc(p, sigmsg.Msg{Kind: sigmsg.KindExportSrv, Service: name, NotifyPort: notifyPort})
+	if err != nil {
+		return err
+	}
+	if reply.Kind != sigmsg.KindServiceRegs {
+		return fmt.Errorf("%w: %v", ErrProtocol, reply.Kind)
+	}
+	return nil
+}
+
+// UnexportService cancels a registration.
+func (l *Lib) UnexportService(p *kern.Proc, name string) error {
+	reply, err := l.rpc(p, sigmsg.Msg{Kind: sigmsg.KindUnexportSrv, Service: name})
+	if err != nil {
+		return err
+	}
+	if reply.Kind != sigmsg.KindServiceRegs {
+		return fmt.Errorf("%w: %v", ErrProtocol, reply.Kind)
+	}
+	return nil
+}
+
+// CreateReceiveConnection opens the regular TCP listening socket the
+// signaling entity will connect to when a call arrives (Figure 5).
+func (l *Lib) CreateReceiveConnection(p *kern.Proc, port uint16) (*kern.KListener, error) {
+	return p.Listen(port)
+}
+
+// ServiceRequest is one incoming call awaiting the server's decision.
+type ServiceRequest struct {
+	p    *kern.Proc
+	conn *kern.KStream
+	// Cookie is the capability for the coming circuit; QoS the client's
+	// requested descriptor; Comment the client's free-form comment.
+	Cookie  uint16
+	QoS     string
+	Comment string
+	Service string
+}
+
+// AwaitServiceRequest blocks until the signaling entity forwards an
+// incoming connection (the await_service_request call). When the
+// descriptor table is exhausted it backs off and retries, reproducing
+// the establishment stall of §10.
+func (l *Lib) AwaitServiceRequest(p *kern.Proc, kl *kern.KListener) (*ServiceRequest, error) {
+	for {
+		conn, err := kl.Accept()
+		if errors.Is(err, kern.ErrEMFILE) {
+			p.SP.Sleep(acceptBackoff)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		raw, ok := conn.Recv()
+		if !ok {
+			conn.Close()
+			continue
+		}
+		m, err := sigmsg.Decode(raw)
+		if err != nil || m.Kind != sigmsg.KindIncomingConn {
+			conn.Close()
+			continue
+		}
+		p.ContextSwitches(1) // kernel handed the notification up
+		return &ServiceRequest{
+			p: p, conn: conn,
+			Cookie: m.Cookie, QoS: m.QoS, Comment: m.Comment, Service: m.Service,
+		}, nil
+	}
+}
+
+// Accept accepts the call with a possibly modified QoS and returns the
+// circuit: the accept_connection call of Figure 5. The per-call
+// connection is closed afterward (its descriptor parks in TIME_WAIT).
+func (r *ServiceRequest) Accept(modifiedQoS string) (vci atm.VCI, grantedQoS string, err error) {
+	defer r.conn.Close()
+	r.p.ContextSwitches(1)
+	if err := r.conn.Send(sigmsg.Msg{Kind: sigmsg.KindAcceptConn, Cookie: r.Cookie, QoS: modifiedQoS}.Encode()); err != nil {
+		return 0, "", fmt.Errorf("%w: %v", ErrSignaling, err)
+	}
+	raw, ok, timedOut := r.conn.RecvTimeout(time.Minute)
+	if timedOut {
+		return 0, "", ErrTimeout
+	}
+	if !ok {
+		return 0, "", ErrSignaling
+	}
+	m, derr := sigmsg.Decode(raw)
+	if derr != nil || m.Kind != sigmsg.KindVCIForConn {
+		return 0, "", ErrProtocol
+	}
+	r.p.ContextSwitches(1)
+	return m.VCI, m.QoS, nil
+}
+
+// Reject declines the call.
+func (r *ServiceRequest) Reject(reason string) error {
+	defer r.conn.Close()
+	r.p.ContextSwitches(1)
+	return r.conn.Send(sigmsg.Msg{Kind: sigmsg.KindRejectConn, Cookie: r.Cookie, Reason: reason}.Encode())
+}
+
+// Connection is an established client-side circuit.
+type Connection struct {
+	VCI    atm.VCI
+	Cookie uint16
+	QoS    string // negotiated (possibly modified by the server)
+}
+
+// OpenConnection requests a circuit to <dest, service, qos> and blocks
+// until it is established or fails: the open_connection call of
+// Figure 6. notifyPort is a local port on which the library receives
+// the asynchronous VCI_FOR_CONN.
+func (l *Lib) OpenConnection(p *kern.Proc, dest atm.Addr, service string, notifyPort uint16, comment, qosStr string) (*Connection, error) {
+	kl, err := p.Listen(notifyPort)
+	if err != nil {
+		return nil, err
+	}
+	defer kl.Close()
+	reply, err := l.rpc(p, sigmsg.Msg{
+		Kind: sigmsg.KindConnectReq, Dest: dest, Service: service,
+		QoS: qosStr, NotifyPort: notifyPort, Comment: comment, PID: p.PID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind != sigmsg.KindReqID {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, reply.Kind)
+	}
+	cookie := reply.Cookie
+	// Await the asynchronous establishment notification.
+	conn, err := kl.AcceptTimeout(time.Minute)
+	if err != nil {
+		// Best effort cancellation of the dangling request.
+		_, _ = l.rpc(p, sigmsg.Msg{Kind: sigmsg.KindCancelReq, Cookie: cookie})
+		return nil, ErrTimeout
+	}
+	defer conn.Close()
+	raw, ok, timedOut := conn.RecvTimeout(time.Minute)
+	if timedOut || !ok {
+		return nil, ErrTimeout
+	}
+	m, derr := sigmsg.Decode(raw)
+	if derr != nil {
+		return nil, ErrProtocol
+	}
+	p.ContextSwitches(1)
+	switch m.Kind {
+	case sigmsg.KindVCIForConn:
+		return &Connection{VCI: m.VCI, Cookie: cookie, QoS: m.QoS}, nil
+	case sigmsg.KindConnFailed:
+		return nil, fmt.Errorf("%w: %s", ErrFailed, m.Reason)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, m.Kind)
+	}
+}
+
+// Query asks the signaling entity for management state (§5.1): one of
+// signaling.MgmtServices, MgmtCalls, MgmtStats, MgmtLists.
+func (l *Lib) Query(p *kern.Proc, what string) (string, error) {
+	reply, err := l.rpc(p, sigmsg.Msg{Kind: sigmsg.KindMgmtQuery, Service: what})
+	if err != nil {
+		return "", err
+	}
+	if reply.Kind != sigmsg.KindMgmtReply {
+		return "", fmt.Errorf("%w: %v", ErrProtocol, reply.Kind)
+	}
+	return reply.Comment, nil
+}
+
+// PendingConnection is a connect request in flight: the non-blocking
+// open_connection the paper says "would be straightforward to provide".
+type PendingConnection struct {
+	lib    *Lib
+	kl     *kern.KListener
+	Cookie uint16
+}
+
+// OpenConnectionAsync issues the CONNECT_REQ and returns as soon as
+// REQ_ID arrives, without waiting for establishment. The caller may do
+// other work, then Await the circuit (or Cancel it).
+func (l *Lib) OpenConnectionAsync(p *kern.Proc, dest atm.Addr, service string, notifyPort uint16, comment, qosStr string) (*PendingConnection, error) {
+	kl, err := p.Listen(notifyPort)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := l.rpc(p, sigmsg.Msg{
+		Kind: sigmsg.KindConnectReq, Dest: dest, Service: service,
+		QoS: qosStr, NotifyPort: notifyPort, Comment: comment, PID: p.PID,
+	})
+	if err != nil {
+		kl.Close()
+		return nil, err
+	}
+	if reply.Kind != sigmsg.KindReqID {
+		kl.Close()
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, reply.Kind)
+	}
+	return &PendingConnection{lib: l, kl: kl, Cookie: reply.Cookie}, nil
+}
+
+// Await blocks until the circuit is established or fails, then releases
+// the notify listener.
+func (pc *PendingConnection) Await(p *kern.Proc) (*Connection, error) {
+	defer pc.kl.Close()
+	conn, err := pc.kl.AcceptTimeout(time.Minute)
+	if err != nil {
+		_ = pc.lib.CancelRequest(p, pc.Cookie)
+		return nil, ErrTimeout
+	}
+	defer conn.Close()
+	raw, ok, timedOut := conn.RecvTimeout(time.Minute)
+	if timedOut || !ok {
+		return nil, ErrTimeout
+	}
+	m, derr := sigmsg.Decode(raw)
+	if derr != nil {
+		return nil, ErrProtocol
+	}
+	p.ContextSwitches(1)
+	switch m.Kind {
+	case sigmsg.KindVCIForConn:
+		return &Connection{VCI: m.VCI, Cookie: pc.Cookie, QoS: m.QoS}, nil
+	case sigmsg.KindConnFailed:
+		return nil, fmt.Errorf("%w: %s", ErrFailed, m.Reason)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, m.Kind)
+	}
+}
+
+// Cancel withdraws the pending request and releases the listener.
+func (pc *PendingConnection) Cancel(p *kern.Proc) error {
+	pc.kl.Close()
+	return pc.lib.CancelRequest(p, pc.Cookie)
+}
+
+// CancelRequest cancels an outstanding connect request by cookie.
+func (l *Lib) CancelRequest(p *kern.Proc, cookie uint16) error {
+	reply, err := l.rpc(p, sigmsg.Msg{Kind: sigmsg.KindCancelReq, Cookie: cookie})
+	if err != nil {
+		return err
+	}
+	if reply.Kind != sigmsg.KindCancelReq {
+		return fmt.Errorf("%w: %v", ErrProtocol, reply.Kind)
+	}
+	return nil
+}
+
+// Stack returns the library's underlying stack (handy for examples).
+func (l *Lib) Stack() *core.Stack { return l.stack }

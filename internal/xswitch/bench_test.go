@@ -1,0 +1,96 @@
+package xswitch
+
+import (
+	"testing"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/qos"
+	"xunet/internal/sim"
+)
+
+// Wall-clock benchmarks for the fabric substrate: cells switched per
+// second of real time and circuit setup/teardown rate bound the scale
+// of runnable scenarios.
+
+func benchFabric(b *testing.B) (*sim.Engine, *Fabric, *Endpoint, *collector, *VC) {
+	b.Helper()
+	e := sim.New(1)
+	f := NewFabric(e)
+	swA, swB := Testbed(f)
+	sink := &collector{e: e}
+	epA, err := f.Attach("a", nil, swA, TAXI())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Attach("b", sink, swB, TAXI()); err != nil {
+		b.Fatal(err)
+	}
+	vc, err := f.SetupVC("a", "b", qos.BestEffortQoS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, f, epA, sink, vc
+}
+
+func BenchmarkCellSwitching(b *testing.B) {
+	e, _, epA, sink, vc := benchFabric(b)
+	c := atm.Cell{Header: atm.Header{VCI: vc.SrcVCI}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epA.SendCell(c)
+		if i%1024 == 1023 {
+			// Advance virtual time enough to drain the burst through
+			// the slowest hop (1024 cells ≈ 9.7 ms on the 45 Mb/s DS3),
+			// keeping queues below their limits.
+			e.RunFor(12 * time.Millisecond)
+		}
+	}
+	e.Run()
+	b.StopTimer()
+	if len(sink.cells) != b.N {
+		b.Fatalf("delivered %d of %d", len(sink.cells), b.N)
+	}
+}
+
+func BenchmarkVCSetupRelease(b *testing.B) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	swA, swB := Testbed(f)
+	f.Attach("a", nil, swA, TAXI())
+	f.Attach("b", nil, swB, TAXI())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vc, err := f.SetupVC("a", "b", qos.QoS{Class: qos.CBR, BandwidthKbs: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vc.Release()
+	}
+}
+
+func BenchmarkFrameAcrossTestbed(b *testing.B) {
+	// One 1500-byte frame = 32 cells across the 3-hop path.
+	e, _, epA, sink, vc := benchFabric(b)
+	cells := make([]atm.Cell, 32)
+	for i := range cells {
+		cells[i].VCI = vc.SrcVCI
+		if i == len(cells)-1 {
+			cells[i].PTI = atm.PTIUserData1
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range cells {
+			epA.SendCell(cells[j])
+		}
+		e.Run()
+	}
+	b.StopTimer()
+	if len(sink.cells) != 32*b.N {
+		b.Fatalf("delivered %d", len(sink.cells))
+	}
+}

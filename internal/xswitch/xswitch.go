@@ -1,0 +1,568 @@
+// Package xswitch simulates the Xunet 2 wide-area ATM network: cell
+// switches with per-port VCI translation tables, finite per-class output
+// queues drained by a weighted-round-robin scheduler (the scheduling
+// discipline of Saran, Keshav, Kalmanek and Morgan, the paper's
+// reference [17]), DS3 and OC-12 trunk models, and hop-by-hop switched
+// virtual circuit setup with per-link admission control.
+//
+// The paper's testbed was "two routers (SGI 4D/30 workstations), with a
+// three hop (two switch) ATM path between them"; Topology helpers in
+// this package rebuild that testbed and the five-site Xunet map.
+//
+// Control-plane note: Xunet's switches were programmed by a proprietary
+// signaling protocol. This reproduction keeps the switch tables and
+// per-hop VCI allocation real but drives them through direct Fabric
+// calls from the signaling entity, charging a per-hop programming cost
+// in virtual time (DESIGN.md §2 records the substitution).
+package xswitch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/qos"
+	"xunet/internal/sim"
+)
+
+// LinkConfig describes one direction of a cell trunk.
+type LinkConfig struct {
+	RateBps    uint64        // line rate
+	Delay      time.Duration // propagation delay
+	QueueCells int           // per-class output queue limit, in cells
+}
+
+// DS3 returns the 45 Mb/s long-distance trunk profile of Xunet 2.
+func DS3(delay time.Duration) LinkConfig {
+	return LinkConfig{RateBps: 45_000_000, Delay: delay, QueueCells: 2048}
+}
+
+// OC12 returns the 622 Mb/s optically-amplified trunk profile.
+func OC12(delay time.Duration) LinkConfig {
+	return LinkConfig{RateBps: 622_000_000, Delay: delay, QueueCells: 4096}
+}
+
+// TAXI returns the host-interface attachment profile (the Hobbit board's
+// 100 Mb/s-class local link).
+func TAXI() LinkConfig {
+	return LinkConfig{RateBps: 100_000_000, Delay: 10 * time.Microsecond, QueueCells: 2048}
+}
+
+// CellSink receives cells delivered to an attached endpoint.
+type CellSink interface {
+	ReceiveCell(c atm.Cell)
+}
+
+// perHopSetupCost is the virtual time charged per switch programmed
+// during VC setup.
+const perHopSetupCost = 500 * time.Microsecond
+
+// Errors from the fabric.
+var (
+	ErrNoPath     = errors.New("xswitch: no path between endpoints")
+	ErrNoVCI      = errors.New("xswitch: VCI space exhausted on link")
+	ErrUnknownVC  = errors.New("xswitch: unknown virtual circuit")
+	ErrDupName    = errors.New("xswitch: duplicate element name")
+	ErrNotRunning = errors.New("xswitch: element not attached")
+)
+
+// node is anything cells move between: a switch or an endpoint.
+type node interface {
+	name() string
+	// inject receives a cell arriving over link l.
+	inject(l *trunk, c atm.Cell)
+}
+
+// trunk is one direction of a cell link between two nodes.
+type trunk struct {
+	fabric *Fabric
+	from   node
+	to     node
+	cfg    LinkConfig
+	book   *qos.Book
+
+	// Three class queues (index qos.Class) drained by WRR.
+	queues    [3][]atm.Cell
+	draining  bool
+	rrCredit  [3]int
+	busyUntil time.Duration
+
+	// VCI allocation on this trunk. pair is the reverse trunk of the
+	// duplex link; VCIs are reserved on both directions together so that
+	// a machine's send and receive VCIs never collide numerically in
+	// its VCI-indexed protocol control block table.
+	pair    *trunk
+	usedVCI map[atm.VCI]bool
+	nextVCI atm.VCI
+
+	// Counters for experiments.
+	Sent         uint64
+	Dropped      uint64
+	perClass     [3]uint64
+	perClassDrop [3]uint64
+	classVCIs    map[atm.VCI]qos.Class
+}
+
+// wrrWeights drain CBR most aggressively, then VBR, then best effort —
+// a two-level approximation of the hierarchical round robin of [17].
+var wrrWeights = [3]int{1, 4, 16} // BestEffort, VBR, CBR (by qos.Class value)
+
+func newTrunk(f *Fabric, from, to node, cfg LinkConfig) *trunk {
+	if cfg.QueueCells <= 0 {
+		cfg.QueueCells = 256
+	}
+	return &trunk{
+		fabric:    f,
+		from:      from,
+		to:        to,
+		cfg:       cfg,
+		book:      qos.NewBook(cfg.RateBps / 1000), // book in kb/s
+		usedVCI:   make(map[atm.VCI]bool),
+		nextVCI:   32, // low VCIs reserved for PVCs and management
+		classVCIs: make(map[atm.VCI]qos.Class),
+	}
+}
+
+// allocVCI reserves an unused VCI on this trunk (and its reverse
+// direction, when paired).
+func (t *trunk) allocVCI() (atm.VCI, error) {
+	for i := 0; i < int(atm.MaxVCI); i++ {
+		v := t.nextVCI
+		t.nextVCI++
+		if t.nextVCI > atm.MaxVCI {
+			t.nextVCI = 32
+		}
+		if v >= 32 && !t.usedVCI[v] && (t.pair == nil || !t.pair.usedVCI[v]) {
+			t.usedVCI[v] = true
+			if t.pair != nil {
+				t.pair.usedVCI[v] = true
+			}
+			return v, nil
+		}
+	}
+	return 0, ErrNoVCI
+}
+
+func (t *trunk) freeVCI(v atm.VCI) {
+	delete(t.usedVCI, v)
+	delete(t.classVCIs, v)
+	if t.pair != nil {
+		delete(t.pair.usedVCI, v)
+	}
+}
+
+// send enqueues a cell for transmission, classifying it by its VCI's
+// service class. Queue overflow drops the cell (AAL5 detects the loss).
+func (t *trunk) send(c atm.Cell) {
+	cls := t.classVCIs[c.VCI] // zero value = BestEffort
+	q := &t.queues[cls]
+	if len(*q) >= t.cfg.QueueCells {
+		t.Dropped++
+		t.perClassDrop[cls]++
+		return
+	}
+	*q = append(*q, c)
+	if !t.draining {
+		t.drain()
+	}
+}
+
+// drain transmits queued cells at line rate, one event per cell,
+// picking the next cell by weighted round robin across class queues.
+func (t *trunk) drain() {
+	cls, ok := t.pick()
+	if !ok {
+		t.draining = false
+		return
+	}
+	t.draining = true
+	c := t.queues[cls][0]
+	t.queues[cls] = t.queues[cls][1:]
+	t.Sent++
+	t.perClass[cls]++
+	e := t.fabric.Engine
+	var ser time.Duration
+	if t.cfg.RateBps > 0 {
+		ser = time.Duration(uint64(atm.CellSize*8) * uint64(time.Second) / t.cfg.RateBps)
+	}
+	to, l := t.to, t
+	e.Schedule(ser, func() {
+		e.Schedule(l.cfg.Delay, func() { to.inject(l, c) })
+		t.drain()
+	})
+}
+
+// pick chooses the next class queue to serve: highest class first until
+// its WRR credit is spent, then the next, replenishing when all are idle
+// or exhausted.
+func (t *trunk) pick() (qos.Class, bool) {
+	for pass := 0; pass < 2; pass++ {
+		for cls := int(qos.CBR); cls >= int(qos.BestEffort); cls-- {
+			if len(t.queues[cls]) > 0 && t.rrCredit[cls] > 0 {
+				t.rrCredit[cls]--
+				return qos.Class(cls), true
+			}
+		}
+		// Replenish credits and retry once.
+		t.rrCredit = wrrWeights
+	}
+	return 0, false
+}
+
+// Stats reports (sent, dropped) cell counts for the trunk.
+func (t *trunk) stats() (sent, dropped uint64) { return t.Sent, t.Dropped }
+
+// Switch is one ATM cell switch.
+type Switch struct {
+	Name   string
+	fabric *Fabric
+	trunks []*trunk // outgoing trunks
+	table  map[tabKey]tabVal
+
+	// Switched counts cells relayed; Unroutable counts cells with no
+	// table entry.
+	Switched   uint64
+	Unroutable uint64
+}
+
+type tabKey struct {
+	in  *trunk // arriving trunk
+	vci atm.VCI
+}
+
+type tabVal struct {
+	out *trunk
+	vci atm.VCI
+}
+
+func (s *Switch) name() string { return s.Name }
+
+// inject switches an arriving cell: translate (port, VCI) and forward.
+func (s *Switch) inject(l *trunk, c atm.Cell) {
+	v, ok := s.table[tabKey{in: l, vci: c.VCI}]
+	if !ok {
+		s.Unroutable++
+		return
+	}
+	s.Switched++
+	c.VCI = v.vci
+	v.out.send(c)
+}
+
+// Endpoint is an attachment point for a host interface.
+type Endpoint struct {
+	Addr   atm.Addr
+	fabric *Fabric
+	sink   CellSink
+	uplink *trunk // endpoint -> first switch
+	// downlink is the reverse trunk (switch -> endpoint); kept for
+	// VCI bookkeeping on the receiving side.
+	downlink *trunk
+}
+
+func (ep *Endpoint) name() string { return string(ep.Addr) }
+
+func (ep *Endpoint) inject(l *trunk, c atm.Cell) {
+	if ep.sink != nil {
+		ep.sink.ReceiveCell(c)
+	}
+}
+
+// SendCell transmits one cell from the endpoint into the fabric.
+func (ep *Endpoint) SendCell(c atm.Cell) { ep.uplink.send(c) }
+
+// Fabric is the whole ATM network: switches, endpoints and trunks.
+type Fabric struct {
+	Engine    *sim.Engine
+	switches  map[string]*Switch
+	endpoints map[atm.Addr]*Endpoint
+	vcs       map[vcID]*VC
+	nextVC    uint64
+}
+
+type vcID uint64
+
+// NewFabric returns an empty fabric on engine e.
+func NewFabric(e *sim.Engine) *Fabric {
+	return &Fabric{
+		Engine:    e,
+		switches:  make(map[string]*Switch),
+		endpoints: make(map[atm.Addr]*Endpoint),
+		vcs:       make(map[vcID]*VC),
+	}
+}
+
+// AddSwitch creates a switch.
+func (f *Fabric) AddSwitch(name string) (*Switch, error) {
+	if _, dup := f.switches[name]; dup {
+		return nil, fmt.Errorf("%w: switch %s", ErrDupName, name)
+	}
+	s := &Switch{Name: name, fabric: f, table: make(map[tabKey]tabVal)}
+	f.switches[name] = s
+	return s, nil
+}
+
+// MustAddSwitch is AddSwitch for scenario construction.
+func (f *Fabric) MustAddSwitch(name string) *Switch {
+	s, err := f.AddSwitch(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ConnectSwitches joins two switches with a duplex trunk.
+func (f *Fabric) ConnectSwitches(a, b *Switch, cfg LinkConfig) {
+	ab := newTrunk(f, a, b, cfg)
+	ba := newTrunk(f, b, a, cfg)
+	ab.pair, ba.pair = ba, ab
+	a.trunks = append(a.trunks, ab)
+	b.trunks = append(b.trunks, ba)
+}
+
+// Attach connects an endpoint (host interface) to a switch.
+func (f *Fabric) Attach(addr atm.Addr, sink CellSink, sw *Switch, cfg LinkConfig) (*Endpoint, error) {
+	if _, dup := f.endpoints[addr]; dup {
+		return nil, fmt.Errorf("%w: endpoint %s", ErrDupName, addr)
+	}
+	ep := &Endpoint{Addr: addr, fabric: f, sink: sink}
+	up := newTrunk(f, ep, sw, cfg)
+	down := newTrunk(f, sw, ep, cfg)
+	up.pair, down.pair = down, up
+	ep.uplink = up
+	ep.downlink = down
+	sw.trunks = append(sw.trunks, down)
+	f.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Endpoint looks up an attachment by address.
+func (f *Fabric) Endpoint(addr atm.Addr) *Endpoint { return f.endpoints[addr] }
+
+// SetSink installs the cell receiver for an endpoint (used when the
+// host interface is built after attachment).
+func (ep *Endpoint) SetSink(s CellSink) { ep.sink = s }
+
+// VC is an established simplex switched virtual circuit.
+type VC struct {
+	id     vcID
+	fabric *Fabric
+	From   atm.Addr
+	To     atm.Addr
+	QoS    qos.QoS
+	// SrcVCI is the VCI the source endpoint transmits on; DstVCI is the
+	// VCI cells carry when they arrive at the destination endpoint.
+	SrcVCI atm.VCI
+	DstVCI atm.VCI
+
+	hops     []hop
+	released bool
+}
+
+type hop struct {
+	sw      *Switch
+	in      *trunk
+	inVCI   atm.VCI
+	out     *trunk
+	outVCI  atm.VCI
+	bookKey uint32
+}
+
+// pathStep pairs a switch with the trunk used to reach the next element.
+type pathStep struct {
+	sw  *Switch
+	out *trunk
+}
+
+// findPath runs BFS from the source endpoint's switch to the
+// destination endpoint, returning the switch sequence and the outgoing
+// trunk each uses.
+func (f *Fabric) findPath(from, to *Endpoint) ([]pathStep, error) {
+	first, ok := from.uplink.to.(*Switch)
+	if !ok {
+		return nil, ErrNoPath
+	}
+	type queued struct {
+		sw   *Switch
+		path []pathStep
+	}
+	visited := map[*Switch]bool{first: true}
+	q := []queued{{sw: first}}
+	for len(q) > 0 {
+		cur := q[0]
+		q = q[1:]
+		for _, t := range cur.sw.trunks {
+			switch nxt := t.to.(type) {
+			case *Endpoint:
+				if nxt == to {
+					return append(cur.path, pathStep{sw: cur.sw, out: t}), nil
+				}
+			case *Switch:
+				if !visited[nxt] {
+					visited[nxt] = true
+					np := append(append([]pathStep(nil), cur.path...), pathStep{sw: cur.sw, out: t})
+					q = append(q, queued{sw: nxt, path: np})
+				}
+			}
+		}
+	}
+	return nil, ErrNoPath
+}
+
+// SetupVC establishes a simplex switched virtual circuit from one
+// endpoint to another with the given QoS, allocating a VCI on every
+// hop, booking admission control on every trunk, and programming each
+// switch's translation table. Virtual time advances by the per-hop
+// programming cost. On any failure the partial setup is unwound.
+func (f *Fabric) SetupVC(from, to atm.Addr, q qos.QoS) (*VC, error) {
+	src, ok := f.endpoints[from]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotRunning, from)
+	}
+	dst, ok := f.endpoints[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotRunning, to)
+	}
+	steps, err := f.findPath(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	f.nextVC++
+	vc := &VC{id: vcID(f.nextVC), fabric: f, From: from, To: to, QoS: q}
+
+	// Trunk sequence: src.uplink, then each step's outgoing trunk.
+	in := src.uplink
+	inVCI, err := f.admitHop(vc, in, q)
+	if err != nil {
+		vc.unwind()
+		return nil, err
+	}
+	vc.SrcVCI = inVCI
+	for _, st := range steps {
+		outVCI, err := f.admitHop(vc, st.out, q)
+		if err != nil {
+			vc.unwind()
+			return nil, err
+		}
+		st.sw.table[tabKey{in: in, vci: inVCI}] = tabVal{out: st.out, vci: outVCI}
+		vc.hops[len(vc.hops)-1].sw = st.sw
+		vc.hops[len(vc.hops)-1].in = in
+		vc.hops[len(vc.hops)-1].inVCI = inVCI
+		in, inVCI = st.out, outVCI
+	}
+	vc.DstVCI = inVCI
+	f.vcs[vc.id] = vc
+	return vc, nil
+}
+
+// SetupCost is the virtual time a caller should charge for programming
+// the circuit's switches (the signaling process sleeps this long; the
+// fabric itself cannot advance the clock synchronously).
+func (vc *VC) SetupCost() time.Duration {
+	nswitches := 0
+	for _, h := range vc.hops {
+		if h.sw != nil {
+			nswitches++
+		}
+	}
+	return time.Duration(nswitches) * perHopSetupCost
+}
+
+// admitHop books one trunk and allocates a VCI on it, recording the hop
+// for release.
+func (f *Fabric) admitHop(vc *VC, t *trunk, q qos.QoS) (atm.VCI, error) {
+	key, err := t.book.Admit(q)
+	if err != nil {
+		return 0, err
+	}
+	v, err := t.allocVCI()
+	if err != nil {
+		t.book.Release(key)
+		return 0, err
+	}
+	t.classVCIs[v] = q.Class
+	vc.hops = append(vc.hops, hop{out: t, outVCI: v, bookKey: key})
+	return v, nil
+}
+
+// unwind releases a partially built VC.
+func (vc *VC) unwind() {
+	for _, h := range vc.hops {
+		if h.sw != nil {
+			delete(h.sw.table, tabKey{in: h.in, vci: h.inVCI})
+		}
+		h.out.freeVCI(h.outVCI)
+		h.out.book.Release(h.bookKey)
+	}
+	vc.hops = nil
+}
+
+// Release tears the circuit down, freeing VCIs, bookings and table
+// entries. It is idempotent.
+func (vc *VC) Release() {
+	if vc.released {
+		return
+	}
+	vc.released = true
+	vc.unwind()
+	delete(vc.fabric.vcs, vc.id)
+}
+
+// Hops reports the number of trunks the circuit crosses (the paper's
+// testbed path is "three hop (two switch)").
+func (vc *VC) Hops() int { return len(vc.hops) }
+
+// ActiveVCs reports the number of established circuits.
+func (f *Fabric) ActiveVCs() int { return len(f.vcs) }
+
+// TrunkStats sums (sent, dropped) cells over every trunk in the fabric.
+func (f *Fabric) TrunkStats() (sent, dropped uint64) {
+	s := f.ClassStats()
+	for cls := 0; cls < 3; cls++ {
+		sent += s.Sent[cls]
+		dropped += s.Dropped[cls]
+	}
+	return sent, dropped
+}
+
+// ClassCellStats breaks fabric cell counts down by service class
+// (indexed by qos.Class), for the scheduler-protection experiments.
+type ClassCellStats struct {
+	Sent    [3]uint64
+	Dropped [3]uint64
+}
+
+// LossRate reports the drop fraction for one class (0 when idle).
+func (s ClassCellStats) LossRate(c qos.Class) float64 {
+	total := s.Sent[c] + s.Dropped[c]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Dropped[c]) / float64(total)
+}
+
+// ClassStats sums per-class cell counts over every trunk.
+func (f *Fabric) ClassStats() ClassCellStats {
+	var out ClassCellStats
+	seen := map[*trunk]bool{}
+	visit := func(ts []*trunk) {
+		for _, t := range ts {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			for cls := 0; cls < 3; cls++ {
+				out.Sent[cls] += t.perClass[cls]
+				out.Dropped[cls] += t.perClassDrop[cls]
+			}
+		}
+	}
+	for _, sw := range f.switches {
+		visit(sw.trunks)
+	}
+	for _, ep := range f.endpoints {
+		visit([]*trunk{ep.uplink, ep.downlink})
+	}
+	return out
+}

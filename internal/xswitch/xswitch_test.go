@@ -1,0 +1,399 @@
+package xswitch
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/qos"
+	"xunet/internal/sim"
+)
+
+// collector is a CellSink recording arrivals.
+type collector struct {
+	e     *sim.Engine
+	cells []atm.Cell
+	times []time.Duration
+}
+
+func (c *collector) ReceiveCell(cell atm.Cell) {
+	c.cells = append(c.cells, cell)
+	c.times = append(c.times, c.e.Now())
+}
+
+// testbed builds the paper's 3-hop/2-switch path with two endpoints.
+func testbed(t *testing.T) (*sim.Engine, *Fabric, *Endpoint, *Endpoint, *collector, *collector) {
+	t.Helper()
+	e := sim.New(1)
+	f := NewFabric(e)
+	swA, swB := Testbed(f)
+	ca, cb := &collector{e: e}, &collector{e: e}
+	epA, err := f.Attach("mh.rt", ca, swA, TAXI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := f.Attach("ucb.rt", cb, swB, TAXI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, f, epA, epB, ca, cb
+}
+
+func TestSetupVCThreeHops(t *testing.T) {
+	_, f, _, _, _, _ := testbed(t)
+	vc, err := f.SetupVC("mh.rt", "ucb.rt", qos.BestEffortQoS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Hops() != 3 {
+		t.Fatalf("hops = %d, want 3 (paper's testbed)", vc.Hops())
+	}
+	if vc.SetupCost() != 2*perHopSetupCost {
+		t.Fatalf("setup cost = %v", vc.SetupCost())
+	}
+	if f.ActiveVCs() != 1 {
+		t.Fatalf("active VCs = %d", f.ActiveVCs())
+	}
+	vc.Release()
+	if f.ActiveVCs() != 0 {
+		t.Fatalf("active VCs after release = %d", f.ActiveVCs())
+	}
+	vc.Release() // idempotent
+}
+
+func TestCellDeliveryAndTranslation(t *testing.T) {
+	e, f, epA, _, _, cb := testbed(t)
+	vc, err := f.SetupVC("mh.rt", "ucb.rt", qos.BestEffortQoS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := atm.Cell{Header: atm.Header{VCI: vc.SrcVCI, PTI: atm.PTIUserData1}}
+	c.Payload[0] = 0xAB
+	epA.SendCell(c)
+	e.Run()
+	if len(cb.cells) != 1 {
+		t.Fatalf("delivered %d cells", len(cb.cells))
+	}
+	got := cb.cells[0]
+	if got.VCI != vc.DstVCI {
+		t.Fatalf("arrived on %v, want %v", got.VCI, vc.DstVCI)
+	}
+	if got.Payload[0] != 0xAB || !got.EndOfFrame() {
+		t.Fatal("payload or PTI corrupted in transit")
+	}
+}
+
+func TestUnknownVCIDropped(t *testing.T) {
+	e, f, epA, _, _, cb := testbed(t)
+	epA.SendCell(atm.Cell{Header: atm.Header{VCI: 999}})
+	e.Run()
+	if len(cb.cells) != 0 {
+		t.Fatal("cell on unprogrammed VCI delivered")
+	}
+	var unroutable uint64
+	for _, sw := range f.switches {
+		unroutable += sw.Unroutable
+	}
+	if unroutable != 1 {
+		t.Fatalf("unroutable = %d", unroutable)
+	}
+}
+
+func TestCellOrderPreserved(t *testing.T) {
+	e, f, epA, _, _, cb := testbed(t)
+	vc, _ := f.SetupVC("mh.rt", "ucb.rt", qos.BestEffortQoS)
+	const n = 100
+	for i := 0; i < n; i++ {
+		c := atm.Cell{Header: atm.Header{VCI: vc.SrcVCI}}
+		c.Payload[0] = byte(i)
+		epA.SendCell(c)
+	}
+	e.Run()
+	if len(cb.cells) != n {
+		t.Fatalf("delivered %d of %d", len(cb.cells), n)
+	}
+	for i, c := range cb.cells {
+		if c.Payload[0] != byte(i) {
+			t.Fatalf("cell %d out of order", i)
+		}
+	}
+}
+
+func TestTwoVCsGetDistinctVCIs(t *testing.T) {
+	_, f, _, _, _, _ := testbed(t)
+	vc1, _ := f.SetupVC("mh.rt", "ucb.rt", qos.BestEffortQoS)
+	vc2, _ := f.SetupVC("mh.rt", "ucb.rt", qos.BestEffortQoS)
+	if vc1.SrcVCI == vc2.SrcVCI {
+		t.Fatal("source VCIs collide")
+	}
+	if vc1.DstVCI == vc2.DstVCI {
+		t.Fatal("destination VCIs collide")
+	}
+}
+
+func TestDuplexVCIsDoNotCollideAtEndpoint(t *testing.T) {
+	// A machine's PCB table is indexed by VCI alone, so a VC it sends
+	// on and a VC it receives on must never share a number.
+	_, f, _, _, _, _ := testbed(t)
+	seen := map[atm.VCI]bool{}
+	for i := 0; i < 10; i++ {
+		ab, err := f.SetupVC("mh.rt", "ucb.rt", qos.BestEffortQoS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := f.SetupVC("ucb.rt", "mh.rt", qos.BestEffortQoS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At mh.rt: sends on ab.SrcVCI, receives on ba.DstVCI.
+		for _, v := range []atm.VCI{ab.SrcVCI, ba.DstVCI} {
+			if seen[v] {
+				t.Fatalf("VCI %v reused at mh.rt", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	_, f, _, _, _, _ := testbed(t)
+	// DS3 trunk is 45 Mb/s = 45000 kb/s. Fill it with CBR.
+	var vcs []*VC
+	for i := 0; i < 4; i++ {
+		vc, err := f.SetupVC("mh.rt", "ucb.rt", qos.QoS{Class: qos.CBR, BandwidthKbs: 10000})
+		if err != nil {
+			t.Fatalf("vc %d: %v", i, err)
+		}
+		vcs = append(vcs, vc)
+	}
+	// A fifth 10 Mb/s CBR circuit exceeds 45 Mb/s.
+	if _, err := f.SetupVC("mh.rt", "ucb.rt", qos.QoS{Class: qos.CBR, BandwidthKbs: 10000}); !errors.Is(err, qos.ErrAdmission) {
+		t.Fatalf("admission err = %v", err)
+	}
+	// Best effort still admitted.
+	if _, err := f.SetupVC("mh.rt", "ucb.rt", qos.BestEffortQoS); err != nil {
+		t.Fatalf("best effort rejected: %v", err)
+	}
+	// Releasing one reservation frees capacity.
+	vcs[0].Release()
+	if _, err := f.SetupVC("mh.rt", "ucb.rt", qos.QoS{Class: qos.CBR, BandwidthKbs: 10000}); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestFailedSetupLeavesNoResidue(t *testing.T) {
+	_, f, _, _, _, _ := testbed(t)
+	big := qos.QoS{Class: qos.CBR, BandwidthKbs: 40000}
+	vc1, err := f.SetupVC("mh.rt", "ucb.rt", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second big circuit fails at the DS3; the TAXI hops already
+	// admitted must be unwound.
+	if _, err := f.SetupVC("mh.rt", "ucb.rt", big); err == nil {
+		t.Fatal("oversubscription admitted")
+	}
+	vc1.Release()
+	// Full capacity must now be available again on every hop.
+	vc2, err := f.SetupVC("mh.rt", "ucb.rt", big)
+	if err != nil {
+		t.Fatalf("resetup failed, leaked bookings: %v", err)
+	}
+	vc2.Release()
+}
+
+func TestNoPath(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	swA := f.MustAddSwitch("a")
+	swB := f.MustAddSwitch("b") // not connected
+	f.Attach("x", nil, swA, TAXI())
+	f.Attach("y", nil, swB, TAXI())
+	if _, err := f.SetupVC("x", "y", qos.BestEffortQoS); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownEndpoint(t *testing.T) {
+	_, f, _, _, _, _ := testbed(t)
+	if _, err := f.SetupVC("mh.rt", "nowhere.rt", qos.BestEffortQoS); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := f.SetupVC("nowhere.rt", "mh.rt", qos.BestEffortQoS); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateNames(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	f.MustAddSwitch("a")
+	if _, err := f.AddSwitch("a"); !errors.Is(err, ErrDupName) {
+		t.Fatalf("err = %v", err)
+	}
+	sw := f.MustAddSwitch("b")
+	f.Attach("ep", nil, sw, TAXI())
+	if _, err := f.Attach("ep", nil, sw, TAXI()); !errors.Is(err, ErrDupName) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueueOverflowDropsCells(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	sw := f.MustAddSwitch("s")
+	sink := &collector{e: e}
+	// Tiny queue and a slow trunk to force overflow.
+	slow := LinkConfig{RateBps: 1_000_000, QueueCells: 4}
+	epA, _ := f.Attach("a", nil, sw, TAXI())
+	_, _ = f.Attach("b", sink, sw, slow)
+	vc, err := f.SetupVC("a", "b", qos.BestEffortQoS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		epA.SendCell(atm.Cell{Header: atm.Header{VCI: vc.SrcVCI}})
+	}
+	e.Run()
+	sent, dropped := f.TrunkStats()
+	if dropped == 0 {
+		t.Fatal("no drops despite overflow")
+	}
+	if len(sink.cells) == 0 || len(sink.cells) >= 100 {
+		t.Fatalf("delivered %d cells", len(sink.cells))
+	}
+	if sent == 0 {
+		t.Fatal("no sent cells counted")
+	}
+}
+
+func TestWRRFavorsCBRUnderCongestion(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	sw := f.MustAddSwitch("s")
+	sink := &collector{e: e}
+	slow := LinkConfig{RateBps: 2_000_000, QueueCells: 2000}
+	epA, _ := f.Attach("a", nil, sw, TAXI())
+	_, _ = f.Attach("b", sink, sw, slow)
+	cbr, err := f.SetupVC("a", "b", qos.QoS{Class: qos.CBR, BandwidthKbs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := f.SetupVC("a", "b", qos.BestEffortQoS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offer both classes an equal burst; watch who finishes first.
+	const n = 400
+	for i := 0; i < n; i++ {
+		epA.SendCell(atm.Cell{Header: atm.Header{VCI: be.SrcVCI}})
+		epA.SendCell(atm.Cell{Header: atm.Header{VCI: cbr.SrcVCI}})
+	}
+	e.Run()
+	if len(sink.cells) != 2*n {
+		t.Fatalf("delivered %d of %d", len(sink.cells), 2*n)
+	}
+	// Completion time of the last CBR cell must beat the last BE cell.
+	var lastCBR, lastBE time.Duration
+	for i, c := range sink.cells {
+		if c.VCI == cbr.DstVCI {
+			lastCBR = sink.times[i]
+		} else {
+			lastBE = sink.times[i]
+		}
+	}
+	if lastCBR >= lastBE {
+		t.Fatalf("CBR finished at %v, BE at %v: scheduler not prioritizing", lastCBR, lastBE)
+	}
+}
+
+func TestXunetTopology(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	sw := Xunet(f)
+	if len(sw) != 5 {
+		t.Fatalf("sites = %d", len(sw))
+	}
+	// Attach a router at every site and verify full reachability.
+	for s, swi := range sw {
+		if _, err := f.Attach(atm.Addr(SiteRouterAddr(s)), nil, swi, TAXI()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range XunetSites() {
+		for _, b := range XunetSites() {
+			if a == b {
+				continue
+			}
+			vc, err := f.SetupVC(atm.Addr(SiteRouterAddr(a)), atm.Addr(SiteRouterAddr(b)), qos.BestEffortQoS)
+			if err != nil {
+				t.Fatalf("%s -> %s: %v", a, b, err)
+			}
+			vc.Release()
+		}
+	}
+}
+
+func TestCrossCountryDelayDominatesPropagation(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	sw := Xunet(f)
+	sinkB := &collector{e: e}
+	fA, _ := f.Attach("mh.rt", nil, sw[MurrayHill], TAXI())
+	_, _ = f.Attach("ucb.rt", sinkB, sw[Berkeley], TAXI())
+	vc, err := f.SetupVC("mh.rt", "ucb.rt", qos.BestEffortQoS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fA.SendCell(atm.Cell{Header: atm.Header{VCI: vc.SrcVCI}})
+	e.Run()
+	if len(sinkB.cells) != 1 {
+		t.Fatal("cross-country cell lost")
+	}
+	// MH -> Illinois (6ms) -> Berkeley (9ms) plus attachment delays.
+	if sinkB.times[0] < 15*time.Millisecond {
+		t.Fatalf("arrival %v, want >= 15ms of propagation", sinkB.times[0])
+	}
+}
+
+// Property: setup/release of any interleaving of circuits conserves VCI
+// space and admission bookings exactly.
+func TestQuickSetupReleaseConservation(t *testing.T) {
+	f2 := func(ops []bool) bool {
+		e := sim.New(7)
+		fab := NewFabric(e)
+		swA, swB := Testbed(fab)
+		fab.Attach("a", nil, swA, TAXI())
+		fab.Attach("b", nil, swB, TAXI())
+		var open []*VC
+		for _, setup := range ops {
+			if setup {
+				vc, err := fab.SetupVC("a", "b", qos.QoS{Class: qos.CBR, BandwidthKbs: 5000})
+				if err == nil {
+					open = append(open, vc)
+				}
+			} else if len(open) > 0 {
+				open[0].Release()
+				open = open[1:]
+			}
+		}
+		for _, vc := range open {
+			vc.Release()
+		}
+		if fab.ActiveVCs() != 0 {
+			return false
+		}
+		// Everything released: a full-rate circuit must fit again.
+		vc, err := fab.SetupVC("a", "b", qos.QoS{Class: qos.CBR, BandwidthKbs: 45000})
+		if err != nil {
+			return false
+		}
+		vc.Release()
+		return true
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
