@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench bench-telemetry
+
+ci: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per table/figure/experiment (see DESIGN.md §4).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The telemetry cost gate: a disabled trace call site must stay under
+# 5 ns (asserted inside the benchmark), and the signaling throughput
+# benchmark reports sim-calls/s alongside registry-derived setup
+# latency percentiles.
+bench-telemetry:
+	$(GO) test -run xxx -bench BenchmarkTelemetryOverhead ./internal/obs/
+	$(GO) test -run xxx -bench BenchmarkSimulatedCallsPerSecond ./internal/signaling/

@@ -9,6 +9,11 @@
 //
 //	sighost -listen 127.0.0.1:3177 -atm-addr mh.rt
 //	sigdemo -sighost 127.0.0.1:3177
+//
+// Live telemetry (counters, call-setup latency percentiles, recent trace
+// events) can be scraped in-band with cmd/xunetstat:
+//
+//	xunetstat -sighost 127.0.0.1:3177
 package main
 
 import (
@@ -38,10 +43,11 @@ func main() {
 
 	if *statsEvery > 0 {
 		go func() {
+			// Counters are atomic, so Stats() is safe off the actor; the
+			// list sizes are actor state and come from a mgmt query
+			// (xunetstat) instead.
 			for range time.Tick(*statsEvery) {
-				svc, out, in, wb, vm := h.SH.ListSizes()
-				fmt.Printf("sighost: lists service=%d outgoing=%d incoming=%d wait_bind=%d vci_map=%d stats=%+v\n",
-					svc, out, in, wb, vm, h.SH.Stats)
+				fmt.Printf("sighost: stats=%+v\n", h.SH.Stats())
 			}
 		}()
 	}

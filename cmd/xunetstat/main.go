@@ -1,0 +1,104 @@
+// Command xunetstat scrapes a running sighost daemon's telemetry in-band
+// over the signaling RPC protocol (MGMT_QUERY "stats.json" / "trace.json")
+// and renders it as aligned tables or raw JSON — netstat for the signaling
+// entity.
+//
+//	xunetstat -sighost 127.0.0.1:3177           # tables: counters, gauges,
+//	                                            # latency percentiles, trace
+//	xunetstat -sighost 127.0.0.1:3177 -json     # one JSON object
+//	xunetstat -sighost 127.0.0.1:3177 -events 50
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"xunet/internal/obs"
+	"xunet/internal/signaling"
+)
+
+func main() {
+	addr := flag.String("sighost", "127.0.0.1:3177", "sighost daemon TCP address")
+	asJSON := flag.Bool("json", false, "emit one JSON object instead of tables")
+	events := flag.Int("events", 16, "trace events to fetch (0 disables)")
+	flag.Parse()
+
+	c := &signaling.RealClient{SighostAddr: *addr}
+	statsBody, err := c.Query(signaling.MgmtStatsJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xunetstat:", err)
+		os.Exit(1)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(statsBody), &snap); err != nil {
+		fmt.Fprintln(os.Stderr, "xunetstat: bad stats reply:", err)
+		os.Exit(1)
+	}
+
+	var trace []obs.Event
+	if *events > 0 {
+		traceBody, err := c.QueryN(signaling.MgmtTraceJSON, *events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xunetstat:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal([]byte(traceBody), &trace); err != nil {
+			fmt.Fprintln(os.Stderr, "xunetstat: bad trace reply:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
+		out, _ := json.MarshalIndent(struct {
+			Stats obs.Snapshot `json:"stats"`
+			Trace []obs.Event  `json:"trace,omitempty"`
+		}{snap, trace}, "", "  ")
+		fmt.Println(string(out))
+		return
+	}
+	render(snap, trace)
+}
+
+func render(snap obs.Snapshot, trace []obs.Event) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if len(snap.Counters) > 0 {
+		fmt.Fprintln(w, "COUNTER\tVALUE")
+		for _, c := range snap.Counters {
+			fmt.Fprintf(w, "%s\t%d\n", c.Name, c.Value)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintln(w, "GAUGE\tVALUE\tHIGH-WATER")
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(w, "%s\t%d\t%d\n", g.Name, g.Value, g.Max)
+		}
+		fmt.Fprintln(w)
+	}
+	hists := make([]obs.HistSnap, 0, len(snap.Hists))
+	for _, h := range snap.Hists {
+		if h.Count > 0 {
+			hists = append(hists, h)
+		}
+	}
+	if len(hists) > 0 {
+		sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+		fmt.Fprintln(w, "LATENCY\tCOUNT\tP50\tP95\tP99\tMAX")
+		for _, h := range hists {
+			fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t%v\n", h.Name, h.Count, h.P50, h.P95, h.P99, h.Max)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	if len(trace) > 0 {
+		fmt.Println("TRACE (oldest first)")
+		for _, ev := range trace {
+			fmt.Printf("  %6d %12s %s\n", ev.Seq, ev.At.Round(time.Microsecond), ev.Text)
+		}
+	}
+}

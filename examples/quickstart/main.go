@@ -112,8 +112,8 @@ func main() {
 	n.E.RunUntil(10 * time.Second)
 	sent, dropped := n.Fabric.TrunkStats()
 	fmt.Printf("\nfabric: %d cells switched, %d dropped\n", sent, dropped)
-	fmt.Printf("mh.rt  sighost stats: %+v\n", ra.Sig.SH.Stats)
-	fmt.Printf("ucb.rt sighost stats: %+v\n", rb.Sig.SH.Stats)
+	fmt.Printf("mh.rt  sighost stats: %+v\n", ra.Sig.SH.Stats())
+	fmt.Printf("ucb.rt sighost stats: %+v\n", rb.Sig.SH.Stats())
 	if msg := testbed.Quiesced(ra); msg != "" {
 		fmt.Println("LEAK:", msg)
 	} else {

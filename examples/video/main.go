@@ -177,7 +177,7 @@ func main() {
 	sent, dropped := n.Fabric.TrunkStats()
 	fmt.Printf("\nfabric: %d cells switched, %d dropped (any drops land on the best-effort class)\n", sent, dropped)
 	fmt.Printf("admission: MH sighost established %d calls, failed %d (CBR oversubscription)\n",
-		mh.Sig.SH.Stats.CallsEstablished, mh.Sig.SH.Stats.CallsFailed)
+		mh.Sig.SH.Stats().CallsEstablished, mh.Sig.SH.Stats().CallsFailed)
 	fmt.Printf("best-effort bulk frames offered: %d\n", crossSent)
 	n.E.Shutdown()
 }

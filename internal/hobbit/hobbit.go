@@ -25,11 +25,13 @@ package hobbit
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"xunet/internal/aal5"
 	"xunet/internal/atm"
 	"xunet/internal/cost"
 	"xunet/internal/mbuf"
+	"xunet/internal/obs"
 )
 
 // CellTx transmits cells into the ATM network (implemented by
@@ -62,6 +64,12 @@ type Board struct {
 	seqTx map[atm.VCI]byte
 	seqRx map[atm.VCI]*aal5.SeqTracker
 
+	// Instrumentation (nil until Instrument): first-cell timestamps per
+	// in-flight frame feed the hobbit.reasm.time histogram.
+	now        func() time.Duration
+	reasmHist  *obs.Histogram
+	reasmStart map[atm.VCI]time.Duration
+
 	// Counters for experiments.
 	CellsOut  uint64
 	CellsIn   uint64
@@ -80,6 +88,22 @@ func NewBoard(tx CellTx) *Board {
 		seqTx: make(map[atm.VCI]byte),
 		seqRx: make(map[atm.VCI]*aal5.SeqTracker),
 	}
+}
+
+// Instrument registers the board's metrics in reg and starts timing AAL5
+// reassembly (first cell of a frame to completed PDU) on the clock now —
+// the engine's virtual clock in the sim. SAR errors and out-of-order
+// detections surface as read-through counters.
+func (b *Board) Instrument(now func() time.Duration, reg *obs.Registry) {
+	b.now = now
+	b.reasmHist = reg.Histogram("hobbit.reasm.time")
+	b.reasmStart = make(map[atm.VCI]time.Duration)
+	reg.Func("hobbit.cells.in", func() uint64 { return b.CellsIn })
+	reg.Func("hobbit.cells.out", func() uint64 { return b.CellsOut })
+	reg.Func("hobbit.frames.in", func() uint64 { return b.FramesIn })
+	reg.Func("hobbit.frames.out", func() uint64 { return b.FramesOut })
+	reg.Func("hobbit.sar.errors", func() uint64 { return b.SARErrors })
+	reg.Func("hobbit.frames.ooo", func() uint64 { return b.OOOFrames })
 }
 
 // Send builds the AAL5 frame for an mbuf chain and transmits its cells.
@@ -113,9 +137,18 @@ func (b *Board) ReceiveCell(c atm.Cell) {
 		r = aal5.NewReassembler(0)
 		b.reasm[c.VCI] = r
 	}
+	if b.now != nil && r.Pending() == 0 {
+		b.reasmStart[c.VCI] = b.now()
+	}
 	payload, uu, done, err := r.Push(&c)
 	if !done {
 		return
+	}
+	if b.now != nil {
+		if start, ok := b.reasmStart[c.VCI]; ok {
+			b.reasmHist.Observe(b.now() - start)
+			delete(b.reasmStart, c.VCI)
+		}
 	}
 	if err != nil {
 		b.SARErrors++

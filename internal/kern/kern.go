@@ -23,6 +23,7 @@ import (
 	"xunet/internal/cost"
 	"xunet/internal/hobbit"
 	"xunet/internal/memnet"
+	"xunet/internal/obs"
 	"xunet/internal/sim"
 )
 
@@ -81,12 +82,20 @@ type Machine struct {
 	// Dev is the /dev/anand pseudo-device, nil until installed.
 	Dev *PseudoDev
 
+	// Obs is the machine's telemetry registry: every component on the
+	// machine (pseudo-device, shaper, ATM layer, sighost) registers its
+	// metrics here, so one snapshot covers the whole stack.
+	Obs *obs.Registry
+
 	// FDTableSize applies to processes spawned after it is set.
 	FDTableSize int
 
 	families []ProtoFamily
 	procs    map[uint32]*Proc
 	nextPID  uint32
+
+	ctSpawned *obs.Counter // kern.procs.spawned
+	gLive     *obs.Gauge   // kern.procs.live (with high-water mark)
 }
 
 // NewMachine assembles a machine. The IP node's meter is pointed at the
@@ -98,6 +107,7 @@ func NewMachine(name string, e *sim.Engine, cm sim.CostModel, ip *memnet.Node) *
 		CM:          cm,
 		Meter:       cost.NewMeter(),
 		IP:          ip,
+		Obs:         obs.NewRegistry(),
 		FDTableSize: DefaultFDTableSize,
 		procs:       make(map[uint32]*Proc),
 	}
@@ -105,6 +115,8 @@ func NewMachine(name string, e *sim.Engine, cm sim.CostModel, ip *memnet.Node) *
 		ip.Meter = m.Meter
 	}
 	m.Orc = hobbit.NewDriver(m.Meter)
+	m.ctSpawned = m.Obs.Counter("kern.procs.spawned")
+	m.gLive = m.Obs.Gauge("kern.procs.live")
 	return m
 }
 
@@ -112,6 +124,7 @@ func NewMachine(name string, e *sim.Engine, cm sim.CostModel, ip *memnet.Node) *
 // wires its downward path to the machine's protocol families.
 func (m *Machine) InstallPseudoDev(buffers int) *PseudoDev {
 	m.Dev = NewPseudoDev(m.E, buffers)
+	m.Dev.Instrument(m.Obs)
 	m.Dev.onDown = func(cmd DownCmd) {
 		switch cmd.Kind {
 		case DownDisconnect:
@@ -164,6 +177,8 @@ func (m *Machine) Spawn(name string, body func(p *Proc)) *Proc {
 		fds:  make([]fdEntry, m.FDTableSize),
 	}
 	m.procs[p.PID] = p
+	m.ctSpawned.Inc()
+	m.gLive.Set(int64(len(m.procs)))
 	p.SP = m.E.Go(fmt.Sprintf("%s/%s#%d", m.Name, name, p.PID), func(sp *sim.Proc) {
 		defer p.exit()
 		body(p)
@@ -188,6 +203,7 @@ func (p *Proc) exit() {
 	}
 	p.exited = true
 	delete(p.M.procs, p.PID)
+	p.M.gLive.Set(int64(len(p.M.procs)))
 	for i := range p.fds {
 		if o := p.fds[i].obj; o != nil {
 			p.fds[i].obj = nil

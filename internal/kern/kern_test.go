@@ -182,6 +182,39 @@ func TestPseudoDevBoundedBuffer(t *testing.T) {
 	e.Run()
 }
 
+func TestPseudoDevOverflowTelemetry(t *testing.T) {
+	e, h, _ := rig(t)
+	dev := h.InstallPseudoDev(8) // InstallPseudoDev instruments against h.Obs
+	for i := 0; i < 12; i++ {
+		dev.PostUp(KMsg{Kind: MsgBind, VCI: atm.VCI(i)})
+	}
+	snap := h.Obs.Snapshot()
+	if got := snap.Count("kern.dev.overflows"); got != 4 {
+		t.Fatalf("overflows = %d", got)
+	}
+	if got := snap.Count("kern.dev.posted"); got != 8 {
+		t.Fatalf("posted = %d", got)
+	}
+	if got := snap.Count("kern.dev.lost"); got != 4 {
+		t.Fatalf("lost = %d", got)
+	}
+	// The depth gauge's high-water mark pins at capacity once a drop has
+	// occurred, then the current value falls as a reader drains.
+	g := snap.Gauge("kern.dev.depth")
+	if g == nil || g.Max != 8 || g.Value != 8 {
+		t.Fatalf("depth gauge = %+v", g)
+	}
+	for dev.Buffered() > 0 {
+		dev.TryReadUp()
+	}
+	dev.PostUp(KMsg{Kind: MsgBind, VCI: 99})
+	g = h.Obs.Snapshot().Gauge("kern.dev.depth")
+	if g == nil || g.Value != 1 || g.Max != 8 {
+		t.Fatalf("after drain: depth gauge = %+v", g)
+	}
+	e.Run()
+}
+
 func TestPseudoDevReaderKeepsBufferEmpty(t *testing.T) {
 	e, h, _ := rig(t)
 	dev := h.InstallPseudoDev(2)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xunet/internal/atm"
+	"xunet/internal/obs"
 	"xunet/internal/sim"
 )
 
@@ -87,6 +88,13 @@ type PseudoDev struct {
 	// dropped because the buffer was full.
 	Posted uint64
 	Lost   uint64
+
+	// Registry instrumentation (nil until Instrument): dropped upward
+	// indications used to vanish with only the Lost field to show for
+	// it; now every overflow increments kern.dev.overflows and the depth
+	// gauge's high-water mark records how close to capacity the buffer ran.
+	overflows *obs.Counter
+	depth     *obs.Gauge
 }
 
 // NewPseudoDev creates a device with the given number of message
@@ -101,16 +109,34 @@ func NewPseudoDev(e *sim.Engine, buffers int) *PseudoDev {
 // Capacity reports the buffer count.
 func (d *PseudoDev) Capacity() int { return d.capacity }
 
+// Instrument registers the device's metrics in reg: kern.dev.posted and
+// kern.dev.lost (read-through), kern.dev.overflows (counted at the drop
+// site) and the kern.dev.depth gauge whose high-water mark records peak
+// buffer occupancy.
+func (d *PseudoDev) Instrument(reg *obs.Registry) {
+	d.overflows = reg.Counter("kern.dev.overflows")
+	d.depth = reg.Gauge("kern.dev.depth")
+	reg.Func("kern.dev.posted", func() uint64 { return d.Posted })
+	reg.Func("kern.dev.lost", func() uint64 { return d.Lost })
+}
+
 // PostUp enqueues an upward message from the kernel. It reports false —
 // and counts the loss — when every buffer is occupied. A message handed
 // directly to a blocked reader occupies no buffer.
 func (d *PseudoDev) PostUp(m KMsg) bool {
 	if d.q.Len() >= d.capacity {
 		d.Lost++
+		if d.overflows != nil {
+			d.overflows.Inc()
+			d.depth.Set(int64(d.capacity))
+		}
 		return false
 	}
 	d.Posted++
 	d.q.Put(m)
+	if d.depth != nil {
+		d.depth.Set(int64(d.q.Len()))
+	}
 	return true
 }
 

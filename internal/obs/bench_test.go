@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTelemetryOverhead/disabled-tracer is the CI gate for the
+// instrumentation bargain: a disabled event ring must cost under 5 ns per
+// call site (one nil check + one atomic load), so tracing compiled into the
+// signaling hot paths cannot skew the existing benchmarks. The other cases
+// size the rest of the toolkit.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("disabled-tracer", func(b *testing.B) {
+		r := NewRegistry()
+		tr := r.Tracer("bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tr.Enabled() {
+				tr.Emit(Event{Kind: "never"})
+			}
+		}
+		b.StopTimer()
+		// Enforce the budget only on a real measurement run; the N=1
+		// discovery run is all fixed overhead.
+		if avg := float64(b.Elapsed().Nanoseconds()) / float64(b.N); b.N >= 1_000_000 && avg > 5 {
+			b.Fatalf("disabled trace call site costs %.1f ns, budget is 5 ns", avg)
+		}
+	})
+	b.Run("enabled-ring-publish", func(b *testing.B) {
+		r := NewRegistry()
+		tr := r.Tracer("bench")
+		r.EnableTrace("bench", true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Emit(Event{Kind: "k", VCI: uint32(i)})
+		}
+	})
+	b.Run("counter-inc", func(b *testing.B) {
+		c := NewRegistry().Counter("c")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		h := NewRegistry().Histogram("h")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i) * time.Microsecond)
+		}
+	})
+}

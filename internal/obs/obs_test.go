@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+	if r.Counter("x.count") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("x.depth")
+	g.Set(7)
+	g.Add(-3)
+	g.Add(2)
+	if g.Value() != 6 || g.Max() != 7 {
+		t.Fatalf("gauge = %d max = %d", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{2*time.Microsecond + 1, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{1 << 62, HistBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.d); got != tc.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Snapshot().Hist("lat")
+	if s == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	// Log-scale buckets bound the error to one bucket width: p50 of a
+	// uniform 1..100ms distribution must land within (32ms, 64ms].
+	if s.P50 <= 32*time.Millisecond || s.P50 > 64*time.Millisecond {
+		t.Errorf("p50 = %v, want in (32ms, 64ms]", s.P50)
+	}
+	if s.P99 <= 64*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v, want in (64ms, 100ms] (clamped to max)", s.P99)
+	}
+	// Bucket sums must equal the observation count (the invariant the
+	// mgmt-query test asserts over the wire).
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b.N
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestHistogramEmptyAndSingle(t *testing.T) {
+	var h Histogram
+	if q := quantile([HistBuckets]uint64{}, 0, 0, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	h.Observe(3 * time.Millisecond)
+	s := histSnap("one", &h)
+	if s.P50 > 3*time.Millisecond || s.P99 > 3*time.Millisecond {
+		t.Fatalf("single-observation quantiles exceed max: p50=%v p99=%v", s.P50, s.P99)
+	}
+}
+
+func TestFuncMetricAndSnapshotLookup(t *testing.T) {
+	r := NewRegistry()
+	v := uint64(41)
+	r.Func("ext.value", func() uint64 { return v })
+	v++
+	s := r.Snapshot()
+	if got := s.Count("ext.value"); got != 42 {
+		t.Fatalf("func metric = %d", got)
+	}
+	if _, ok := s.Value("missing"); ok {
+		t.Fatal("lookup of missing metric succeeded")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(3)
+	r.Histogram("c").Observe(time.Millisecond)
+	var back Snapshot
+	if err := json.Unmarshal([]byte(r.Snapshot().JSON()), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Count("a") != 1 || back.Gauge("b").Value != 3 || back.Hist("c").Count != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if txt := r.Snapshot().Text(); txt == "" {
+		t.Fatal("empty text rendering")
+	}
+}
+
+func TestRingWrapAndLast(t *testing.T) {
+	ring := NewRing(4)
+	for i := 0; i < 10; i++ {
+		ring.Publish(Event{Kind: "k", CallID: uint32(i)})
+	}
+	if ring.Total() != 10 {
+		t.Fatalf("total = %d", ring.Total())
+	}
+	evs := ring.Last(4)
+	if len(evs) != 4 {
+		t.Fatalf("last = %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint32(6 + i); ev.CallID != want {
+			t.Fatalf("event %d: call=%d want %d", i, ev.CallID, want)
+		}
+		if ev.Seq != uint64(6+i) {
+			t.Fatalf("event %d: seq=%d", i, ev.Seq)
+		}
+	}
+	if got := ring.Last(100); len(got) != 4 {
+		t.Fatalf("overlong Last = %d", len(got))
+	}
+}
+
+func TestTracerEnableAndSubscribe(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer("sighost")
+	if tr.Enabled() {
+		t.Fatal("tracer enabled by default")
+	}
+	var nilTr *Tracer
+	if nilTr.Enabled() {
+		t.Fatal("nil tracer claims enabled")
+	}
+	nilTr.Emit(Event{}) // must not panic
+
+	tr.Emit(Event{Kind: "dropped"})
+	if r.Ring().Total() != 0 {
+		t.Fatal("disabled tracer published")
+	}
+
+	var seen []Event
+	r.Ring().Subscribe(func(ev Event) { seen = append(seen, ev) })
+	r.EnableTrace("sighost", true)
+	tr.Emit(Event{Kind: "kept", VCI: 9})
+	if r.Ring().Total() != 1 {
+		t.Fatal("enabled tracer did not publish")
+	}
+	if len(seen) != 1 || seen[0].Comp != "sighost" || seen[0].VCI != 9 {
+		t.Fatalf("subscriber saw %+v", seen)
+	}
+	if r.Tracer("sighost") != tr {
+		t.Fatal("tracer identity not stable")
+	}
+}
+
+func TestEventJSONOmitsData(t *testing.T) {
+	ev := Event{Kind: "x", Text: "rendered", Data: struct{ Secret string }{"s"}}
+	out, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) == "" || json.Valid(out) == false {
+		t.Fatal("bad JSON")
+	}
+	var m map[string]any
+	_ = json.Unmarshal(out, &m)
+	if _, leaked := m["Data"]; leaked {
+		t.Fatal("Data marshaled")
+	}
+	if m["text"] != "rendered" {
+		t.Fatalf("text = %v", m["text"])
+	}
+}

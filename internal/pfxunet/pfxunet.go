@@ -72,6 +72,8 @@ type Family struct {
 func New(m *kern.Machine) *Family {
 	f := &Family{m: m}
 	m.RegisterFamily(f)
+	m.Obs.Func("pfxunet.drops.no_socket", func() uint64 { return f.DroppedNoSocket })
+	m.Obs.Func("pfxunet.drops.overflow", func() uint64 { return f.DroppedOverflow })
 	return f
 }
 

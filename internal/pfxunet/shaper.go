@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"xunet/internal/mbuf"
+	"xunet/internal/obs"
 )
 
 // Traffic shaping demonstrates the §4 orthogonality goal: the paper's
@@ -29,6 +30,12 @@ type shaper struct {
 	// dropped at the shaper queue.
 	ShapedOut     uint64
 	ShapedDropped uint64
+
+	// Machine-registry views: shaper queue depth (bytes, with high-water
+	// mark) and drop/release counters shared by all shaped sockets.
+	ctOut   *obs.Counter
+	ctDrops *obs.Counter
+	gDepth  *obs.Gauge
 }
 
 // SetShaper paces this socket's sends at rateKbs kilobits per second
@@ -43,7 +50,13 @@ func (s *Socket) SetShaper(rateKbs uint32, queueBytes int) {
 	if queueBytes <= 0 {
 		queueBytes = 64 * 1024
 	}
-	s.shaper = &shaper{s: s, rateBps: uint64(rateKbs) * 1000, limit: queueBytes}
+	reg := s.f.m.Obs
+	s.shaper = &shaper{
+		s: s, rateBps: uint64(rateKbs) * 1000, limit: queueBytes,
+		ctOut:   reg.Counter("pfxunet.shaper.out"),
+		ctDrops: reg.Counter("pfxunet.shaper.drops"),
+		gDepth:  reg.Gauge("pfxunet.shaper.depth"),
+	}
 }
 
 // Shaper stats: frames released and dropped (zero if unshaped).
@@ -58,10 +71,12 @@ func (s *Socket) ShaperStats() (out, dropped uint64) {
 func (sh *shaper) submit(chain *mbuf.Chain) error {
 	if sh.bytes+chain.Len() > sh.limit {
 		sh.ShapedDropped++
+		sh.ctDrops.Inc()
 		return nil // shaped traffic drops silently, like a policer
 	}
 	sh.queue = append(sh.queue, chain)
 	sh.bytes += chain.Len()
+	sh.gDepth.Add(int64(chain.Len()))
 	if !sh.draining {
 		sh.draining = true
 		sh.drain()
@@ -79,7 +94,9 @@ func (sh *shaper) drain() {
 	chain := sh.queue[0]
 	sh.queue = sh.queue[1:]
 	sh.bytes -= chain.Len()
+	sh.gDepth.Add(-int64(chain.Len()))
 	sh.ShapedOut++
+	sh.ctOut.Inc()
 	sock := sh.s
 	if sock.state == stateConnected {
 		_ = sock.f.m.Orc.Output(sock.vci, chain)

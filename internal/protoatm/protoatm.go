@@ -184,6 +184,13 @@ func New(m *kern.Machine, localAddr atm.Addr, mode Mode) *Layer {
 	if mode == HostMode {
 		m.Orc.SetEncap(l.Encap)
 	}
+	m.Obs.Func("protoatm.encapsulated", func() uint64 { return l.Encapsulated })
+	m.Obs.Func("protoatm.decapsulated", func() uint64 { return l.Decapsulated })
+	m.Obs.Func("protoatm.out_of_order", func() uint64 { return l.OutOfOrder })
+	m.Obs.Func("protoatm.switched", func() uint64 { return l.Switched })
+	m.Obs.Func("protoatm.reencapsulated", func() uint64 { return l.ReEncapsulated })
+	m.Obs.Func("protoatm.unbound", func() uint64 { return l.Unbound })
+	m.Obs.Func("protoatm.checksum_errors", func() uint64 { return l.ChecksumErrors })
 	return l
 }
 

@@ -37,6 +37,14 @@ func BenchmarkSimulatedCallsPerSecond(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "sim-calls/s")
+	// Companion quality metrics straight from the telemetry registry: the
+	// throughput number above is only meaningful alongside the simulated
+	// setup latency it was achieved at.
+	snap := ra.Sig.SH.Obs.Snapshot()
+	if st := snap.Hist("sighost.setup.total"); st != nil && st.Count > 0 {
+		b.ReportMetric(float64(st.P99)/float64(time.Millisecond), "sim-p99-setup-ms")
+		b.ReportMetric(float64(st.P50)/float64(time.Millisecond), "sim-p50-setup-ms")
+	}
 	n.E.Shutdown()
 }
 

@@ -1,0 +1,53 @@
+package signaling
+
+import (
+	"fmt"
+
+	"xunet/internal/obs"
+)
+
+// Event kinds sighost publishes to its machine's obs ring. Events carry the
+// underlying protocol message in Event.Data (a sigmsg.Msg or kern.KMsg) and
+// typed VCI/CallID/Cookie fields for filtering without string parsing.
+const (
+	EvAppRx    = "app.rx"    // application -> sighost RPC received
+	EvAppTx    = "app.tx"    // sighost -> application reply sent
+	EvPeerTx   = "peer.tx"   // sighost -> peer signaling message sent
+	EvPeerRx   = "peer.rx"   // peer -> sighost signaling message received
+	EvKernRx   = "kern.rx"   // kernel pseudo-device indication received
+	EvTeardown = "teardown"  // call released
+	EvBindOK   = "bind.ok"   // bind/connect authenticated, wait_for_bind cleared
+	EvBindTime = "bind.fire" // wait_for_bind timer fired
+)
+
+// teardownInfo rides in Event.Data for EvTeardown events.
+type teardownInfo struct {
+	origin bool
+	reason string
+}
+
+// eventString renders an event in the exact legacy Trace format that the
+// Figure 3/4 golden tests (and any external log scrapers) depend on. New
+// event kinds fall through to the generic obs.Event rendering.
+func eventString(ev obs.Event) string {
+	switch ev.Kind {
+	case EvAppRx:
+		return fmt.Sprintf("app->sighost %v", ev.Data)
+	case EvAppTx:
+		return fmt.Sprintf("sighost->app %v", ev.Data)
+	case EvPeerTx:
+		return fmt.Sprintf("peer->%s %v", ev.Peer, ev.Data)
+	case EvPeerRx:
+		return fmt.Sprintf("peer<-%s %v", ev.Peer, ev.Data)
+	case EvKernRx:
+		return fmt.Sprintf("kernel<-%s %v", ev.Peer, ev.Data)
+	case EvTeardown:
+		ti, _ := ev.Data.(teardownInfo)
+		return fmt.Sprintf("teardown call=%d origin=%v reason=%q", ev.CallID, ti.origin, ti.reason)
+	case EvBindOK:
+		return fmt.Sprintf("bind ok vci=%d", ev.VCI)
+	case EvBindTime:
+		return fmt.Sprintf("bind timeout vci=%d call=%d", ev.VCI, ev.CallID)
+	}
+	return ev.String()
+}

@@ -1,6 +1,7 @@
 package signaling
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,15 +13,25 @@ import (
 // decision (§5.1) — "Signaling state information is easily available
 // and can be used by network management software." A MGMT_QUERY over
 // the ordinary RPC connection returns a rendered view of the daemon's
-// state; cmd/xunetsim and the libraries expose it.
+// state; cmd/xunetsim, cmd/xunetstat and the libraries expose it.
 
-// Management query names.
+// Management query names. The stats/trace pair is the MGMT_STATS /
+// MGMT_TRACE surface of the telemetry registry: "stats" renders the full
+// registry as text (first line keeps the legacy Stats %+v form), the
+// ".json" variants return machine-parseable snapshots for tooling.
 const (
-	MgmtServices = "services"
-	MgmtCalls    = "calls"
-	MgmtStats    = "stats"
-	MgmtLists    = "lists"
+	MgmtServices  = "services"
+	MgmtCalls     = "calls"
+	MgmtStats     = "stats"
+	MgmtStatsJSON = "stats.json"
+	MgmtTrace     = "trace"
+	MgmtTraceJSON = "trace.json"
+	MgmtLists     = "lists"
 )
+
+// MgmtTraceDefault is how many ring events a trace query returns when the
+// request does not override the count (via Msg.Cookie).
+const MgmtTraceDefault = 32
 
 // handleMgmtQuery renders the requested view.
 func (sh *Sighost) handleMgmtQuery(conn Conn, m sigmsg.Msg) {
@@ -42,7 +53,24 @@ func (sh *Sighost) handleMgmtQuery(conn Conn, m sigmsg.Msg) {
 		sort.Strings(lines)
 		body = strings.Join(lines, "\n")
 	case MgmtStats:
-		body = fmt.Sprintf("%+v", sh.Stats)
+		// Legacy counter line first, then the whole registry: every
+		// counter, gauge high-water mark and latency histogram the
+		// machine registered, not just sighost's own.
+		body = fmt.Sprintf("%+v\n", sh.Stats()) + sh.Obs.Snapshot().Text()
+	case MgmtStatsJSON:
+		body = sh.Obs.Snapshot().JSON()
+	case MgmtTrace:
+		var lines []string
+		for _, ev := range sh.Obs.Ring().Last(traceCount(m)) {
+			lines = append(lines, fmt.Sprintf("[%v] %s", ev.At, ev.Text))
+		}
+		body = strings.Join(lines, "\n")
+	case MgmtTraceJSON:
+		out, err := json.Marshal(sh.Obs.Ring().Last(traceCount(m)))
+		if err != nil {
+			out = []byte("[]")
+		}
+		body = string(out)
 	case MgmtLists:
 		svc, out, in, wb, vm := sh.ListSizes()
 		body = fmt.Sprintf("service_list=%d outgoing_requests=%d incoming_requests=%d wait_for_bind=%d VCI_mapping=%d cookies=%d",
@@ -52,4 +80,14 @@ func (sh *Sighost) handleMgmtQuery(conn Conn, m sigmsg.Msg) {
 		return
 	}
 	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindMgmtReply, Service: m.Service, Comment: body})
+}
+
+// traceCount extracts the requested event count from a trace query: the
+// Cookie field doubles as the count (it is meaningless for mgmt queries),
+// zero meaning MgmtTraceDefault.
+func traceCount(m sigmsg.Msg) int {
+	if m.Cookie > 0 {
+		return int(m.Cookie)
+	}
+	return MgmtTraceDefault
 }

@@ -123,11 +123,16 @@ func TestRealCancelOutstanding(t *testing.T) {
 	if err := c.CancelRequest(reply.Cookie); err != nil {
 		t.Fatal(err)
 	}
-	// State must drain.
+	// State must drain. Poll through the management interface: the query
+	// runs in actor context, so it reads the lists without racing the
+	// teardown that the cancel set in motion.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		_, out, in, _, _ := h.SH.ListSizes()
-		if out == 0 && in == 0 {
+		body, err := c.Query(signaling.MgmtLists)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(body, "outgoing_requests=0") && strings.Contains(body, "incoming_requests=0") {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)

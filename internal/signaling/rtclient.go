@@ -156,6 +156,24 @@ func (c *RealClient) OpenConnection(dest atm.Addr, service string, notifyListene
 	}
 }
 
+// Query performs a management query ("services", "calls", "stats",
+// "stats.json", "trace", "trace.json", "lists") and returns the rendered
+// body.
+func (c *RealClient) Query(what string) (string, error) { return c.QueryN(what, 0) }
+
+// QueryN is Query with an event-count override for trace queries (the
+// count rides in the otherwise-unused Cookie field; 0 means the default).
+func (c *RealClient) QueryN(what string, n int) (string, error) {
+	reply, err := c.rpc(sigmsg.Msg{Kind: sigmsg.KindMgmtQuery, Service: what, Cookie: uint16(n)})
+	if err != nil {
+		return "", err
+	}
+	if reply.Kind != sigmsg.KindMgmtReply {
+		return "", fmt.Errorf("sighost: unexpected reply %v", reply.Kind)
+	}
+	return reply.Comment, nil
+}
+
 // CancelRequest cancels an outstanding request by cookie.
 func (c *RealClient) CancelRequest(cookie uint16) error {
 	reply, err := c.rpc(sigmsg.Msg{Kind: sigmsg.KindCancelReq, Cookie: cookie})

@@ -27,10 +27,11 @@ type RealHost struct {
 	SH   *Sighost
 	Addr atm.Addr
 
-	ln    net.Listener
-	inbox chan func()
-	wg    sync.WaitGroup
-	quit  chan struct{}
+	ln      net.Listener
+	inbox   chan func()
+	wg      sync.WaitGroup
+	quit    chan struct{}
+	started time.Time
 
 	mu     sync.Mutex // guards vcis and closed
 	vcis   map[atm.VCI]bool
@@ -78,17 +79,21 @@ func StartReal(addr atm.Addr, listenAddr string) (*RealHost, error) {
 		return nil, err
 	}
 	h := &RealHost{
-		Addr:  addr,
-		ln:    ln,
-		inbox: make(chan func(), 256),
-		quit:  make(chan struct{}),
-		vcis:  make(map[atm.VCI]bool),
-		next:  32,
-		book:  qos.NewBook(622_000), // one OC-12's worth of local capacity
+		Addr:    addr,
+		ln:      ln,
+		inbox:   make(chan func(), 256),
+		quit:    make(chan struct{}),
+		started: time.Now(),
+		vcis:    make(map[atm.VCI]bool),
+		next:    32,
+		book:    qos.NewBook(622_000), // one OC-12's worth of local capacity
 	}
 	env := &realEnv{h: h}
 	// Real time passes by itself; the cost model charges nothing.
 	h.SH = New(env, CostModel{BindTimeout: 30 * time.Second})
+	// A live daemon keeps its event ring populated so MGMT_TRACE (and
+	// cmd/xunetstat) can show recent signaling activity.
+	h.SH.Obs.EnableTrace("sighost", true)
 
 	// Actor.
 	h.wg.Add(1)
@@ -203,6 +208,7 @@ func (e *realEnv) Addr() atm.Addr         { return e.h.Addr }
 func (e *realEnv) LocalIP() memnet.IPAddr { return memnet.IP4(127, 0, 0, 1) }
 func (e *realEnv) Charge(d time.Duration) {} // real time passes on its own
 func (e *realEnv) Rand16() uint16         { return uint16(rand.Uint32()) }
+func (e *realEnv) Now() time.Duration     { return time.Since(e.h.started) }
 
 func (e *realEnv) After(d time.Duration, fn func()) CancelFunc {
 	t := time.AfterFunc(d, func() { e.h.post(fn) })

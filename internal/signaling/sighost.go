@@ -12,12 +12,12 @@
 package signaling
 
 import (
-	"fmt"
 	"time"
 
 	"xunet/internal/atm"
 	"xunet/internal/kern"
 	"xunet/internal/memnet"
+	"xunet/internal/obs"
 	"xunet/internal/qos"
 	"xunet/internal/sigmsg"
 )
@@ -77,9 +77,15 @@ type Env interface {
 	KernelDisconnect(endpoint memnet.IPAddr, vci atm.VCI)
 	// Rand16 returns entropy for cookie generation.
 	Rand16() uint16
+	// Now is the current time on the clock that drives this entity (the
+	// sim engine's virtual clock, or wall time since daemon start). It
+	// timestamps trace events and feeds the latency histograms.
+	Now() time.Duration
 }
 
-// Stats counts signaling activity for the experiments.
+// Stats is a point-in-time snapshot of signaling activity, read by the
+// experiments. The live counts are obs registry counters (see sigCounters);
+// Stats() assembles this struct from them on demand.
 type Stats struct {
 	ServicesRegistered uint64
 	CallsRequested     uint64
@@ -146,6 +152,13 @@ type call struct {
 	// serverConn is the per-call connection to the server's notify
 	// port, held at the destination side during establishment.
 	serverConn Conn
+
+	// Stage timestamps (env.Now) feeding the setup-latency histograms:
+	// request handled, SETUP sent, SETUP_ACK received, established.
+	reqAt       time.Duration
+	setupSentAt time.Duration
+	ackAt       time.Duration
+	estAt       time.Duration
 }
 
 // outRequest is an outgoing_requests entry (client requests awaiting a
@@ -187,10 +200,47 @@ type Sighost struct {
 
 	nextCallID uint32
 
-	// Stats is read by experiments; Trace, when non-nil, receives one
-	// line per message handled or sent (Figure 3/4 golden tests).
-	Stats Stats
+	// Obs is the telemetry registry all sighost metrics live in (shared
+	// with the rest of the machine in the sim). ct/h are the pre-resolved
+	// hot-path handles; tr gates structured event publication.
+	Obs *obs.Registry
+	ct  sigCounters
+	h   sigHists
+	tr  *obs.Tracer
+
+	// Trace, when non-nil, receives one stringified line per event — the
+	// legacy adapter over the typed event ring that the Figure 3/4 golden
+	// tests and examples/ consume.
 	Trace func(line string)
+}
+
+// sigCounters are the registry counters behind the legacy Stats fields,
+// registered under "sighost.*" names.
+type sigCounters struct {
+	servicesRegistered *obs.Counter // sighost.services_registered
+	callsRequested     *obs.Counter // sighost.calls.requested
+	callsEstablished   *obs.Counter // sighost.calls.established
+	callsRejected      *obs.Counter // sighost.calls.rejected
+	callsFailed        *obs.Counter // sighost.calls.failed
+	callsTorn          *obs.Counter // sighost.calls.torn
+	callsCanceled      *obs.Counter // sighost.calls.canceled
+	authFailures       *obs.Counter // sighost.auth_failures
+	bindTimeouts       *obs.Counter // sighost.bind_timeouts
+	kernelMsgs         *obs.Counter // sighost.msgs.kernel
+	peerMsgs           *obs.Counter // sighost.msgs.peer
+	appMsgs            *obs.Counter // sighost.msgs.app
+}
+
+// sigHists are the sim-time latency histograms for the paper's call-setup
+// breakdown (Figure 4 stages) plus bind behavior.
+type sigHists struct {
+	setupProcess *obs.Histogram // sighost.setup.process: CONNECT_REQ handled -> SETUP sent
+	setupPeer    *obs.Histogram // sighost.setup.peer: SETUP sent -> SETUP_ACK received
+	setupProgram *obs.Histogram // sighost.setup.program: SETUP_ACK -> call established
+	setupTotal   *obs.Histogram // sighost.setup.total: CONNECT_REQ -> established (origin)
+	acceptTotal  *obs.Histogram // sighost.accept.total: SETUP -> CONNECT_DONE (dest)
+	bindLatency  *obs.Histogram // sighost.bind.latency: established -> bind authenticated
+	bindTimerLag *obs.Histogram // sighost.bindtimer.fire: timer lag past its deadline
 }
 
 // CostModel is the slice of the simulation cost model sighost charges:
@@ -207,12 +257,20 @@ type CostModel struct {
 	LoggingEnabled  bool
 }
 
-// New creates a signaling entity over env.
+// New creates a signaling entity over env with a private telemetry
+// registry.
 func New(env Env, cm CostModel) *Sighost {
+	return NewWithObs(env, cm, obs.NewRegistry())
+}
+
+// NewWithObs creates a signaling entity that registers its metrics in reg
+// (typically the owning machine's registry, so one mgmt query or report
+// snapshot covers the whole stack).
+func NewWithObs(env Env, cm CostModel, reg *obs.Registry) *Sighost {
 	if cm.BindTimeout <= 0 {
 		cm.BindTimeout = 30 * time.Second
 	}
-	return &Sighost{
+	sh := &Sighost{
 		env:      env,
 		cm:       cm,
 		services: make(map[string]*serviceEntry),
@@ -223,6 +281,59 @@ func New(env Env, cm CostModel) *Sighost {
 		cookies:  make(map[atm.VCI]uint16),
 		calls:    make(map[callKey]*call),
 		pvcs:     make(map[atm.VCI]bool),
+		Obs:      reg,
+		tr:       reg.Tracer("sighost"),
+	}
+	sh.ct = sigCounters{
+		servicesRegistered: reg.Counter("sighost.services_registered"),
+		callsRequested:     reg.Counter("sighost.calls.requested"),
+		callsEstablished:   reg.Counter("sighost.calls.established"),
+		callsRejected:      reg.Counter("sighost.calls.rejected"),
+		callsFailed:        reg.Counter("sighost.calls.failed"),
+		callsTorn:          reg.Counter("sighost.calls.torn"),
+		callsCanceled:      reg.Counter("sighost.calls.canceled"),
+		authFailures:       reg.Counter("sighost.auth_failures"),
+		bindTimeouts:       reg.Counter("sighost.bind_timeouts"),
+		kernelMsgs:         reg.Counter("sighost.msgs.kernel"),
+		peerMsgs:           reg.Counter("sighost.msgs.peer"),
+		appMsgs:            reg.Counter("sighost.msgs.app"),
+	}
+	sh.h = sigHists{
+		setupProcess: reg.Histogram("sighost.setup.process"),
+		setupPeer:    reg.Histogram("sighost.setup.peer"),
+		setupProgram: reg.Histogram("sighost.setup.program"),
+		setupTotal:   reg.Histogram("sighost.setup.total"),
+		acceptTotal:  reg.Histogram("sighost.accept.total"),
+		bindLatency:  reg.Histogram("sighost.bind.latency"),
+		bindTimerLag: reg.Histogram("sighost.bindtimer.fire"),
+	}
+	// The five lists of §7.3 as read-through gauges. Sampled at snapshot
+	// time, which must run in actor context (mgmt queries do) or after the
+	// sim quiesces.
+	reg.Func("sighost.list.services", func() uint64 { return uint64(len(sh.services)) })
+	reg.Func("sighost.list.outgoing", func() uint64 { return uint64(len(sh.outgoing)) })
+	reg.Func("sighost.list.incoming", func() uint64 { return uint64(len(sh.incoming)) })
+	reg.Func("sighost.list.wait_bind", func() uint64 { return uint64(len(sh.waitBind)) })
+	reg.Func("sighost.list.vci_map", func() uint64 { return uint64(len(sh.vciMap)) })
+	reg.Func("sighost.cookies", func() uint64 { return uint64(len(sh.cookies)) })
+	return sh
+}
+
+// Stats snapshots the signaling counters into the legacy struct.
+func (sh *Sighost) Stats() Stats {
+	return Stats{
+		ServicesRegistered: sh.ct.servicesRegistered.Value(),
+		CallsRequested:     sh.ct.callsRequested.Value(),
+		CallsEstablished:   sh.ct.callsEstablished.Value(),
+		CallsRejected:      sh.ct.callsRejected.Value(),
+		CallsFailed:        sh.ct.callsFailed.Value(),
+		CallsTorn:          sh.ct.callsTorn.Value(),
+		CallsCanceled:      sh.ct.callsCanceled.Value(),
+		AuthFailures:       sh.ct.authFailures.Value(),
+		BindTimeouts:       sh.ct.bindTimeouts.Value(),
+		KernelMsgs:         sh.ct.kernelMsgs.Value(),
+		PeerMsgs:           sh.ct.peerMsgs.Value(),
+		AppMsgs:            sh.ct.appMsgs.Value(),
 	}
 }
 
@@ -245,10 +356,35 @@ func (sh *Sighost) ListSizes() (services, outgoing, incoming, waitBind, vciMappi
 // CookieCount reports live per-VCI cookie entries.
 func (sh *Sighost) CookieCount() int { return len(sh.cookies) }
 
-func (sh *Sighost) tracef(format string, args ...any) {
+// traceOn reports whether any trace consumer is attached: the typed ring
+// (per-component enable flag) or the legacy Trace callback. Call sites gate
+// event construction on this so disabled tracing costs one nil-check and an
+// atomic load.
+func (sh *Sighost) traceOn() bool {
+	return sh.Trace != nil || sh.tr.Enabled()
+}
+
+// emit timestamps, stringifies and publishes one event: to the ring when the
+// sighost tracer is enabled, and to the legacy Trace callback when set.
+func (sh *Sighost) emit(ev obs.Event) {
+	ev.At = sh.env.Now()
+	ev.Text = eventString(ev)
 	if sh.Trace != nil {
-		sh.Trace(fmt.Sprintf(format, args...))
+		sh.Trace(ev.Text)
 	}
+	sh.tr.Emit(ev)
+}
+
+// emitMsg publishes a signaling-message event with typed identity fields.
+func (sh *Sighost) emitMsg(kind, peer string, m sigmsg.Msg) {
+	if !sh.traceOn() {
+		return
+	}
+	sh.emit(obs.Event{
+		Kind: kind, Peer: peer,
+		VCI: uint32(m.VCI), CallID: m.CallID, Cookie: uint32(m.Cookie),
+		Data: m,
+	})
 }
 
 // newCookie allocates an unused nonzero 16-bit capability.
@@ -272,18 +408,18 @@ func (sh *Sighost) newCookie() uint16 {
 // context switch.
 func (sh *Sighost) sendApp(conn Conn, m sigmsg.Msg) {
 	sh.env.Charge(sh.cm.ContextSwitch)
-	sh.tracef("sighost->app %v", m)
+	sh.emitMsg(EvAppTx, "", m)
 	_ = conn.Send(m)
 }
 
 // HandleApp processes one message from an application IPC connection.
 // from is the application machine's IP address (getpeername).
 func (sh *Sighost) HandleApp(conn Conn, from memnet.IPAddr, m sigmsg.Msg) {
-	sh.Stats.AppMsgs++
+	sh.ct.appMsgs.Inc()
 	// Application-to-kernel-to-sighost delivery: one switch charged at
 	// the sender, one here.
 	sh.env.Charge(sh.cm.ContextSwitch)
-	sh.tracef("app->sighost %v", m)
+	sh.emitMsg(EvAppRx, "", m)
 	switch m.Kind {
 	case sigmsg.KindExportSrv:
 		sh.handleExport(conn, from, m)
@@ -310,7 +446,7 @@ func (sh *Sighost) handleExport(conn Conn, from memnet.IPAddr, m sigmsg.Msg) {
 		return
 	}
 	sh.services[m.Service] = &serviceEntry{name: m.Service, ip: from, port: m.NotifyPort}
-	sh.Stats.ServicesRegistered++
+	sh.ct.servicesRegistered.Inc()
 	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindServiceRegs, Service: m.Service})
 }
 
@@ -329,7 +465,7 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "bad CONNECT_REQ"})
 		return
 	}
-	sh.Stats.CallsRequested++
+	sh.ct.callsRequested.Inc()
 	sh.nextCallID++
 	cookie := sh.newCookie()
 	c := &call{
@@ -342,6 +478,7 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 		endPort:  m.NotifyPort,
 		ownerPID: m.PID,
 		cookie:   cookie,
+		reqAt:    sh.env.Now(),
 	}
 	sh.calls[c.key] = c
 	sh.outgoing[cookie] = &outRequest{c: c}
@@ -358,12 +495,15 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 	})
 	if err != nil {
 		// No signaling path to the destination: fail the call now.
-		sh.Stats.CallsFailed++
+		sh.ct.callsFailed.Inc()
 		sh.notifyClientFailure(c, "destination unreachable: "+err.Error())
 		delete(sh.outgoing, cookie)
 		delete(sh.calls, c.key)
 		c.state = callReleased
+		return
 	}
+	c.setupSentAt = sh.env.Now()
+	sh.h.setupProcess.Observe(c.setupSentAt - c.reqAt)
 }
 
 func (sh *Sighost) handleCancelReq(conn Conn, m sigmsg.Msg) {
@@ -372,7 +512,7 @@ func (sh *Sighost) handleCancelReq(conn Conn, m sigmsg.Msg) {
 		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unknown request cookie"})
 		return
 	}
-	sh.Stats.CallsCanceled++
+	sh.ct.callsCanceled.Inc()
 	sh.teardown(req.c, "canceled by client", true)
 	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindCancelReq, Cookie: m.Cookie})
 }
@@ -409,7 +549,7 @@ func (sh *Sighost) handleRejectConn(conn Conn, m sigmsg.Msg) {
 	if reason == "" {
 		reason = "rejected by server"
 	}
-	sh.Stats.CallsRejected++
+	sh.ct.callsRejected.Inc()
 	sh.sendPeer(c.key.peer, sigmsg.Msg{Kind: sigmsg.KindSetupRej, CallID: c.key.id, Reason: reason})
 	sh.dropIncoming(c)
 }
@@ -426,14 +566,14 @@ func (sh *Sighost) dropIncoming(c *call) {
 }
 
 func (sh *Sighost) sendPeer(dst atm.Addr, m sigmsg.Msg) error {
-	sh.tracef("peer->%s %v", dst, m)
+	sh.emitMsg(EvPeerTx, string(dst), m)
 	return sh.env.SendPeer(dst, m)
 }
 
 // HandlePeer processes one message from the signaling entity at from.
 func (sh *Sighost) HandlePeer(from atm.Addr, m sigmsg.Msg) {
-	sh.Stats.PeerMsgs++
-	sh.tracef("peer<-%s %v", from, m)
+	sh.ct.peerMsgs.Inc()
+	sh.emitMsg(EvPeerRx, string(from), m)
 	switch m.Kind {
 	case sigmsg.KindSetup:
 		sh.peerSetup(from, m)
@@ -469,6 +609,7 @@ func (sh *Sighost) peerSetup(from atm.Addr, m sigmsg.Msg) {
 		endIP:   svc.ip,
 		endPort: svc.port,
 		cookie:  cookie,
+		reqAt:   sh.env.Now(),
 	}
 	sh.calls[c.key] = c
 	sh.incoming[cookie] = &inRequest{c: c}
@@ -502,6 +643,8 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 		return
 	}
 	c.state = callProgramming
+	c.ackAt = sh.env.Now()
+	sh.h.setupPeer.Observe(c.ackAt - c.setupSentAt)
 	c.qosStr = m.QoS
 	q, err := qos.Parse(m.QoS)
 	if err != nil {
@@ -509,7 +652,7 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 	}
 	vc, err := sh.env.SetupVC(c.key.peer, q)
 	if err != nil {
-		sh.Stats.CallsFailed++
+		sh.ct.callsFailed.Inc()
 		sh.sendPeer(from, sigmsg.Msg{Kind: sigmsg.KindRelease, CallID: m.CallID, Reason: "admission failed", FromOrigin: true})
 		sh.notifyClientFailure(c, "network admission failed: "+err.Error())
 		delete(sh.outgoing, c.cookie)
@@ -530,7 +673,7 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 			// Client vanished before establishment completed: tear the
 			// call down end to end.
 			if cur, live := sh.calls[c.key]; live && cur == c {
-				sh.Stats.CallsFailed++
+				sh.ct.callsFailed.Inc()
 				sh.teardown(c, "client unreachable", true)
 			}
 			return
@@ -540,7 +683,10 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 	})
 	c.state = callEstablished
 	delete(sh.outgoing, c.cookie)
-	sh.Stats.CallsEstablished++
+	sh.ct.callsEstablished.Inc()
+	c.estAt = sh.env.Now()
+	sh.h.setupProgram.Observe(c.estAt - c.ackAt)
+	sh.h.setupTotal.Observe(c.estAt - c.reqAt)
 }
 
 // peerSetupRej is the origin side after rejection.
@@ -549,7 +695,7 @@ func (sh *Sighost) peerSetupRej(from atm.Addr, m sigmsg.Msg) {
 	if !ok {
 		return
 	}
-	sh.Stats.CallsFailed++
+	sh.ct.callsFailed.Inc()
 	sh.notifyClientFailure(c, m.Reason)
 	delete(sh.outgoing, c.cookie)
 	delete(sh.calls, c.key)
@@ -586,7 +732,9 @@ func (sh *Sighost) peerConnectDone(from atm.Addr, m sigmsg.Msg) {
 		c.serverConn.Close()
 		c.serverConn = nil
 	}
-	sh.Stats.CallsEstablished++
+	sh.ct.callsEstablished.Inc()
+	c.estAt = sh.env.Now()
+	sh.h.acceptTotal.Observe(c.estAt - c.reqAt)
 }
 
 // peerRelease tears down the local side of a call at the peer's
@@ -607,9 +755,16 @@ func (sh *Sighost) peerRelease(from atm.Addr, m sigmsg.Msg) {
 // received before timeout, the connection is torn down."
 func (sh *Sighost) grantVCI(c *call, vci atm.VCI) {
 	sh.cookies[vci] = c.cookie
+	deadline := sh.env.Now() + sh.cm.BindTimeout
 	cancel := sh.env.After(sh.cm.BindTimeout, func() {
 		if bw, ok := sh.waitBind[vci]; ok && bw.c == c {
-			sh.Stats.BindTimeouts++
+			sh.ct.bindTimeouts.Inc()
+			// Fire lag: how far past its nominal deadline the timer ran
+			// (always 0 in the sim; real daemons see scheduler jitter).
+			sh.h.bindTimerLag.Observe(sh.env.Now() - deadline)
+			if sh.traceOn() {
+				sh.emit(obs.Event{Kind: EvBindTime, VCI: uint32(vci), CallID: c.key.id})
+			}
 			sh.teardown(c, "bind timeout", true)
 		}
 	})
@@ -620,8 +775,13 @@ func (sh *Sighost) grantVCI(c *call, vci atm.VCI) {
 // from is the machine whose kernel produced it: the router itself, or
 // an IP-connected host.
 func (sh *Sighost) HandleKernel(from memnet.IPAddr, k kern.KMsg) {
-	sh.Stats.KernelMsgs++
-	sh.tracef("kernel<-%v %v", from, k)
+	sh.ct.kernelMsgs.Inc()
+	if sh.traceOn() {
+		sh.emit(obs.Event{
+			Kind: EvKernRx, Peer: from.String(),
+			VCI: uint32(k.VCI), Cookie: uint32(k.Cookie), Data: k,
+		})
+	}
 	switch k.Kind {
 	case kern.MsgBind, kern.MsgConnect:
 		sh.kernelBindConnect(from, k)
@@ -649,13 +809,13 @@ func (sh *Sighost) kernelBindConnect(from memnet.IPAddr, k kern.KMsg) {
 	want, known := sh.cookies[k.VCI]
 	if !known {
 		// A bind to a VCI signaling never granted: malicious or stale.
-		sh.Stats.AuthFailures++
+		sh.ct.authFailures.Inc()
 		sh.env.KernelDisconnect(from, k.VCI)
 		return
 	}
 	bw, waiting := sh.waitBind[k.VCI]
 	if k.Cookie != want {
-		sh.Stats.AuthFailures++
+		sh.ct.authFailures.Inc()
 		if waiting {
 			sh.teardown(bw.c, "cookie authentication failed", true)
 		} else if c, ok := sh.vciMap[k.VCI]; ok {
@@ -668,6 +828,12 @@ func (sh *Sighost) kernelBindConnect(from memnet.IPAddr, k kern.KMsg) {
 		bw.cancel()
 		delete(sh.waitBind, k.VCI)
 		sh.vciMap[k.VCI] = bw.c
+		if bw.c.estAt > 0 {
+			sh.h.bindLatency.Observe(sh.env.Now() - bw.c.estAt)
+		}
+		if sh.traceOn() {
+			sh.emit(obs.Event{Kind: EvBindOK, VCI: uint32(k.VCI), CallID: bw.c.key.id})
+		}
 	}
 }
 
@@ -706,8 +872,13 @@ func (sh *Sighost) teardown(c *call, reason string, notifyPeer bool) {
 		return
 	}
 	c.state = callReleased
-	sh.Stats.CallsTorn++
-	sh.tracef("teardown call=%d origin=%v reason=%q", c.key.id, c.key.origin, reason)
+	sh.ct.callsTorn.Inc()
+	if sh.traceOn() {
+		sh.emit(obs.Event{
+			Kind: EvTeardown, CallID: c.key.id, VCI: uint32(c.localVCI),
+			Data: teardownInfo{origin: c.key.origin, reason: reason},
+		})
+	}
 	if sh.cm.LoggingEnabled {
 		sh.env.Charge(sh.cm.TeardownLogging)
 	}

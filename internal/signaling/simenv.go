@@ -48,13 +48,15 @@ func StartSim(stack *core.Stack, fab *xswitch.Fabric) *SimHost {
 		peers:  make(map[atm.Addr]*pfxunet.Socket),
 	}
 	h.env = &simEnv{h: h}
-	h.SH = New(h.env, CostModel{
+	// Share the machine's registry so sighost metrics land next to the
+	// kernel/device/shaper metrics in one mgmt-visible snapshot.
+	h.SH = NewWithObs(h.env, CostModel{
 		ContextSwitch:   stack.M.CM.ContextSwitch,
 		CallLogging:     stack.M.CM.CallLogging,
 		TeardownLogging: stack.M.CM.CallLogging / 5,
 		BindTimeout:     stack.M.CM.BindTimeout,
 		LoggingEnabled:  true,
-	})
+	}, stack.M.Obs)
 	e := stack.M.E
 
 	// Actor loop.
@@ -205,6 +207,7 @@ type simEnv struct {
 func (e *simEnv) Addr() atm.Addr         { return e.h.Stack.Addr }
 func (e *simEnv) LocalIP() memnet.IPAddr { return e.h.Stack.M.IP.Addr }
 func (e *simEnv) Rand16() uint16         { return uint16(e.h.Stack.M.E.Rand().Uint64()) }
+func (e *simEnv) Now() time.Duration     { return e.h.Stack.M.E.Now() }
 
 // Charge makes the actor busy for d; events queue behind it, exactly as
 // a single-threaded daemon backs up.

@@ -141,8 +141,8 @@ func TestPendingConnectionCancel(t *testing.T) {
 	if cancelErr != nil {
 		t.Fatalf("cancel: %v", cancelErr)
 	}
-	if ra.Sig.SH.Stats.CallsCanceled != 1 {
-		t.Fatalf("canceled = %d", ra.Sig.SH.Stats.CallsCanceled)
+	if ra.Sig.SH.Stats().CallsCanceled != 1 {
+		t.Fatalf("canceled = %d", ra.Sig.SH.Stats().CallsCanceled)
 	}
 	if msg := testbed.Quiesced(ra); msg != "" {
 		t.Fatal(msg)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"xunet/internal/atm"
+	"xunet/internal/obs"
 	"xunet/internal/qos"
 	"xunet/internal/sim"
 )
@@ -279,18 +280,33 @@ type Fabric struct {
 	endpoints map[atm.Addr]*Endpoint
 	vcs       map[vcID]*VC
 	nextVC    uint64
+
+	// Obs is the fabric's telemetry registry (the fabric is shared
+	// infrastructure, so it does not belong to any one machine's
+	// registry). Per-class cell counts and the active-VC level are
+	// registered as read-through metrics over the trunk counters.
+	Obs *obs.Registry
 }
 
 type vcID uint64
 
 // NewFabric returns an empty fabric on engine e.
 func NewFabric(e *sim.Engine) *Fabric {
-	return &Fabric{
+	f := &Fabric{
 		Engine:    e,
 		switches:  make(map[string]*Switch),
 		endpoints: make(map[atm.Addr]*Endpoint),
 		vcs:       make(map[vcID]*VC),
+		Obs:       obs.NewRegistry(),
 	}
+	classNames := [3]string{qos.BestEffort: "be", qos.VBR: "vbr", qos.CBR: "cbr"}
+	for cls := 0; cls < 3; cls++ {
+		c := qos.Class(cls)
+		f.Obs.Func("fabric.cells.sent."+classNames[cls], func() uint64 { return f.ClassStats().Sent[c] })
+		f.Obs.Func("fabric.cells.dropped."+classNames[cls], func() uint64 { return f.ClassStats().Dropped[c] })
+	}
+	f.Obs.Func("fabric.vcs.active", func() uint64 { return uint64(len(f.vcs)) })
+	return f
 }
 
 // AddSwitch creates a switch.
