@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-telemetry
+.PHONY: ci build vet test race benchcheck bench bench-telemetry
 
-ci: vet build test race
+ci: vet build test race benchcheck
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One benchmark per table/figure/experiment (see DESIGN.md §4).
+# Compile-and-smoke every benchmark (single iteration) so ci catches
+# bench-only build or runtime breakage without paying measurement time.
+benchcheck:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full measurement run: every benchmark at default benchtime, captured
+# as machine-readable JSON (see README for the BENCH_*.json format).
+# BenchmarkScheduleRun's 0 allocs/op steady state is gated separately by
+# TestScheduleRunSteadyStateAllocs in `make test`.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . ./... | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
 
 # The telemetry cost gate: a disabled trace call site must stay under
 # 5 ns (asserted inside the benchmark), and the signaling throughput

@@ -119,6 +119,7 @@ func (b *Board) Send(vci atm.VCI, frame *mbuf.Chain) error {
 	if err != nil {
 		return fmt.Errorf("hobbit: %w", err)
 	}
+	frame.Release() // segmented into cells; the chain is consumed
 	b.FramesOut++
 	for i := range cells {
 		b.CellsOut++
@@ -241,11 +242,13 @@ func (d *Driver) Input(vci atm.VCI, frame *mbuf.Chain) {
 	d.Meter.Charge(cost.OrcDriver, cost.OrcRecvDispatch)
 	if d.shut[vci] {
 		d.DiscardedShut++
+		frame.Release()
 		return
 	}
 	h := d.handlers[vci]
 	if h == nil {
 		d.DiscardedNoHandler++
+		frame.Release()
 		return
 	}
 	h(vci, frame)

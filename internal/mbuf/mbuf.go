@@ -13,6 +13,7 @@ package mbuf
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // MLEN is the data capacity of a single small mbuf, matching the
@@ -37,12 +38,64 @@ type Mbuf struct {
 }
 
 // leadingSpace is how much room new mbufs reserve at the front for
-// headers prepended by lower layers (the BSD max_linkhdr idea).
-const leadingSpace = 16
+// headers prepended by lower layers (the BSD max_linkhdr idea). 24
+// bytes covers the checksummed IPPROTO_ATM encapsulation header for
+// ATM addresses up to 14 characters.
+const leadingSpace = 24
 
-// alloc returns an mbuf with capacity c and leading space reserved.
+// Free lists, one per size class, in the spirit of the BSD mbuf map.
+// Mbufs return here via Chain.Release from the terminal points of the
+// data path (receive delivery, protocol drops), so steady-state traffic
+// recirculates buffers instead of allocating cold ones.
+var (
+	smallPool = sync.Pool{New: func() any {
+		return &Mbuf{buf: make([]byte, MLEN+leadingSpace)}
+	}}
+	clusterPool = sync.Pool{New: func() any {
+		return &Mbuf{buf: make([]byte, MCLBYTES+leadingSpace)}
+	}}
+)
+
+// alloc returns an mbuf with capacity at least c and leading space
+// reserved, drawing from the small or cluster free list when c fits a
+// standard size class.
 func alloc(c int) *Mbuf {
-	return &Mbuf{buf: make([]byte, c+leadingSpace), off: leadingSpace}
+	var m *Mbuf
+	switch {
+	case c <= MLEN:
+		m = smallPool.Get().(*Mbuf)
+	case c <= MCLBYTES:
+		m = clusterPool.Get().(*Mbuf)
+	default:
+		return &Mbuf{buf: make([]byte, c+leadingSpace), off: leadingSpace}
+	}
+	m.off = leadingSpace
+	m.n = 0
+	m.next = nil
+	return m
+}
+
+// Release returns every mbuf of the chain to its free list and empties
+// the chain. Call it only when the chain's data has been fully consumed
+// (copied out or dropped): slices previously returned by Data or Bytes
+// of pooled mbufs must not be used afterward. Release of a nil or empty
+// chain is a no-op.
+func (c *Chain) Release() {
+	if c == nil {
+		return
+	}
+	for m := c.head; m != nil; {
+		next := m.next
+		m.next = nil
+		switch len(m.buf) {
+		case MLEN + leadingSpace:
+			smallPool.Put(m)
+		case MCLBYTES + leadingSpace:
+			clusterPool.Put(m)
+		}
+		m = next
+	}
+	c.head, c.tail, c.count, c.length = nil, nil, 0, 0
 }
 
 // Data returns the valid bytes of this single mbuf (not the chain).
@@ -313,6 +366,9 @@ func (c *Chain) Pullup(n int) bool {
 		if h.n == 0 {
 			c.head = h.next
 			c.count--
+			if c.head == nil {
+				c.tail = nil
+			}
 		}
 	}
 	m.n = n

@@ -43,6 +43,7 @@ func (nd *Node) SendDatagram(dst IPAddr, dport, sport uint16, data []byte) error
 
 func (nd *Node) datagramInput(pkt *Packet) {
 	b := pkt.Payload.Bytes()
+	pkt.Payload.Release() // flattened copy taken; recycle the mbufs
 	if len(b) < dgramHeaderSize {
 		return
 	}

@@ -175,7 +175,7 @@ type Stream struct {
 	unackBase uint32   // lowest unacked seq
 	pending   [][]byte // messages waiting for window space
 	retries   int
-	rtimer    *sim.Timer
+	rtimer    sim.Timer
 	finSeq    uint32 // seq the FIN occupies, 0 if none
 	finQueued bool
 
@@ -317,10 +317,7 @@ func (s *Stream) abort(sendRST bool) {
 	if sendRST {
 		s.sendSegment(&segment{flags: flagRST, sport: s.key.lport, dport: s.key.rport})
 	}
-	if s.rtimer != nil {
-		s.rtimer.Stop()
-		s.rtimer = nil
-	}
+	s.rtimer.Stop()
 	s.inbox.Close()
 	if s.dialWaiter != nil {
 		s.dialErr = ErrStreamReset
@@ -335,10 +332,7 @@ func (s *Stream) finish(reset bool) {
 	}
 	s.toreDown = true
 	delete(s.node.streams.conns, s.key)
-	if s.rtimer != nil {
-		s.rtimer.Stop()
-		s.rtimer = nil
-	}
+	s.rtimer.Stop()
 	if s.teardown != nil {
 		s.teardown(reset)
 	}
@@ -363,14 +357,12 @@ func (s *Stream) sendSegment(seg *segment) {
 }
 
 func (s *Stream) armRetransmit() {
-	if s.rtimer != nil {
-		s.rtimer.Stop()
-	}
+	s.rtimer.Stop()
 	s.rtimer = s.node.net.Engine.Schedule(streamRTO, s.onRetransmit)
 }
 
 func (s *Stream) onRetransmit() {
-	s.rtimer = nil
+	s.rtimer = sim.Timer{}
 	if s.reset || s.toreDown {
 		return
 	}
@@ -403,7 +395,9 @@ func (s *Stream) onRetransmit() {
 
 // input dispatches an arriving stream segment on this node.
 func (sl *streamLayer) input(pkt *Packet) {
-	seg, ok := decodeSegment(pkt.Payload.Bytes())
+	b := pkt.Payload.Bytes()
+	pkt.Payload.Release() // flattened copy taken; recycle the mbufs
+	seg, ok := decodeSegment(b)
 	if !ok {
 		return
 	}
@@ -460,10 +454,7 @@ func (s *Stream) handle(seg *segment) {
 		if !s.established {
 			s.established = true
 			s.retries = 0
-			if s.rtimer != nil {
-				s.rtimer.Stop()
-				s.rtimer = nil
-			}
+			s.rtimer.Stop()
 			s.sendSegment(&segment{flags: flagACK, sport: s.key.lport, dport: s.key.rport, ack: s.recvNext})
 			if s.dialWaiter != nil {
 				s.dialWaiter.Unpark()
@@ -509,9 +500,8 @@ func (s *Stream) handle(seg *segment) {
 			s.unackBase = seg.ack
 		}
 		if advanced {
-			if len(s.unacked) == 0 && s.rtimer != nil {
+			if len(s.unacked) == 0 {
 				s.rtimer.Stop()
-				s.rtimer = nil
 			}
 			s.pump()
 			s.maybeFinish()

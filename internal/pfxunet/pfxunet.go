@@ -212,11 +212,13 @@ func (f *Family) input(vci atm.VCI, frame *mbuf.Chain) {
 	s := f.pcbs[vci]
 	if s == nil || s.state == stateClosed {
 		f.DroppedNoSocket++
+		frame.Release()
 		return
 	}
 	// Socket state checks and address fixup.
 	m.Charge(cost.PFXunet, cost.PFXunetStateChecks)
 	if s.state == stateDisconnected {
+		frame.Release()
 		return
 	}
 	m.Charge(cost.PFXunet, cost.PFXunetAddrFixup)
@@ -225,6 +227,7 @@ func (f *Family) input(vci atm.VCI, frame *mbuf.Chain) {
 	m.ChargePerMbuf(cost.PFXunet, frame.Count())
 	if s.recvBytes+frame.Len() > recvBufLimit {
 		f.DroppedOverflow++
+		frame.Release()
 		return
 	}
 	s.recvBytes += frame.Len()
@@ -240,7 +243,9 @@ func (s *Socket) Recv() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return chain.Bytes(), nil
+	p := chain.Bytes()
+	chain.Release()
+	return p, nil
 }
 
 // RecvChain is Recv without flattening the mbuf chain.

@@ -93,14 +93,17 @@ func (sh *shaper) drain() {
 	}
 	chain := sh.queue[0]
 	sh.queue = sh.queue[1:]
-	sh.bytes -= chain.Len()
-	sh.gDepth.Add(-int64(chain.Len()))
+	// Capture the length now: Output consumes the chain (the board
+	// releases it to the mbuf free list after segmentation).
+	n := chain.Len()
+	sh.bytes -= n
+	sh.gDepth.Add(-int64(n))
 	sh.ShapedOut++
 	sh.ctOut.Inc()
 	sock := sh.s
 	if sock.state == stateConnected {
 		_ = sock.f.m.Orc.Output(sock.vci, chain)
 	}
-	gap := time.Duration(uint64(chain.Len()) * 8 * uint64(time.Second) / sh.rateBps)
+	gap := time.Duration(uint64(n) * 8 * uint64(time.Second) / sh.rateBps)
 	sock.f.m.E.Schedule(gap, sh.drain)
 }

@@ -285,6 +285,7 @@ func (l *Layer) input(pkt *memnet.Packet) {
 	chain := pkt.Payload
 	hdrLen := headerPeekLen(chain)
 	if hdrLen < 0 || !chain.Pullup(hdrLen) {
+		chain.Release()
 		return
 	}
 	h, n, err := decode(chain.Head().Data())
@@ -292,6 +293,7 @@ func (l *Layer) input(pkt *memnet.Packet) {
 		if errors.Is(err, ErrBadChecksum) {
 			l.ChecksumErrors++
 		}
+		chain.Release()
 		return
 	}
 	chain.TrimFront(n)

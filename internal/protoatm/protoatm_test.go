@@ -366,11 +366,15 @@ func TestEncapHeaderPrependKeepsChainShort(t *testing.T) {
 	r := newRig(t)
 	chain := mbuf.FromBytes(bytes.Repeat([]byte{1}, 64))
 	count := chain.Count()
+	after := -1
 	r.hostA.Spawn("app", func(p *kern.Proc) {
 		_ = r.hostA.ATM.Encap(40, chain)
+		// Inspect before delivery: once consumed downstream, the chain
+		// is released to the mbuf free list.
+		after = chain.Count()
 	})
 	r.e.Run()
-	if chain.Count() != count {
-		t.Fatalf("prepend grew chain from %d to %d mbufs", count, chain.Count())
+	if after != count {
+		t.Fatalf("prepend grew chain from %d to %d mbufs", count, after)
 	}
 }

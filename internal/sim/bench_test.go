@@ -9,16 +9,49 @@ import (
 // itself (event dispatch, process switches, queue handoffs). These
 // bound how large a scenario the reproduction can run.
 
+// BenchmarkScheduleRun measures the steady-state schedule/dispatch path
+// on one long-lived engine: after warmup every event comes from the
+// free list, so an op is 1000 pooled schedule+run cycles with zero
+// allocations (gated by TestScheduleRunSteadyStateAllocs).
 func BenchmarkScheduleRun(b *testing.B) {
 	b.ReportAllocs()
+	e := New(1)
+	fn := func() {}
+	// Warm the free list to the working-set depth.
+	for j := 0; j < 1000; j++ {
+		e.Schedule(time.Duration(j)*time.Microsecond, fn)
+	}
+	e.Run()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e := New(1)
 		for j := 0; j < 1000; j++ {
-			e.Schedule(time.Duration(j)*time.Microsecond, func() {})
+			e.Schedule(time.Duration(j)*time.Microsecond, fn)
 		}
 		e.Run()
 	}
+	b.StopTimer()
 	b.ReportMetric(1000, "events/op")
+	elapsed := b.Elapsed()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)*1000/elapsed.Seconds(), "events/sec")
+	}
+}
+
+// TestScheduleRunSteadyStateAllocs gates the engine's hot path: once the
+// free list is warm, scheduling and running events must not allocate.
+func TestScheduleRunSteadyStateAllocs(t *testing.T) {
+	e := New(1)
+	fn := func() {}
+	run := func() {
+		for j := 0; j < 100; j++ {
+			e.Schedule(time.Duration(j)*time.Microsecond, fn)
+		}
+		e.Run()
+	}
+	run() // warm the free list
+	if avg := testing.AllocsPerRun(100, run); avg != 0 {
+		t.Fatalf("steady-state schedule/run allocates %.1f times per cycle, want 0", avg)
+	}
 }
 
 func BenchmarkProcSwitch(b *testing.B) {

@@ -6,10 +6,14 @@ import "time"
 // Producers Put from engine or process context; consumer processes Get,
 // blocking until an item, a timeout, or Close. Items are handed directly
 // to the longest-waiting consumer, so delivery order is deterministic.
+//
+// Items and waiters live in ring buffers, so consumed entries are
+// dropped for the garbage collector immediately — a drained queue
+// retains no references to the values that passed through it.
 type Queue[T any] struct {
 	e       *Engine
-	items   []T
-	waiters []*qwaiter[T]
+	items   Ring[T]
+	waiters Ring[*qwaiter[T]]
 	closed  bool
 }
 
@@ -27,7 +31,7 @@ func NewQueue[T any](e *Engine) *Queue[T] {
 }
 
 // Len reports the number of buffered (undelivered) items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.Len() }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
@@ -40,9 +44,8 @@ func (q *Queue[T]) Put(v T) bool {
 	if q.closed {
 		return false
 	}
-	for len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	for q.waiters.Len() > 0 {
+		w := q.waiters.Pop()
 		if w.p.done || w.p.killed {
 			continue
 		}
@@ -50,19 +53,17 @@ func (q *Queue[T]) Put(v T) bool {
 		w.p.Unpark()
 		return true
 	}
-	q.items = append(q.items, v)
+	q.items.Push(v)
 	return true
 }
 
 // TryGet removes and returns the head item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.items.Len() == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.items.Pop(), true
 }
 
 // Get blocks process p until an item arrives or the queue closes. The
@@ -75,17 +76,15 @@ func (q *Queue[T]) Get(p *Proc) (T, bool) {
 // GetTimeout is Get with a timeout; d < 0 means no timeout. The third
 // result reports whether the wait timed out.
 func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (v T, ok bool, timedOut bool) {
-	if len(q.items) > 0 {
-		v = q.items[0]
-		q.items = q.items[1:]
-		return v, true, false
+	if q.items.Len() > 0 {
+		return q.items.Pop(), true, false
 	}
 	if q.closed {
 		return v, false, false
 	}
 	w := &qwaiter[T]{p: p}
-	q.waiters = append(q.waiters, w)
-	var timer *Timer
+	q.waiters.Push(w)
+	var timer Timer
 	if d >= 0 {
 		timer = q.e.Schedule(d, func() {
 			if w.have || w.closed || w.timedOut {
@@ -97,9 +96,7 @@ func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (v T, ok bool, timedOut 
 		})
 	}
 	p.Park()
-	if timer != nil {
-		timer.Stop()
-	}
+	timer.Stop()
 	switch {
 	case w.have:
 		return w.item, true, false
@@ -111,9 +108,9 @@ func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (v T, ok bool, timedOut 
 }
 
 func (q *Queue[T]) removeWaiter(w *qwaiter[T]) {
-	for i, x := range q.waiters {
-		if x == w {
-			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+	for i := 0; i < q.waiters.Len(); i++ {
+		if q.waiters.At(i) == w {
+			q.waiters.RemoveAt(i)
 			return
 		}
 	}
@@ -127,9 +124,8 @@ func (q *Queue[T]) Close() {
 		return
 	}
 	q.closed = true
-	ws := q.waiters
-	q.waiters = nil
-	for _, w := range ws {
+	for q.waiters.Len() > 0 {
+		w := q.waiters.Pop()
 		w.closed = true
 		w.p.Unpark()
 	}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRingFIFOAndGrowth(t *testing.T) {
+	var r Ring[int]
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			r.Push(i)
+		}
+		for i := 0; i < 100; i++ {
+			if got := r.Pop(); got != i {
+				t.Fatalf("round %d: Pop = %d, want %d", round, got, i)
+			}
+		}
+		if r.Len() != 0 {
+			t.Fatalf("round %d: len = %d", round, r.Len())
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	var r Ring[int]
+	// Force head to rotate through the backing array repeatedly.
+	for i := 0; i < 1000; i++ {
+		r.Push(i)
+		r.Push(i + 1000)
+		if got := r.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+		if got := r.Pop(); got != i+1000 {
+			t.Fatalf("Pop = %d, want %d", got, i+1000)
+		}
+	}
+}
+
+func TestRingPushFrontPopTail(t *testing.T) {
+	var r Ring[int]
+	r.Push(2)
+	r.PushFront(1)
+	r.Push(3)
+	if got := r.PopTail(); got != 3 {
+		t.Fatalf("PopTail = %d", got)
+	}
+	if got := r.Pop(); got != 1 {
+		t.Fatalf("Pop = %d", got)
+	}
+	if got := r.Pop(); got != 2 {
+		t.Fatalf("Pop = %d", got)
+	}
+}
+
+func TestRingRemoveAt(t *testing.T) {
+	for remove := 0; remove < 5; remove++ {
+		var r Ring[int]
+		// Rotate head first so removal crosses the wrap point.
+		for i := 0; i < 6; i++ {
+			r.Push(-1)
+		}
+		for i := 0; i < 6; i++ {
+			r.Pop()
+		}
+		for i := 0; i < 5; i++ {
+			r.Push(i)
+		}
+		if got := r.RemoveAt(remove); got != remove {
+			t.Fatalf("RemoveAt(%d) = %d", remove, got)
+		}
+		want := []int{}
+		for i := 0; i < 5; i++ {
+			if i != remove {
+				want = append(want, i)
+			}
+		}
+		for i, w := range want {
+			if got := r.At(i); got != w {
+				t.Fatalf("after RemoveAt(%d): At(%d) = %d, want %d", remove, i, got, w)
+			}
+		}
+		r.Pop()
+	}
+}
+
+// TestRingZeroesVacatedSlots is the backing-array retention regression:
+// every removal path must clear its slot so consumed pointers are not
+// pinned by the ring.
+func TestRingZeroesVacatedSlots(t *testing.T) {
+	var r Ring[*int]
+	v := new(int)
+	r.Push(v)
+	r.Pop()
+	r.Push(v)
+	r.PopTail()
+	r.PushFront(v)
+	r.Pop()
+	r.Push(v)
+	r.Push(v)
+	r.RemoveAt(0)
+	r.RemoveAt(0)
+	for i, p := range r.buf {
+		if p != nil {
+			t.Fatalf("slot %d still holds a reference after removal", i)
+		}
+	}
+}
+
+// TestQueueDropsConsumedReferences asserts a drained Queue retains no
+// references to the items (or waiters) that passed through it — the
+// slice-head re-slicing leak this PR removed.
+func TestQueueDropsConsumedReferences(t *testing.T) {
+	e := New(1)
+	q := NewQueue[*int](e)
+	for i := 0; i < 64; i++ {
+		q.Put(new(int))
+	}
+	for {
+		if _, ok := q.TryGet(); !ok {
+			break
+		}
+	}
+	for i, p := range q.items.buf {
+		if p != nil {
+			t.Fatalf("drained queue still pins item in slot %d", i)
+		}
+	}
+
+	// Waiter bookkeeping must drop references too: time out a consumer
+	// and check the waiter ring holds nothing.
+	e.Go("waiter", func(p *Proc) {
+		if _, ok, timedOut := q.GetTimeout(p, time.Millisecond); ok || !timedOut {
+			t.Errorf("GetTimeout: ok=%v timedOut=%v", ok, timedOut)
+		}
+	})
+	e.Run()
+	if q.waiters.Len() != 0 {
+		t.Fatalf("waiters len = %d", q.waiters.Len())
+	}
+	for i, w := range q.waiters.buf {
+		if w != nil {
+			t.Fatalf("queue still pins dead waiter in slot %d", i)
+		}
+	}
+	e.Shutdown()
+}
+
+// TestPendingExact asserts Pending counts only live events: a stopped
+// timer leaves the heap immediately instead of lingering as a canceled
+// placeholder.
+func TestPendingExact(t *testing.T) {
+	e := New(1)
+	t1 := e.Schedule(time.Second, func() {})
+	t2 := e.Schedule(2*time.Second, func() {})
+	t3 := e.Schedule(3*time.Second, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", e.Pending())
+	}
+	if !t2.Stop() {
+		t.Fatal("t2.Stop reported not-pending")
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending after Stop = %d, want 2", e.Pending())
+	}
+	if t2.Pending() {
+		t.Fatal("stopped timer still Pending")
+	}
+	if !t1.Pending() || !t3.Pending() {
+		t.Fatal("live timers not Pending")
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after Run = %d, want 0", e.Pending())
+	}
+	if t1.Pending() || t3.Pending() {
+		t.Fatal("fired timers still Pending")
+	}
+}
+
+// TestTimerStaleHandleAfterReuse asserts a Timer held past its event's
+// execution stays inert even after the pooled event struct is recycled
+// for a different callback.
+func TestTimerStaleHandleAfterReuse(t *testing.T) {
+	e := New(1)
+	fired := 0
+	old := e.Schedule(time.Millisecond, func() { fired++ })
+	e.Run()
+	// The event struct is now on the free list; reuse it.
+	fresh := e.Schedule(time.Millisecond, func() { fired += 10 })
+	if old.Stop() {
+		t.Fatal("stale handle stopped a recycled event")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh timer lost its event to a stale Stop")
+	}
+	e.Run()
+	if fired != 11 {
+		t.Fatalf("fired = %d, want 11", fired)
+	}
+}

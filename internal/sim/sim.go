@@ -32,6 +32,11 @@ type Engine struct {
 	parked  map[*Proc]struct{}
 	rng     *Rand
 	current *Proc // the process currently holding execution, if any
+
+	// free is the event free list: every event that leaves the heap
+	// (executed or stopped) is recycled, so a steady-state simulation
+	// schedules callbacks without allocating.
+	free []*event
 }
 
 // New returns an engine with its clock at zero and randomness seeded
@@ -51,13 +56,15 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *Rand { return e.rng }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: gen increments each
+// time the struct is recycled, so stale Timer handles can tell that the
+// event they pointed at is gone.
 type event struct {
-	at       time.Duration
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int
+	gen   uint64
 }
 
 type eventHeap []*event
@@ -87,33 +94,61 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// Timer is a handle to a scheduled callback.
+// Timer is a handle to a scheduled callback. The zero value is inert
+// (Stop reports false). Timers are values, not allocations: they carry
+// a generation stamp so a handle held past its event's execution (or
+// past a Stop) safely becomes a no-op even once the event struct has
+// been recycled for a later callback.
 type Timer struct {
-	ev *event
+	e   *Engine
+	ev  *event
+	gen uint64
 }
 
-// Stop cancels the timer. It reports whether the callback was still
-// pending (false if it already ran or was stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled {
+// Stop cancels the timer, removing the event from the schedule
+// immediately. It reports whether the callback was still pending (false
+// if it already ran or was stopped).
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.index < 0 {
 		return false
 	}
-	t.ev.canceled = true
-	t.ev.fn = nil
+	heap.Remove(&t.e.events, t.ev.index)
+	t.e.release(t.ev)
 	return true
+}
+
+// Pending reports whether the callback has neither run nor been stopped.
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+}
+
+// release recycles an event that is no longer in the heap.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.index = -1
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Schedule arranges for fn to run in engine context after virtual delay
 // d (immediately-next if d <= 0). Events at equal times run in the order
 // they were scheduled.
-func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
+func (e *Engine) Schedule(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{at: e.now + d, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn = e.now+d, e.seq, fn
 	e.seq++
 	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	return Timer{e: e, ev: ev, gen: ev.gen}
 }
 
 // Proc is a cooperatively-scheduled simulated process. Its body runs on
@@ -125,7 +160,12 @@ type Proc struct {
 	done       bool
 	killed     bool
 	parked     bool
-	sleepTimer *Timer
+	sleepTimer Timer
+
+	// dispatchFn and sleepFn are bound once at Go so the hot
+	// park/unpark/sleep cycle schedules without allocating a closure.
+	dispatchFn func()
+	sleepFn    func()
 }
 
 // Name returns the name given at Go.
@@ -145,6 +185,11 @@ func (k killedErr) Error() string { return "sim: process " + k.name + " killed a
 // the current virtual time; it first executes when the engine next runs.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	p.dispatchFn = func() { e.dispatch(p) }
+	p.sleepFn = func() {
+		p.sleepTimer = Timer{}
+		e.dispatch(p)
+	}
 	e.live++
 	e.procs[p] = struct{}{}
 	go func() {
@@ -163,7 +208,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.Schedule(0, func() { e.dispatch(p) })
+	e.Schedule(0, p.dispatchFn)
 	return p
 }
 
@@ -208,15 +253,12 @@ func (p *Proc) Unpark() {
 	}
 	p.parked = false
 	delete(p.e.parked, p)
-	p.e.Schedule(0, func() { p.e.dispatch(p) })
+	p.e.Schedule(0, p.dispatchFn)
 }
 
 // Sleep blocks the process for virtual duration d.
 func (p *Proc) Sleep(d time.Duration) {
-	p.sleepTimer = p.e.Schedule(d, func() {
-		p.sleepTimer = nil
-		p.e.dispatch(p)
-	})
+	p.sleepTimer = p.e.Schedule(d, p.sleepFn)
 	p.yieldToEngine()
 }
 
@@ -236,11 +278,10 @@ func (p *Proc) Kill() {
 	case p.parked:
 		p.parked = false
 		delete(p.e.parked, p)
-		p.e.Schedule(0, func() { p.e.dispatch(p) })
-	case p.sleepTimer != nil:
-		p.sleepTimer.Stop()
-		p.sleepTimer = nil
-		p.e.Schedule(0, func() { p.e.dispatch(p) })
+		p.e.Schedule(0, p.dispatchFn)
+	case p.sleepTimer.Stop():
+		p.sleepTimer = Timer{}
+		p.e.Schedule(0, p.dispatchFn)
 	default:
 		// Either running right now (self-kill: unwind immediately) or
 		// already queued for a dispatch that will observe the flag.
@@ -261,11 +302,10 @@ func (e *Engine) Run() {
 	defer func() { e.running = false }()
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
-			continue
-		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.release(ev)
+		fn()
 	}
 }
 
@@ -279,11 +319,10 @@ func (e *Engine) RunUntil(t time.Duration) {
 	defer func() { e.running = false }()
 	for len(e.events) > 0 && e.events[0].at <= t {
 		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
-			continue
-		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.release(ev)
+		fn()
 	}
 	if e.now < t {
 		e.now = t
@@ -299,8 +338,8 @@ func (e *Engine) Parked() int { return len(e.parked) }
 // Live reports how many processes have been started and not finished.
 func (e *Engine) Live() int { return e.live }
 
-// Pending reports how many events (including canceled placeholders)
-// remain queued.
+// Pending reports exactly how many scheduled events remain queued.
+// Stopped timers leave the heap immediately, so they are not counted.
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Shutdown kills every live process — parked, sleeping, or queued for a
@@ -315,10 +354,8 @@ func (e *Engine) Shutdown() {
 				p.parked = false
 				delete(e.parked, p)
 			}
-			if p.sleepTimer != nil {
-				p.sleepTimer.Stop()
-				p.sleepTimer = nil
-			}
+			p.sleepTimer.Stop()
+			p.sleepTimer = Timer{}
 			// Every non-done process is blocked on its resume channel
 			// (the cooperative-scheduling invariant), so a direct
 			// dispatch unwinds it via the kill panic.

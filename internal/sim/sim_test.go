@@ -60,9 +60,9 @@ func TestTimerStop(t *testing.T) {
 	if ran {
 		t.Fatal("stopped timer fired")
 	}
-	var nilTimer *Timer
-	if nilTimer.Stop() {
-		t.Fatal("nil timer Stop reported pending")
+	var zeroTimer Timer
+	if zeroTimer.Stop() {
+		t.Fatal("zero timer Stop reported pending")
 	}
 }
 

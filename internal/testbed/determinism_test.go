@@ -1,0 +1,89 @@
+package testbed_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"xunet/internal/kern"
+	"xunet/internal/obs"
+	"xunet/internal/testbed"
+)
+
+// The engine-pooling and cell-train optimizations must not perturb
+// event order: two runs of the same seeded workload have to produce the
+// same virtual history down to the byte. stormFingerprint renders every
+// observable artifact of one call-storm run — the golden sighost trace
+// lines, the typed obs event rings (with virtual timestamps and
+// sequence numbers), the storm result, and the final registry
+// snapshots — into a single string for comparison.
+func stormFingerprint(t *testing.T, seed uint64) string {
+	t.Helper()
+	n, ra, rb, err := testbed.NewTestbed(testbed.Options{
+		Seed:          seed,
+		DeviceBuffers: kern.FixedDeviceBuffers,
+		FDTableSize:   kern.FixedFDTableSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	ra.Stack.M.Obs.EnableTrace("sighost", true)
+	rb.Stack.M.Obs.EnableTrace("sighost", true)
+	ra.Sig.SH.Trace = func(l string) { fmt.Fprintf(&sb, "A %s\n", l) }
+	rb.Sig.SH.Trace = func(l string) { fmt.Fprintf(&sb, "B %s\n", l) }
+	testbed.StartEchoServer(rb, "storm", 6000)
+	n.E.RunUntil(time.Second)
+	res := testbed.CallStorm(ra, "ucb.rt", "storm", testbed.StormConfig{
+		Count: 30, Hold: 250 * time.Millisecond, FramesPerCall: 2,
+		KillEvery: 7, KillAfter: 40 * time.Millisecond,
+	})
+	n.E.RunUntil(n.E.Now() + 4*n.CM.BindTimeout)
+	fmt.Fprintf(&sb, "storm: launched=%d ok=%d failed=%d killed=%d min=%v max=%v total=%v\n",
+		res.Launched, res.Succeeded, res.Failed, res.Killed,
+		res.MinSetup, res.MaxSetup, res.TotalSetup)
+	for _, rr := range []struct {
+		name string
+		r    *testbed.Router
+	}{{"mh.rt", ra}, {"ucb.rt", rb}} {
+		ring := rr.r.Stack.M.Obs.Ring()
+		evs, err := json.Marshal(ring.Last(obs.DefaultRingSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "%s ring total=%d events=%s\n", rr.name, ring.Total(), evs)
+	}
+	fmt.Fprintf(&sb, "report:\n%s", n.Snapshot().String())
+	n.E.Shutdown()
+	return sb.String()
+}
+
+func TestCallStormDeterministicAcrossRuns(t *testing.T) {
+	first := stormFingerprint(t, 42)
+	if !strings.Contains(first, "launched=30") || strings.Contains(first, "killed=0") {
+		t.Fatalf("storm did not run the intended mixed workload:\n%s", firstLines(first, 5))
+	}
+	if !strings.Contains(first, `"comp":"sighost"`) || !strings.Contains(first, "setup latency:") {
+		t.Fatal("fingerprint carries no event-ring or registry content")
+	}
+	second := stormFingerprint(t, 42)
+	if first != second {
+		a, b := strings.Split(first, "\n"), strings.Split(second, "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("same-seed runs diverge at line %d:\n run1: %s\n run2: %s", i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("same-seed runs diverge in length: %d vs %d lines", len(a), len(b))
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

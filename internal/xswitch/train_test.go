@@ -1,0 +1,245 @@
+package xswitch
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/qos"
+	"xunet/internal/sim"
+)
+
+// Cell-train batching must be invisible in virtual time: every scenario
+// here runs once with TrainBurst=1 (the per-cell discipline the trains
+// replace) and once with a large burst, and the receiver-side traces —
+// cells, exact arrival times, per-class counters, drop and unroutable
+// counts — must match field for field.
+
+// trainTrace is the observable outcome of a scenario.
+type trainTrace struct {
+	Cells      []atm.Cell
+	Times      []time.Duration
+	Class      ClassCellStats
+	Unroutable uint64
+	Final      time.Duration
+}
+
+// trainRig wires routerA — swA — swB — routerB with every link sharing
+// cfg, so queue limits and burst length apply on all three hops.
+func trainRig(t *testing.T, cfg LinkConfig) (*sim.Engine, *Fabric, *Endpoint, *collector) {
+	t.Helper()
+	e := sim.New(1)
+	f := NewFabric(e)
+	swA := f.MustAddSwitch("sw-A")
+	swB := f.MustAddSwitch("sw-B")
+	f.ConnectSwitches(swA, swB, cfg)
+	ca, cb := &collector{e: e}, &collector{e: e}
+	epA, err := f.Attach("mh.rt", ca, swA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach("ucb.rt", cb, swB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return e, f, epA, cb
+}
+
+func runTrainScenario(t *testing.T, cfg LinkConfig, scenario func(e *sim.Engine, f *Fabric, epA *Endpoint)) trainTrace {
+	t.Helper()
+	e, f, epA, cb := trainRig(t, cfg)
+	scenario(e, f, epA)
+	e.Run()
+	var unroutable uint64
+	for _, sw := range f.switches {
+		unroutable += sw.Unroutable
+	}
+	return trainTrace{
+		Cells:      cb.cells,
+		Times:      cb.times,
+		Class:      f.ClassStats(),
+		Unroutable: unroutable,
+		Final:      e.Now(),
+	}
+}
+
+// setupClassVCs provisions one VC per service class, in fixed order.
+func setupClassVCs(t *testing.T, f *Fabric) [3]*VC {
+	t.Helper()
+	var vcs [3]*VC
+	for i, q := range []qos.QoS{
+		{Class: qos.BestEffort},
+		{Class: qos.VBR, BandwidthKbs: 4_000},
+		{Class: qos.CBR, BandwidthKbs: 8_000},
+	} {
+		vc, err := f.SetupVC("mh.rt", "ucb.rt", q)
+		if err != nil {
+			t.Fatalf("SetupVC class %d: %v", i, err)
+		}
+		vcs[i] = vc
+	}
+	return vcs
+}
+
+func cellOn(vc *VC, seq byte) atm.Cell {
+	c := atm.Cell{Header: atm.Header{VCI: vc.SrcVCI, PTI: atm.PTIUserData0}}
+	c.Payload[0] = seq
+	return c
+}
+
+func TestCellTrainEquivalence(t *testing.T) {
+	base := LinkConfig{RateBps: 45_000_000, Delay: 2 * time.Millisecond, QueueCells: 2048}
+	cases := []struct {
+		name     string
+		cfg      LinkConfig // TrainBurst filled in per run
+		minCells int        // sanity floor on delivered cells
+		scenario func(e *sim.Engine, f *Fabric, epA *Endpoint)
+	}{
+		{
+			// A mixed burst far longer than any one class's WRR credit:
+			// serving it crosses CBR→VBR→BestEffort boundaries and a
+			// credit replenish inside a single train.
+			name:     "wrr straddle across class switch",
+			cfg:      base,
+			minCells: 60,
+			scenario: func(e *sim.Engine, f *Fabric, epA *Endpoint) {
+				vcs := setupClassVCs(t, f)
+				e.Schedule(0, func() {
+					for i := 0; i < 20; i++ {
+						epA.SendCell(cellOn(vcs[2], byte(i)))     // CBR
+						epA.SendCell(cellOn(vcs[1], byte(100+i))) // VBR
+						epA.SendCell(cellOn(vcs[0], byte(200+i))) // BestEffort
+					}
+				})
+			},
+		},
+		{
+			// A second blast lands while the first train is mid-flight:
+			// the train must truncate and the overflow check must see
+			// the queue depth the per-cell discipline would.
+			name:     "queue overflow mid-train",
+			cfg:      LinkConfig{RateBps: 45_000_000, Delay: 2 * time.Millisecond, QueueCells: 8},
+			minCells: 8,
+			scenario: func(e *sim.Engine, f *Fabric, epA *Endpoint) {
+				vcs := setupClassVCs(t, f)
+				e.Schedule(0, func() {
+					for i := 0; i < 8; i++ {
+						epA.SendCell(cellOn(vcs[0], byte(i)))
+					}
+				})
+				// DS3 serializes a cell in ~9.4µs; 30µs is ~3 slots in.
+				e.Schedule(30*time.Microsecond, func() {
+					for i := 0; i < 24; i++ {
+						epA.SendCell(cellOn(vcs[0], byte(50+i)))
+					}
+				})
+			},
+		},
+		{
+			// The VC is torn down while its cells are still propagating:
+			// cells already on the wire lose their translation entries
+			// and must count as unroutable at the same instants.
+			name:     "vc teardown with cells in flight",
+			cfg:      base,
+			minCells: 0,
+			scenario: func(e *sim.Engine, f *Fabric, epA *Endpoint) {
+				vcs := setupClassVCs(t, f)
+				e.Schedule(0, func() {
+					for i := 0; i < 10; i++ {
+						epA.SendCell(cellOn(vcs[2], byte(i)))
+					}
+				})
+				// All 10 serialize within ~95µs; arrivals start at 2ms.
+				e.Schedule(500*time.Microsecond, func() {
+					vcs[2].Release()
+				})
+			},
+		},
+		{
+			// Staggered sends that repeatedly interrupt active trains at
+			// non-slot-aligned instants exercise truncate()'s rounding.
+			name:     "repeated truncation at odd offsets",
+			cfg:      base,
+			minCells: 30,
+			scenario: func(e *sim.Engine, f *Fabric, epA *Endpoint) {
+				vcs := setupClassVCs(t, f)
+				for k := 0; k < 10; k++ {
+					k := k
+					at := time.Duration(k) * 7 * time.Microsecond
+					e.Schedule(at, func() {
+						epA.SendCell(cellOn(vcs[k%3], byte(k)))
+						epA.SendCell(cellOn(vcs[(k+1)%3], byte(k+10)))
+						epA.SendCell(cellOn(vcs[(k+2)%3], byte(k+20)))
+					})
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			perCell := tc.cfg
+			perCell.TrainBurst = 1
+			batched := tc.cfg
+			batched.TrainBurst = 32
+			want := runTrainScenario(t, perCell, tc.scenario)
+			got := runTrainScenario(t, batched, tc.scenario)
+			if len(want.Cells) < tc.minCells {
+				t.Fatalf("scenario too weak: only %d cells delivered", len(want.Cells))
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("burst=32 diverges from burst=1:\n per-cell: %d cells, class=%+v, unroutable=%d, final=%v\n batched:  %d cells, class=%+v, unroutable=%d, final=%v",
+					len(want.Cells), want.Class, want.Unroutable, want.Final,
+					len(got.Cells), got.Class, got.Unroutable, got.Final)
+				for i := 0; i < len(want.Cells) && i < len(got.Cells); i++ {
+					if want.Cells[i] != got.Cells[i] || want.Times[i] != got.Times[i] {
+						t.Fatalf("first divergence at arrival %d: per-cell (%v, vci=%d, p0=%d) vs batched (%v, vci=%d, p0=%d)",
+							i, want.Times[i], want.Cells[i].VCI, want.Cells[i].Payload[0],
+							got.Times[i], got.Cells[i].VCI, got.Cells[i].Payload[0])
+					}
+				}
+				t.Fatalf("cell count mismatch: %d vs %d", len(want.Cells), len(got.Cells))
+			}
+		})
+	}
+}
+
+// TestTrainTruncationRestoresQueueState drives truncate() directly: a
+// send mid-train must leave counters and queue depths exactly as if no
+// train had been planned past the interruption point.
+func TestTrainTruncationRestoresQueueState(t *testing.T) {
+	cfg := LinkConfig{RateBps: 45_000_000, Delay: 2 * time.Millisecond, QueueCells: 2048, TrainBurst: 32}
+	e, f, epA, cb := trainRig(t, cfg)
+	vc, err := f.SetupVC("mh.rt", "ucb.rt", qos.BestEffortQoS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Schedule(0, func() {
+		for i := 0; i < 20; i++ {
+			epA.SendCell(cellOn(vc, byte(i)))
+		}
+	})
+	// ~9.4µs per cell: at 40µs, 5 slots have logically passed.
+	e.Schedule(40*time.Microsecond, func() {
+		up := epA.uplink
+		if up.trainLen >= 20 {
+			t.Errorf("train not truncated: len=%d", up.trainLen)
+		}
+		if int(up.Sent)-up.trainLen-len(cb.cells) < 0 {
+			t.Errorf("Sent=%d below committed train", up.Sent)
+		}
+		epA.SendCell(cellOn(vc, 99))
+	})
+	e.Run()
+	if len(cb.cells) != 21 {
+		t.Fatalf("delivered %d cells, want 21", len(cb.cells))
+	}
+	if cb.cells[20].Payload[0] != 99 {
+		t.Fatalf("interrupting cell arrived out of order: last p0=%d", cb.cells[20].Payload[0])
+	}
+	for i := 1; i < len(cb.times); i++ {
+		if cb.times[i] <= cb.times[i-1] {
+			t.Fatalf("arrivals not strictly increasing at %d: %v then %v", i, cb.times[i-1], cb.times[i])
+		}
+	}
+}

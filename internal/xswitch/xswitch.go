@@ -32,7 +32,17 @@ type LinkConfig struct {
 	RateBps    uint64        // line rate
 	Delay      time.Duration // propagation delay
 	QueueCells int           // per-class output queue limit, in cells
+	// TrainBurst caps how many cells one scheduled transmit event plans
+	// ahead (a "cell train"). 0 means DefaultTrainBurst. 1 reproduces
+	// the one-event-per-cell discipline exactly; any value yields
+	// bit-identical virtual arrival times (see trunk.truncate).
+	TrainBurst int
 }
+
+// DefaultTrainBurst is the cell-train length used when LinkConfig leaves
+// TrainBurst zero. A 1400-byte frame is ~30 cells, so one train per
+// frame is the common case.
+const DefaultTrainBurst = 32
 
 // DS3 returns the 45 Mb/s long-distance trunk profile of Xunet 2.
 func DS3(delay time.Duration) LinkConfig {
@@ -82,12 +92,32 @@ type trunk struct {
 	to     node
 	cfg    LinkConfig
 	book   *qos.Book
+	ser    time.Duration // per-cell serialization time (0 if RateBps is 0)
 
 	// Three class queues (index qos.Class) drained by WRR.
-	queues    [3][]atm.Cell
-	draining  bool
-	rrCredit  [3]int
-	busyUntil time.Duration
+	queues   [3]sim.Ring[atm.Cell]
+	draining bool
+	rrCredit [3]int
+
+	// Cell-train state. While draining, slots[0:trainLen] records the
+	// WRR picks planned at trainStart, each with the credit vector as it
+	// stood before that pick, so a send arriving mid-train can roll back
+	// the picks whose logical pick times have not yet been reached
+	// (truncate) and leave the queues and credits exactly as the
+	// one-event-per-cell discipline would have them.
+	trainStart time.Duration
+	trainLen   int
+	slots      []trainSlot
+	txTimer    sim.Timer
+	txFn       func()
+
+	// In-flight cells awaiting delivery at t.to, ordered by arrival
+	// time. One self-rescheduling pooled event (delivFn) fires at each
+	// exact per-cell arrival time, so receivers observe timing identical
+	// to per-cell propagation events.
+	inflight sim.Ring[flightCell]
+	delivOn  bool
+	delivFn  func()
 
 	// VCI allocation on this trunk. pair is the reverse trunk of the
 	// duplex link; VCIs are reserved on both directions together so that
@@ -109,20 +139,46 @@ type trunk struct {
 // a two-level approximation of the hierarchical round robin of [17].
 var wrrWeights = [3]int{1, 4, 16} // BestEffort, VBR, CBR (by qos.Class value)
 
+// trainSlot is one planned WRR pick in the active cell train.
+type trainSlot struct {
+	cell         atm.Cell
+	cls          qos.Class
+	creditBefore [3]int // rrCredit immediately before this pick
+}
+
+// flightCell is a transmitted cell awaiting delivery at the far node.
+type flightCell struct {
+	cell atm.Cell
+	at   time.Duration // exact virtual arrival time
+}
+
 func newTrunk(f *Fabric, from, to node, cfg LinkConfig) *trunk {
 	if cfg.QueueCells <= 0 {
 		cfg.QueueCells = 256
 	}
-	return &trunk{
+	if cfg.TrainBurst <= 0 {
+		cfg.TrainBurst = DefaultTrainBurst
+	}
+	t := &trunk{
 		fabric:    f,
 		from:      from,
 		to:        to,
 		cfg:       cfg,
 		book:      qos.NewBook(cfg.RateBps / 1000), // book in kb/s
+		slots:     make([]trainSlot, cfg.TrainBurst),
 		usedVCI:   make(map[atm.VCI]bool),
 		nextVCI:   32, // low VCIs reserved for PVCs and management
 		classVCIs: make(map[atm.VCI]qos.Class),
 	}
+	if cfg.RateBps > 0 {
+		t.ser = time.Duration(uint64(atm.CellSize*8) * uint64(time.Second) / cfg.RateBps)
+	}
+	t.txFn = func() {
+		t.txTimer = sim.Timer{}
+		t.drain()
+	}
+	t.delivFn = t.deliver
+	return t
 }
 
 // allocVCI reserves an unused VCI on this trunk (and its reverse
@@ -155,60 +211,136 @@ func (t *trunk) freeVCI(v atm.VCI) {
 
 // send enqueues a cell for transmission, classifying it by its VCI's
 // service class. Queue overflow drops the cell (AAL5 detects the loss).
+// If a cell train is in flight, picks whose logical pick times are still
+// in the future are rolled back first, so the overflow check and the
+// eventual WRR order see exactly the state the per-cell discipline
+// would.
 func (t *trunk) send(c atm.Cell) {
+	if t.draining {
+		t.truncate()
+	}
 	cls := t.classVCIs[c.VCI] // zero value = BestEffort
-	q := &t.queues[cls]
-	if len(*q) >= t.cfg.QueueCells {
+	if t.queues[cls].Len() >= t.cfg.QueueCells {
 		t.Dropped++
 		t.perClassDrop[cls]++
 		return
 	}
-	*q = append(*q, c)
+	t.queues[cls].Push(c)
 	if !t.draining {
 		t.drain()
 	}
 }
 
-// drain transmits queued cells at line rate, one event per cell,
-// picking the next cell by weighted round robin across class queues.
+// queuedAny reports whether any class queue holds a cell.
+func (t *trunk) queuedAny() bool {
+	return t.queues[0].Len() > 0 || t.queues[1].Len() > 0 || t.queues[2].Len() > 0
+}
+
+// drain plans the next cell train: up to TrainBurst WRR picks made at
+// the current instant, with logical pick times trainStart + j*ser. One
+// pooled event (txFn) fires when the last planned cell finishes
+// serializing; each picked cell joins the in-flight ring with its exact
+// arrival time trainStart + (j+1)*ser + Delay.
 func (t *trunk) drain() {
-	cls, ok := t.pick()
-	if !ok {
+	if !t.queuedAny() {
+		// The per-cell discipline's failing pick replenished credits on
+		// its first empty pass; preserve that side effect.
+		t.rrCredit = wrrWeights
 		t.draining = false
 		return
 	}
 	t.draining = true
-	c := t.queues[cls][0]
-	t.queues[cls] = t.queues[cls][1:]
-	t.Sent++
-	t.perClass[cls]++
 	e := t.fabric.Engine
-	var ser time.Duration
-	if t.cfg.RateBps > 0 {
-		ser = time.Duration(uint64(atm.CellSize*8) * uint64(time.Second) / t.cfg.RateBps)
+	t.trainStart = e.Now()
+	n := 0
+	for n < t.cfg.TrainBurst && t.queuedAny() {
+		credit := t.rrCredit
+		cls := t.pick()
+		c := t.queues[cls].Pop()
+		t.Sent++
+		t.perClass[cls]++
+		t.slots[n] = trainSlot{cell: c, cls: cls, creditBefore: credit}
+		t.inflight.Push(flightCell{cell: c, at: t.trainStart + time.Duration(n+1)*t.ser + t.cfg.Delay})
+		n++
 	}
-	to, l := t.to, t
-	e.Schedule(ser, func() {
-		e.Schedule(l.cfg.Delay, func() { to.inject(l, c) })
-		t.drain()
-	})
+	t.trainLen = n
+	if !t.delivOn {
+		// delivOn false implies the in-flight ring was empty, so the
+		// next arrival is this train's first cell.
+		t.delivOn = true
+		e.Schedule(t.ser+t.cfg.Delay, t.delivFn)
+	}
+	t.txTimer = e.Schedule(time.Duration(n)*t.ser, t.txFn)
+}
+
+// truncate rolls the active train back to the picks whose logical pick
+// times (trainStart + j*ser) have already passed. A pick at exactly the
+// current instant is rolled back too: under the per-cell discipline the
+// enqueue triggering this call would have run before that boundary's
+// pick (its causing event was scheduled earlier, since propagation
+// delays exceed cell serialization times on every profile). The rolled
+// back cells return to the front of their class queues, the credit
+// vector rewinds to the first uncommitted pick, and the transmit event
+// is pulled in to the end of the committed prefix.
+func (t *trunk) truncate() {
+	if t.ser == 0 {
+		return // infinite rate: every pick was instantaneous
+	}
+	elapsed := t.fabric.Engine.Now() - t.trainStart
+	k := int(elapsed / t.ser)
+	if elapsed%t.ser != 0 {
+		k++
+	}
+	if k < 1 {
+		k = 1 // slot 0 was picked at trainStart, before this send
+	}
+	if k >= t.trainLen {
+		return
+	}
+	for j := t.trainLen - 1; j >= k; j-- {
+		s := t.slots[j]
+		t.inflight.PopTail()
+		t.queues[s.cls].PushFront(s.cell)
+		t.rrCredit = s.creditBefore
+		t.Sent--
+		t.perClass[s.cls]--
+	}
+	t.trainLen = k
+	t.txTimer.Stop()
+	t.txTimer = t.fabric.Engine.Schedule(t.trainStart+time.Duration(k)*t.ser-t.fabric.Engine.Now(), t.txFn)
+}
+
+// deliver fires at the arrival time of the in-flight head, injects every
+// cell due now, and re-arms itself for the next arrival.
+func (t *trunk) deliver() {
+	e := t.fabric.Engine
+	now := e.Now()
+	for t.inflight.Len() > 0 && t.inflight.At(0).at <= now {
+		fc := t.inflight.Pop()
+		t.to.inject(t, fc.cell)
+	}
+	if t.inflight.Len() > 0 {
+		e.Schedule(t.inflight.At(0).at-now, t.delivFn)
+	} else {
+		t.delivOn = false
+	}
 }
 
 // pick chooses the next class queue to serve: highest class first until
-// its WRR credit is spent, then the next, replenishing when all are idle
-// or exhausted.
-func (t *trunk) pick() (qos.Class, bool) {
+// its WRR credit is spent, then the next, replenishing when all are
+// exhausted. At least one queue must be non-empty.
+func (t *trunk) pick() qos.Class {
 	for pass := 0; pass < 2; pass++ {
 		for cls := int(qos.CBR); cls >= int(qos.BestEffort); cls-- {
-			if len(t.queues[cls]) > 0 && t.rrCredit[cls] > 0 {
+			if t.queues[cls].Len() > 0 && t.rrCredit[cls] > 0 {
 				t.rrCredit[cls]--
-				return qos.Class(cls), true
+				return qos.Class(cls)
 			}
 		}
 		// Replenish credits and retry once.
 		t.rrCredit = wrrWeights
 	}
-	return 0, false
+	panic("xswitch: pick with no queued cells")
 }
 
 // Stats reports (sent, dropped) cell counts for the trunk.
