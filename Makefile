@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchcheck bench bench-telemetry
+.PHONY: ci build vet test race benchcheck bench bench-telemetry tracegate
 
-ci: vet build test race benchcheck
+ci: vet build test race benchcheck tracegate
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,16 @@ benchcheck:
 # TestScheduleRunSteadyStateAllocs in `make test`.
 bench:
 	$(GO) test -run '^$$' -bench . ./... | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+
+# The causal-tracing gate: the overhead benchmark self-asserts that a
+# disabled collector call site stays under 5 ns (and the unsampled path
+# at 0 allocs/op, via TestUnsampledPathAllocs in `make test`), then the
+# E4 storm's trace export is schema-checked as Chrome trace-event JSON
+# and run twice to prove same-seed byte determinism.
+tracegate:
+	$(GO) test -run '^$$' -bench BenchmarkTraceOverhead/disabled -benchtime 2000000x ./internal/trace/
+	$(GO) run ./cmd/tracegen | $(GO) run ./cmd/tracecheck -v
+	$(GO) run ./cmd/tracegen > /tmp/tracegate-a.json && $(GO) run ./cmd/tracegen > /tmp/tracegate-b.json && cmp /tmp/tracegate-a.json /tmp/tracegate-b.json
 
 # The telemetry cost gate: a disabled trace call site must stay under
 # 5 ns (asserted inside the benchmark), and the signaling throughput

@@ -1,0 +1,65 @@
+// Command tracegen runs the §10 call storm on the simulated testbed and
+// prints the flight recorder's completed call traces as Chrome
+// trace-event JSON. Two uses:
+//
+//	go run ./cmd/tracegen > storm.json     # load in Perfetto
+//	go run ./cmd/tracegen | go run ./cmd/tracecheck
+//
+// The simulation is deterministic, so the same seed always prints the
+// same bytes — `make ci` runs it twice and diffs, guarding the
+// reproducibility claim the trace layer makes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xunet/internal/kern"
+	"xunet/internal/testbed"
+	"xunet/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	calls := flag.Int("calls", 30, "storm call count")
+	text := flag.Bool("text", false, "print span trees instead of Chrome JSON")
+	flag.Parse()
+
+	n, ra, rb, err := testbed.NewTestbed(testbed.Options{
+		Seed:          *seed,
+		DeviceBuffers: kern.FixedDeviceBuffers,
+		FDTableSize:   kern.FixedFDTableSize,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	testbed.StartEchoServer(rb, "storm", 6000)
+	n.E.RunUntil(time.Second)
+	testbed.CallStorm(ra, "ucb.rt", "storm", testbed.StormConfig{
+		Count: *calls, Hold: 250 * time.Millisecond, FramesPerCall: 2,
+		KillEvery: 7, KillAfter: 40 * time.Millisecond,
+	})
+	n.E.RunUntil(n.E.Now() + 4*n.CM.BindTimeout)
+	completed := n.TraceC.Completed()
+	n.E.Shutdown()
+
+	if *text {
+		for _, t := range completed {
+			fmt.Print(trace.TextTree(t))
+		}
+		return
+	}
+	out, err := trace.ChromeJSON(completed)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(out)
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -7,6 +7,15 @@
 //	                                            # latency percentiles, trace
 //	xunetstat -sighost 127.0.0.1:3177 -json     # one JSON object
 //	xunetstat -sighost 127.0.0.1:3177 -events 50
+//
+// Two subcommands query the causal call tracer:
+//
+//	xunetstat trace <callid>      # one call's span tree + where its setup
+//	                              # latency went, layer by layer
+//	xunetstat trace -json <callid># the same as Chrome trace-event JSON
+//	                              # (load in Perfetto / chrome://tracing)
+//	xunetstat flight              # span trees of the last completed calls
+//	xunetstat flight -json        # flight recorder as Chrome trace JSON
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"text/tabwriter"
 	"time"
 
@@ -29,6 +39,11 @@ func main() {
 	flag.Parse()
 
 	c := &signaling.RealClient{SighostAddr: *addr}
+
+	if args := flag.Args(); len(args) > 0 {
+		runSubcommand(c, args)
+		return
+	}
 	statsBody, err := c.Query(signaling.MgmtStatsJSON)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xunetstat:", err)
@@ -62,6 +77,61 @@ func main() {
 		return
 	}
 	render(snap, trace)
+}
+
+// runSubcommand handles `xunetstat trace <callid>` and `xunetstat
+// flight`. A -json flag may appear either before the subcommand or
+// among its arguments.
+func runSubcommand(c *signaling.RealClient, args []string) {
+	asJSON := false
+	rest := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			asJSON = true
+			continue
+		}
+		rest = append(rest, a)
+	}
+	if len(rest) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xunetstat [flags] [trace <callid> | flight]")
+		os.Exit(2)
+	}
+	switch rest[0] {
+	case "trace":
+		if len(rest) < 2 {
+			fmt.Fprintln(os.Stderr, "usage: xunetstat trace [-json] <callid>")
+			os.Exit(2)
+		}
+		callID, err := strconv.ParseUint(rest[1], 10, 32)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xunetstat: bad call ID:", rest[1])
+			os.Exit(2)
+		}
+		what := signaling.MgmtCallTrace
+		if asJSON {
+			what = signaling.MgmtCallTraceJSON
+		}
+		body, err := c.QueryCall(what, uint32(callID))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xunetstat:", err)
+			os.Exit(1)
+		}
+		fmt.Println(body)
+	case "flight":
+		what := signaling.MgmtFlight
+		if asJSON {
+			what = signaling.MgmtFlightJSON
+		}
+		body, err := c.Query(what)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xunetstat:", err)
+			os.Exit(1)
+		}
+		fmt.Println(body)
+	default:
+		fmt.Fprintln(os.Stderr, "xunetstat: unknown subcommand", rest[0], "(want trace or flight)")
+		os.Exit(2)
+	}
 }
 
 func render(snap obs.Snapshot, trace []obs.Event) {

@@ -17,6 +17,7 @@ package anand
 
 import (
 	"fmt"
+	"time"
 
 	"xunet/internal/atm"
 	"xunet/internal/core"
@@ -31,13 +32,18 @@ const (
 	frameDown = 2 // sighost -> host kernel: kern.DownCmd
 )
 
-// encodeUp serializes a relayed kernel message.
+// encodeUp serializes a relayed kernel message, including the post
+// timestamp so the router-side trace can attribute relay latency to
+// the host kernel's indication.
 func encodeUp(k kern.KMsg) []byte {
+	at := uint64(k.At)
 	return []byte{
 		frameUp, byte(k.Kind),
 		byte(k.VCI >> 8), byte(k.VCI),
 		byte(k.Cookie >> 8), byte(k.Cookie),
 		byte(k.PID >> 24), byte(k.PID >> 16), byte(k.PID >> 8), byte(k.PID),
+		byte(at >> 56), byte(at >> 48), byte(at >> 40), byte(at >> 32),
+		byte(at >> 24), byte(at >> 16), byte(at >> 8), byte(at),
 	}
 }
 
@@ -53,14 +59,17 @@ func decode(b []byte) (up kern.KMsg, down kern.DownCmd, isUp bool, err error) {
 	}
 	switch b[0] {
 	case frameUp:
-		if len(b) < 10 {
+		if len(b) < 18 {
 			return up, down, false, fmt.Errorf("anand: short up frame")
 		}
+		at := uint64(b[10])<<56 | uint64(b[11])<<48 | uint64(b[12])<<40 | uint64(b[13])<<32 |
+			uint64(b[14])<<24 | uint64(b[15])<<16 | uint64(b[16])<<8 | uint64(b[17])
 		up = kern.KMsg{
 			Kind:   kern.MsgKind(b[1]),
 			VCI:    atm.VCI(uint16(b[2])<<8 | uint16(b[3])),
 			Cookie: uint16(b[4])<<8 | uint16(b[5]),
 			PID:    uint32(b[6])<<24 | uint32(b[7])<<16 | uint32(b[8])<<8 | uint32(b[9]),
+			At:     time.Duration(at),
 		}
 		return up, down, true, nil
 	case frameDown:

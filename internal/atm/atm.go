@@ -12,6 +12,9 @@ package atm
 import (
 	"errors"
 	"fmt"
+	"time"
+
+	"xunet/internal/trace"
 )
 
 // CellSize is the size of an ATM cell on the wire.
@@ -70,6 +73,14 @@ type Header struct {
 type Cell struct {
 	Header
 	Payload [PayloadSize]byte
+
+	// TC/TCAt carry the causal-trace context of the frame this cell
+	// belongs to through the simulated fabric: TC identifies the sampled
+	// trace (zero when untraced) and TCAt the sim time the cell entered
+	// the current hop. They are simulation metadata — Encode/Decode do
+	// not carry them, exactly as a real cell has no room for them.
+	TC   trace.Context
+	TCAt time.Duration
 }
 
 // EndOfFrame reports whether this cell carries the AAL-indicate bit

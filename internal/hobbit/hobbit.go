@@ -119,10 +119,14 @@ func (b *Board) Send(vci atm.VCI, frame *mbuf.Chain) error {
 	if err != nil {
 		return fmt.Errorf("hobbit: %w", err)
 	}
+	tc, tcAt := frame.TC, frame.TCAt
 	frame.Release() // segmented into cells; the chain is consumed
 	b.FramesOut++
 	for i := range cells {
 		b.CellsOut++
+		if tc.Sampled() {
+			cells[i].TC, cells[i].TCAt = tc, tcAt
+		}
 		b.tx.SendCell(cells[i])
 	}
 	return nil
@@ -167,7 +171,14 @@ func (b *Board) ReceiveCell(c atm.Cell) {
 	}
 	b.FramesIn++
 	if b.driver != nil {
-		b.driver.Input(c.VCI, mbuf.FromBytes(payload))
+		chain := mbuf.FromBytes(payload)
+		if c.TC.Sampled() {
+			chain.TC = c.TC
+			if b.now != nil {
+				chain.TCAt = b.now()
+			}
+		}
+		b.driver.Input(c.VCI, chain)
 	}
 }
 

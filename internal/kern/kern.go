@@ -25,6 +25,7 @@ import (
 	"xunet/internal/memnet"
 	"xunet/internal/obs"
 	"xunet/internal/sim"
+	"xunet/internal/trace"
 )
 
 // Default table sizes from §10.
@@ -86,6 +87,11 @@ type Machine struct {
 	// machine (pseudo-device, shaper, ATM layer, sighost) registers its
 	// metrics here, so one snapshot covers the whole stack.
 	Obs *obs.Registry
+
+	// TraceC is the causal-trace collector shared by every machine in a
+	// testbed (nil or disabled means no tracing). Components reach it
+	// through their machine so a call's spans land in one tree.
+	TraceC *trace.Collector
 
 	// FDTableSize applies to processes spawned after it is set.
 	FDTableSize int

@@ -2,6 +2,7 @@ package kern
 
 import (
 	"fmt"
+	"time"
 
 	"xunet/internal/atm"
 	"xunet/internal/obs"
@@ -43,12 +44,16 @@ func (k MsgKind) String() string {
 }
 
 // KMsg is one upward pseudo-device message. The original wire format is
-// four bytes; the struct carries the same information decoded.
+// four bytes; the struct carries the same information decoded. At is
+// the sim time the kernel posted the indication, stamped by PostUp, so
+// the tracing layer can attribute the queueing delay between the
+// kernel event and the sighost consuming it.
 type KMsg struct {
 	Kind   MsgKind
 	VCI    atm.VCI
 	Cookie uint16
 	PID    uint32
+	At     time.Duration
 }
 
 // String renders the message for traces.
@@ -133,6 +138,7 @@ func (d *PseudoDev) PostUp(m KMsg) bool {
 		return false
 	}
 	d.Posted++
+	m.At = d.e.Now()
 	d.q.Put(m)
 	if d.depth != nil {
 		d.depth.Set(int64(d.q.Len()))

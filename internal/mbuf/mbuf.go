@@ -14,6 +14,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
+
+	"xunet/internal/trace"
 )
 
 // MLEN is the data capacity of a single small mbuf, matching the
@@ -96,6 +99,7 @@ func (c *Chain) Release() {
 		m = next
 	}
 	c.head, c.tail, c.count, c.length = nil, nil, 0, 0
+	c.TC, c.TCAt = trace.Context{}, 0
 }
 
 // Data returns the valid bytes of this single mbuf (not the chain).
@@ -113,6 +117,15 @@ type Chain struct {
 	head, tail *Mbuf
 	count      int
 	length     int
+
+	// TC/TCAt carry the causal-trace context of the message this chain
+	// holds: TC identifies the sampled trace (zero when untraced) and
+	// TCAt is the sim time the chain entered the current segment, so
+	// the layer that consumes it can record a transit span. They are
+	// metadata, not payload — Release clears them with the rest of the
+	// chain state.
+	TC   trace.Context
+	TCAt time.Duration
 }
 
 // FromBytes builds a chain from p using the standard allocation policy:

@@ -26,6 +26,7 @@ import (
 	"xunet/internal/kern"
 	"xunet/internal/mbuf"
 	"xunet/internal/sim"
+	"xunet/internal/trace"
 )
 
 // Errors from the socket layer.
@@ -91,10 +92,20 @@ type Socket struct {
 	// shaper, when set, paces outbound frames (see shaper.go).
 	shaper *shaper
 
+	// tc is the causal-trace context of the call this socket carries
+	// (zero when the call is untraced); outbound frames open child
+	// spans under it.
+	tc trace.Context
+
 	// FramesIn and FramesOut count datagrams through this socket.
 	FramesIn  uint64
 	FramesOut uint64
 }
+
+// SetTrace attaches the call's trace context to the socket, so frames
+// sent on it become child spans of the call. Applications get the
+// context from the VCI_FOR_CONN delivery (ulib.Connection.Trace).
+func (s *Socket) SetTrace(tc trace.Context) { s.tc = tc }
 
 // Socket creates an unbound PF_XUNET socket owned by p, consuming a
 // file descriptor.
@@ -172,6 +183,13 @@ func (s *Socket) passUp(kind kern.MsgKind, cookie uint16) {
 // PF_XUNET and Orc send routines "simply call the next layer down
 // without touching the data or the header, thus incurring zero cost".
 func (s *Socket) Send(data []byte) error {
+	return s.SendTraced(data, s.tc)
+}
+
+// SendTraced is Send under an explicit trace context, for callers whose
+// context is per-message rather than per-socket (the sighost peer PVC
+// carries many calls' messages over one socket).
+func (s *Socket) SendTraced(data []byte, tc trace.Context) error {
 	switch s.state {
 	case stateConnected:
 	case stateDisconnected:
@@ -180,6 +198,7 @@ func (s *Socket) Send(data []byte) error {
 		return ErrSockState
 	}
 	chain := mbuf.FromBytes(data)
+	s.stamp(chain, tc)
 	s.FramesOut++
 	if s.shaper != nil {
 		return s.shaper.submit(chain)
@@ -196,11 +215,24 @@ func (s *Socket) SendChain(chain *mbuf.Chain) error {
 	default:
 		return ErrSockState
 	}
+	s.stamp(chain, s.tc)
 	s.FramesOut++
 	if s.shaper != nil {
 		return s.shaper.submit(chain)
 	}
 	return s.f.m.Orc.Output(s.vci, chain)
+}
+
+// stamp opens the frame's transit span: a child of the call (or
+// message) context that the receiving stack's input routine will close
+// on delivery. Unsampled contexts cost one branch and no allocation.
+func (s *Socket) stamp(chain *mbuf.Chain, tc trace.Context) {
+	if !tc.Sampled() {
+		return
+	}
+	now := s.f.m.E.Now()
+	chain.TC = s.f.m.TraceC.StartSpanAt(tc, "pfxunet", "frame", now)
+	chain.TCAt = now
 }
 
 // input is the family's receive upcall from the Orc driver: the Table 1
@@ -212,12 +244,14 @@ func (f *Family) input(vci atm.VCI, frame *mbuf.Chain) {
 	s := f.pcbs[vci]
 	if s == nil || s.state == stateClosed {
 		f.DroppedNoSocket++
+		f.endFrameSpan(frame)
 		frame.Release()
 		return
 	}
 	// Socket state checks and address fixup.
 	m.Charge(cost.PFXunet, cost.PFXunetStateChecks)
 	if s.state == stateDisconnected {
+		f.endFrameSpan(frame)
 		frame.Release()
 		return
 	}
@@ -227,12 +261,22 @@ func (f *Family) input(vci atm.VCI, frame *mbuf.Chain) {
 	m.ChargePerMbuf(cost.PFXunet, frame.Count())
 	if s.recvBytes+frame.Len() > recvBufLimit {
 		f.DroppedOverflow++
+		f.endFrameSpan(frame)
 		frame.Release()
 		return
 	}
 	s.recvBytes += frame.Len()
 	s.FramesIn++
+	f.endFrameSpan(frame)
 	s.recvQ.Put(frame)
+}
+
+// endFrameSpan closes a traced frame's transit span at delivery (or at
+// the drop site, so aborted frames still show where they died).
+func (f *Family) endFrameSpan(frame *mbuf.Chain) {
+	if frame.TC.Sampled() {
+		f.m.TraceC.EndSpan(frame.TC)
+	}
 }
 
 // Recv blocks the owning process until a frame arrives. It returns

@@ -275,6 +275,11 @@ func (l *Layer) encapTo(vci atm.VCI, frame *mbuf.Chain, dst memnet.IPAddr) error
 		meter.Charge(cost.ProtoATM, cost.ProtoATMChecksum)
 	}
 	l.Encapsulated++
+	if frame.TC.Sampled() {
+		// Mark encap time; the receiving layer's input records the
+		// IP transit as one span.
+		frame.TCAt = l.m.E.Now()
+	}
 	frame.Prepend(h.encode(l.checksum))
 	return l.m.IP.SendIP(&memnet.Packet{Dst: dst, Proto: memnet.ProtoATM, Payload: frame})
 }
@@ -298,6 +303,11 @@ func (l *Layer) input(pkt *memnet.Packet) {
 	}
 	chain.TrimFront(n)
 	l.Decapsulated++
+	if chain.TC.Sampled() {
+		now := l.m.E.Now()
+		l.m.TraceC.Record(chain.TC, "protoatm", "ip.transit", chain.TCAt, now)
+		chain.TCAt = now
+	}
 
 	if l.mode == RouterMode {
 		// §9: switching an encapsulated packet adds 39 instructions —

@@ -128,6 +128,12 @@ type Msg struct {
 	// to allow sighost to inform the remote router (or host) that the
 	// client (or server) no longer exists").
 	PID uint32
+	// TraceID/SpanID propagate the causal trace context across the wire:
+	// SETUP carries the origin's peer span so the destination's work
+	// nests under it, CONNECT_DONE and VCI_FOR_CONN carry the call's
+	// root span. Zero means the call is untraced or unsampled.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // String renders the message for traces, in the style of the paper's
@@ -168,7 +174,7 @@ var (
 // fixed fields and length-prefixed strings; it is identical for every
 // kind to keep the codec simple and the fuzz surface small.
 func (m Msg) Encode() []byte {
-	out := make([]byte, 0, 32+len(m.Service)+len(m.QoS)+len(m.Comment)+len(m.Reason)+len(m.Dest)+len(m.Src))
+	out := make([]byte, 0, 48+len(m.Service)+len(m.QoS)+len(m.Comment)+len(m.Reason)+len(m.Dest)+len(m.Src))
 	out = append(out, byte(m.Kind))
 	out = append(out, byte(m.Cookie>>8), byte(m.Cookie))
 	out = append(out, byte(m.VCI>>8), byte(m.VCI))
@@ -180,6 +186,8 @@ func (m Msg) Encode() []byte {
 		out = append(out, 0)
 	}
 	out = append(out, byte(m.PID>>24), byte(m.PID>>16), byte(m.PID>>8), byte(m.PID))
+	out = appendU64(out, m.TraceID)
+	out = appendU64(out, m.SpanID)
 	for _, s := range []string{m.Service, string(m.Dest), string(m.Src), m.QoS, m.Comment, m.Reason} {
 		out = appendString(out, s)
 	}
@@ -191,10 +199,21 @@ func appendString(out []byte, s string) []byte {
 	return append(out, s...)
 }
 
+func appendU64(out []byte, v uint64) []byte {
+	return append(out,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func u64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
 // Decode parses a message encoded by Encode.
 func Decode(b []byte) (Msg, error) {
 	var m Msg
-	if len(b) < 16 {
+	if len(b) < 32 {
 		return m, ErrShort
 	}
 	m.Kind = Kind(b[0])
@@ -207,7 +226,9 @@ func Decode(b []byte) (Msg, error) {
 	m.CallID = uint32(b[7])<<24 | uint32(b[8])<<16 | uint32(b[9])<<8 | uint32(b[10])
 	m.FromOrigin = b[11] == 1
 	m.PID = uint32(b[12])<<24 | uint32(b[13])<<16 | uint32(b[14])<<8 | uint32(b[15])
-	rest := b[16:]
+	m.TraceID = u64(b[16:24])
+	m.SpanID = u64(b[24:32])
+	rest := b[32:]
 	var fields [6]string
 	for i := range fields {
 		var s string

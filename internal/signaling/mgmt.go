@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"xunet/internal/sigmsg"
+	"xunet/internal/trace"
 )
 
 // Management queries: the operational payoff of the user-space design
@@ -27,6 +28,15 @@ const (
 	MgmtTrace     = "trace"
 	MgmtTraceJSON = "trace.json"
 	MgmtLists     = "lists"
+	// The causal-trace surface: "calltrace" renders one call's span
+	// tree plus its setup-latency attribution (the call ID travels in
+	// Msg.CallID), "flight" lists the flight recorder's retained
+	// traces. The ".json" variants return Chrome trace-event JSON,
+	// loadable in Perfetto.
+	MgmtCallTrace     = "calltrace"
+	MgmtCallTraceJSON = "calltrace.json"
+	MgmtFlight        = "flight"
+	MgmtFlightJSON    = "flight.json"
 )
 
 // MgmtTraceDefault is how many ring events a trace query returns when the
@@ -69,6 +79,40 @@ func (sh *Sighost) handleMgmtQuery(conn Conn, m sigmsg.Msg) {
 		out, err := json.Marshal(sh.Obs.Ring().Last(traceCount(m)))
 		if err != nil {
 			out = []byte("[]")
+		}
+		body = string(out)
+	case MgmtCallTrace:
+		t, ok := sh.TraceC.ByCall(m.CallID)
+		if !ok {
+			body = fmt.Sprintf("no trace for call %d (tracing off, unsampled, or evicted)", m.CallID)
+			break
+		}
+		att, hasSetup := trace.Attribute(t)
+		body = trace.TextTree(t)
+		if hasSetup {
+			body += att.String()
+		}
+	case MgmtCallTraceJSON:
+		t, ok := sh.TraceC.ByCall(m.CallID)
+		if !ok {
+			body = `{"traceEvents":[],"displayTimeUnit":"ms"}`
+			break
+		}
+		out, err := trace.ChromeJSON([]*trace.Trace{t})
+		if err != nil {
+			out = []byte("{}")
+		}
+		body = string(out)
+	case MgmtFlight:
+		var lines []string
+		for _, t := range sh.TraceC.Completed() {
+			lines = append(lines, strings.TrimRight(trace.TextTree(t), "\n"))
+		}
+		body = strings.Join(lines, "\n")
+	case MgmtFlightJSON:
+		out, err := trace.ChromeJSON(sh.TraceC.Completed())
+		if err != nil {
+			out = []byte("{}")
 		}
 		body = string(out)
 	case MgmtLists:

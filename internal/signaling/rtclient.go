@@ -174,6 +174,19 @@ func (c *RealClient) QueryN(what string, n int) (string, error) {
 	return reply.Comment, nil
 }
 
+// QueryCall performs a management query that targets one call by ID
+// ("calltrace", "calltrace.json") and returns the rendered body.
+func (c *RealClient) QueryCall(what string, callID uint32) (string, error) {
+	reply, err := c.rpc(sigmsg.Msg{Kind: sigmsg.KindMgmtQuery, Service: what, CallID: callID})
+	if err != nil {
+		return "", err
+	}
+	if reply.Kind != sigmsg.KindMgmtReply {
+		return "", fmt.Errorf("sighost: unexpected reply %v", reply.Kind)
+	}
+	return reply.Comment, nil
+}
+
 // CancelRequest cancels an outstanding request by cookie.
 func (c *RealClient) CancelRequest(cookie uint16) error {
 	reply, err := c.rpc(sigmsg.Msg{Kind: sigmsg.KindCancelReq, Cookie: cookie})

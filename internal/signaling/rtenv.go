@@ -14,6 +14,7 @@ import (
 	"xunet/internal/memnet"
 	"xunet/internal/qos"
 	"xunet/internal/sigmsg"
+	"xunet/internal/trace"
 )
 
 // RealHost drives the same Sighost state machine over real TCP: the
@@ -94,6 +95,13 @@ func StartReal(addr atm.Addr, listenAddr string) (*RealHost, error) {
 	// A live daemon keeps its event ring populated so MGMT_TRACE (and
 	// cmd/xunetstat) can show recent signaling activity.
 	h.SH.Obs.EnableTrace("sighost", true)
+	// Causal call tracing over the wall clock, so `xunetstat trace
+	// <callid>` and `xunetstat flight` work against a live daemon. The
+	// collector's mutex makes this safe even though timers and the actor
+	// run on different goroutines.
+	tc := trace.NewCollector(env.Now)
+	tc.SetEnabled(true)
+	h.SH.TraceC = tc
 
 	// Actor.
 	h.wg.Add(1)

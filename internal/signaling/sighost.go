@@ -20,6 +20,7 @@ import (
 	"xunet/internal/obs"
 	"xunet/internal/qos"
 	"xunet/internal/sigmsg"
+	"xunet/internal/trace"
 )
 
 // Well-known ports.
@@ -159,6 +160,19 @@ type call struct {
 	setupSentAt time.Duration
 	ackAt       time.Duration
 	estAt       time.Duration
+
+	// Causal-trace contexts (zero when the call is untraced/unsampled).
+	// At the origin, tcRoot is the whole-call root span, tcSetup the
+	// call.setup span, and tcPeer the setup phase spent waiting on the
+	// peer. At the destination, tcRoot arrives in CONNECT_DONE, tcPeer
+	// in SETUP (the origin's peer span), and tcAccept is the local
+	// server-consultation span under it. tcBind is the wait_for_bind
+	// span either side opens when it hands out a VCI.
+	tcRoot   trace.Context
+	tcSetup  trace.Context
+	tcPeer   trace.Context
+	tcAccept trace.Context
+	tcBind   trace.Context
 }
 
 // outRequest is an outgoing_requests entry (client requests awaiting a
@@ -212,6 +226,12 @@ type Sighost struct {
 	// legacy adapter over the typed event ring that the Figure 3/4 golden
 	// tests and examples/ consume.
 	Trace func(line string)
+
+	// TraceC is the causal-trace collector (nil or disabled means no
+	// span recording). In the sim it is the testbed-wide shared
+	// collector, so spans recorded here and at the peer land in one
+	// tree; the real-mode daemon gets a local wall-clock collector.
+	TraceC *trace.Collector
 }
 
 // sigCounters are the registry counters behind the legacy Stats fields,
@@ -482,6 +502,15 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 	}
 	sh.calls[c.key] = c
 	sh.outgoing[cookie] = &outRequest{c: c}
+	// Open the call's trace: root span for the call's whole lifetime,
+	// call.setup for the establishment phase the paper's breakdown
+	// table partitions.
+	c.tcRoot = sh.TraceC.StartTrace("sighost", m.Service, c.key.id)
+	// Anchored at reqAt, not now(): in the simulator the two coincide,
+	// but in the real-mode daemon microseconds pass, and the setup span
+	// must start exactly where its first child ("process") does for the
+	// attribution to partition it.
+	c.tcSetup = sh.TraceC.StartSpanAt(c.tcRoot, "sighost", "call.setup", c.reqAt)
 	// REQ_ID carries the cookie identifying the connection that will be
 	// established on the client's behalf.
 	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindReqID, Cookie: cookie})
@@ -489,9 +518,17 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 	if sh.cm.LoggingEnabled {
 		sh.env.Charge(sh.cm.CallLogging)
 	}
+	// The local processing phase ends — and the peer phase begins — at
+	// the instant SETUP leaves; using one timestamp for both keeps the
+	// breakdown an exact partition of call.setup. SETUP carries the
+	// peer span so the destination's spans nest under it.
+	sent := sh.env.Now()
+	sh.TraceC.Record(c.tcSetup, "sighost", "process", c.reqAt, sent)
+	c.tcPeer = sh.TraceC.StartSpanAt(c.tcSetup, "sighost", "peer", sent)
 	err := sh.sendPeer(m.Dest, sigmsg.Msg{
 		Kind: sigmsg.KindSetup, CallID: c.key.id, Src: sh.env.Addr(), Dest: m.Dest,
 		Service: m.Service, QoS: m.QoS, Comment: m.Comment,
+		TraceID: c.tcPeer.Trace, SpanID: c.tcPeer.Span,
 	})
 	if err != nil {
 		// No signaling path to the destination: fail the call now.
@@ -500,6 +537,7 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 		delete(sh.outgoing, cookie)
 		delete(sh.calls, c.key)
 		c.state = callReleased
+		sh.TraceC.FinishTrace(c.tcRoot, trace.StatusFailed)
 		return
 	}
 	c.setupSentAt = sh.env.Now()
@@ -535,7 +573,11 @@ func (sh *Sighost) handleAcceptConn(conn Conn, m sigmsg.Msg) {
 		}
 	}
 	c.qosStr = granted
-	sh.sendPeer(c.key.peer, sigmsg.Msg{Kind: sigmsg.KindSetupAck, CallID: c.key.id, QoS: granted})
+	sh.sendPeer(c.key.peer, sigmsg.Msg{
+		Kind: sigmsg.KindSetupAck, CallID: c.key.id, QoS: granted,
+		TraceID: c.tcPeer.Trace, SpanID: c.tcPeer.Span,
+	})
+	sh.TraceC.EndSpan(c.tcAccept)
 }
 
 func (sh *Sighost) handleRejectConn(conn Conn, m sigmsg.Msg) {
@@ -550,7 +592,11 @@ func (sh *Sighost) handleRejectConn(conn Conn, m sigmsg.Msg) {
 		reason = "rejected by server"
 	}
 	sh.ct.callsRejected.Inc()
-	sh.sendPeer(c.key.peer, sigmsg.Msg{Kind: sigmsg.KindSetupRej, CallID: c.key.id, Reason: reason})
+	sh.sendPeer(c.key.peer, sigmsg.Msg{
+		Kind: sigmsg.KindSetupRej, CallID: c.key.id, Reason: reason,
+		TraceID: c.tcPeer.Trace, SpanID: c.tcPeer.Span,
+	})
+	sh.TraceC.EndSpan(c.tcAccept)
 	sh.dropIncoming(c)
 }
 
@@ -591,9 +637,15 @@ func (sh *Sighost) HandlePeer(from atm.Addr, m sigmsg.Msg) {
 // peerSetup is the destination side of call establishment: look the
 // service up, dial the server's notify port, forward INCOMING_CONN.
 func (sh *Sighost) peerSetup(from atm.Addr, m sigmsg.Msg) {
+	// The SETUP's trace context is the origin's peer span: everything
+	// this side does until SETUP_ACK/SETUP_REJ nests under it.
+	wire := trace.Context{Trace: m.TraceID, Span: m.SpanID}
 	svc, ok := sh.services[m.Service]
 	if !ok {
-		sh.sendPeer(from, sigmsg.Msg{Kind: sigmsg.KindSetupRej, CallID: m.CallID, Reason: "no such service: " + m.Service})
+		sh.sendPeer(from, sigmsg.Msg{
+			Kind: sigmsg.KindSetupRej, CallID: m.CallID, Reason: "no such service: " + m.Service,
+			TraceID: wire.Trace, SpanID: wire.Span,
+		})
 		return
 	}
 	if sh.cm.LoggingEnabled {
@@ -611,6 +663,8 @@ func (sh *Sighost) peerSetup(from atm.Addr, m sigmsg.Msg) {
 		cookie:  cookie,
 		reqAt:   sh.env.Now(),
 	}
+	c.tcPeer = wire
+	c.tcAccept = sh.TraceC.StartSpanAt(wire, "sighost", "dest.accept", c.reqAt)
 	sh.calls[c.key] = c
 	sh.incoming[cookie] = &inRequest{c: c}
 	sh.env.Dial(svc.ip, svc.port, func(conn Conn, err error) {
@@ -623,7 +677,11 @@ func (sh *Sighost) peerSetup(from atm.Addr, m sigmsg.Msg) {
 			return
 		}
 		if err != nil {
-			sh.sendPeer(from, sigmsg.Msg{Kind: sigmsg.KindSetupRej, CallID: m.CallID, Reason: "server unreachable"})
+			sh.sendPeer(from, sigmsg.Msg{
+				Kind: sigmsg.KindSetupRej, CallID: m.CallID, Reason: "server unreachable",
+				TraceID: c.tcPeer.Trace, SpanID: c.tcPeer.Span,
+			})
+			sh.TraceC.EndSpan(c.tcAccept)
 			sh.dropIncoming(c)
 			return
 		}
@@ -645,11 +703,15 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 	c.state = callProgramming
 	c.ackAt = sh.env.Now()
 	sh.h.setupPeer.Observe(c.ackAt - c.setupSentAt)
+	// The peer phase ends and the programming phase begins at the ack.
+	sh.TraceC.EndSpanAt(c.tcPeer, c.ackAt)
+	program := sh.TraceC.StartSpanAt(c.tcSetup, "sighost", "program", c.ackAt)
 	c.qosStr = m.QoS
 	q, err := qos.Parse(m.QoS)
 	if err != nil {
 		q = qos.BestEffortQoS
 	}
+	progAt := sh.env.Now()
 	vc, err := sh.env.SetupVC(c.key.peer, q)
 	if err != nil {
 		sh.ct.callsFailed.Inc()
@@ -657,15 +719,22 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 		sh.notifyClientFailure(c, "network admission failed: "+err.Error())
 		delete(sh.outgoing, c.cookie)
 		delete(sh.calls, c.key)
+		sh.TraceC.FinishTrace(c.tcRoot, trace.StatusFailed)
 		return
 	}
 	sh.env.Charge(vc.Cost)
+	// The switch-programming charge is the per-hop cost of writing the
+	// VCI tables along the path (DESIGN.md §2's control-plane note).
+	sh.TraceC.Record(program, "xswitch", "program_vc", progAt, sh.env.Now())
 	c.vc = vc
 	c.localVCI = vc.SrcVCI
 	// Per-VCI cookie table entry and wait_for_bind timer for the client
 	// side.
 	sh.grantVCI(c, vc.SrcVCI)
-	sh.sendPeer(from, sigmsg.Msg{Kind: sigmsg.KindConnectDone, CallID: m.CallID, VCI: vc.DstVCI, QoS: c.qosStr})
+	sh.sendPeer(from, sigmsg.Msg{
+		Kind: sigmsg.KindConnectDone, CallID: m.CallID, VCI: vc.DstVCI, QoS: c.qosStr,
+		TraceID: c.tcRoot.Trace, SpanID: c.tcRoot.Span,
+	})
 	// Hand the VCI to the client on its notify port.
 	cookie := c.cookie
 	sh.env.Dial(c.endIP, c.endPort, func(conn Conn, err error) {
@@ -678,7 +747,10 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 			}
 			return
 		}
-		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindVCIForConn, Cookie: cookie, VCI: c.localVCI, QoS: c.qosStr})
+		sh.sendApp(conn, sigmsg.Msg{
+			Kind: sigmsg.KindVCIForConn, Cookie: cookie, VCI: c.localVCI, QoS: c.qosStr,
+			TraceID: c.tcRoot.Trace, SpanID: c.tcRoot.Span,
+		})
 		conn.Close()
 	})
 	c.state = callEstablished
@@ -687,6 +759,8 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 	c.estAt = sh.env.Now()
 	sh.h.setupProgram.Observe(c.estAt - c.ackAt)
 	sh.h.setupTotal.Observe(c.estAt - c.reqAt)
+	sh.TraceC.EndSpanAt(program, c.estAt)
+	sh.TraceC.EndSpanAt(c.tcSetup, c.estAt)
 }
 
 // peerSetupRej is the origin side after rejection.
@@ -700,6 +774,8 @@ func (sh *Sighost) peerSetupRej(from atm.Addr, m sigmsg.Msg) {
 	delete(sh.outgoing, c.cookie)
 	delete(sh.calls, c.key)
 	c.state = callReleased
+	sh.TraceC.EndSpan(c.tcPeer)
+	sh.TraceC.FinishTrace(c.tcRoot, trace.StatusReject)
 }
 
 // notifyClientFailure delivers CONN_FAILED to the client's notify port.
@@ -725,16 +801,24 @@ func (sh *Sighost) peerConnectDone(from atm.Addr, m sigmsg.Msg) {
 	c.state = callEstablished
 	c.localVCI = m.VCI
 	c.qosStr = m.QoS
+	// CONNECT_DONE carries the call's root span; the destination's
+	// remaining work (VCI delivery, wait_for_bind) hangs off it.
+	c.tcRoot = trace.Context{Trace: m.TraceID, Span: m.SpanID}
+	doneAt := sh.env.Now()
 	sh.grantVCI(c, m.VCI)
 	delete(sh.incoming, c.cookie)
 	if c.serverConn != nil {
-		sh.sendApp(c.serverConn, sigmsg.Msg{Kind: sigmsg.KindVCIForConn, Cookie: c.cookie, VCI: m.VCI, QoS: m.QoS})
+		sh.sendApp(c.serverConn, sigmsg.Msg{
+			Kind: sigmsg.KindVCIForConn, Cookie: c.cookie, VCI: m.VCI, QoS: m.QoS,
+			TraceID: c.tcRoot.Trace, SpanID: c.tcRoot.Span,
+		})
 		c.serverConn.Close()
 		c.serverConn = nil
 	}
 	sh.ct.callsEstablished.Inc()
 	c.estAt = sh.env.Now()
 	sh.h.acceptTotal.Observe(c.estAt - c.reqAt)
+	sh.TraceC.Record(c.tcRoot, "sighost", "dest.deliver", doneAt, c.estAt)
 }
 
 // peerRelease tears down the local side of a call at the peer's
@@ -755,6 +839,7 @@ func (sh *Sighost) peerRelease(from atm.Addr, m sigmsg.Msg) {
 // received before timeout, the connection is torn down."
 func (sh *Sighost) grantVCI(c *call, vci atm.VCI) {
 	sh.cookies[vci] = c.cookie
+	c.tcBind = sh.TraceC.StartSpan(c.tcRoot, "sighost", "wait_bind")
 	deadline := sh.env.Now() + sh.cm.BindTimeout
 	cancel := sh.env.After(sh.cm.BindTimeout, func() {
 		if bw, ok := sh.waitBind[vci]; ok && bw.c == c {
@@ -834,6 +919,15 @@ func (sh *Sighost) kernelBindConnect(from memnet.IPAddr, k kern.KMsg) {
 		if sh.traceOn() {
 			sh.emit(obs.Event{Kind: EvBindOK, VCI: uint32(k.VCI), CallID: bw.c.key.id})
 		}
+		// The kernel indication rode the pseudo-device (or anand relay)
+		// from its post time k.At; record it inside the wait, then close
+		// the wait_for_bind span.
+		if bw.c.tcBind.Sampled() {
+			if k.At > 0 {
+				sh.TraceC.Record(bw.c.tcBind, "kern", k.Kind.String(), k.At, sh.env.Now())
+			}
+			sh.TraceC.EndSpan(bw.c.tcBind)
+		}
 	}
 }
 
@@ -911,5 +1005,29 @@ func (sh *Sighost) teardown(c *call, reason string, notifyPeer bool) {
 			Kind: sigmsg.KindRelease, CallID: c.key.id, Reason: reason,
 			FromOrigin: c.key.origin,
 		})
+	}
+	// The origin owns the trace's lifetime: finish it with a terminal
+	// status derived from the teardown reason, which moves the span
+	// tree into the flight recorder (and auto-dumps failures).
+	if c.key.origin {
+		sh.TraceC.FinishTrace(c.tcRoot, statusForReason(reason))
+	}
+}
+
+// statusForReason maps a teardown reason onto the trace's terminal
+// status. Only REJECT/TIMEOUT/DEATH trigger flight-recorder dumps; a
+// plain socket close is the normal end of a successful call.
+func statusForReason(reason string) string {
+	switch reason {
+	case "socket closed", "socket closed before use":
+		return trace.StatusOK
+	case "canceled by client":
+		return trace.StatusCanceled
+	case "bind timeout":
+		return trace.StatusTimeout
+	case "client terminated", "client unreachable":
+		return trace.StatusDeath
+	default:
+		return trace.StatusFailed
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"xunet/internal/qos"
 	"xunet/internal/sigmsg"
 	"xunet/internal/sim"
+	"xunet/internal/trace"
 	"xunet/internal/xswitch"
 )
 
@@ -57,6 +58,9 @@ func StartSim(stack *core.Stack, fab *xswitch.Fabric) *SimHost {
 		BindTimeout:     stack.M.CM.BindTimeout,
 		LoggingEnabled:  true,
 	}, stack.M.Obs)
+	// The machine's collector (shared testbed-wide) receives the span
+	// tree; nil leaves tracing off.
+	h.SH.TraceC = stack.M.TraceC
 	e := stack.M.E
 
 	// Actor loop.
@@ -242,7 +246,10 @@ func (e *simEnv) SendPeer(dst atm.Addr, m sigmsg.Msg) error {
 	if !ok {
 		return fmt.Errorf("signaling: no PVC to %s", dst)
 	}
-	return sock.Send(m.Encode())
+	// The message's own trace context (if any) parents the PVC frame's
+	// transit span — the PVC socket is shared by many calls, so the
+	// context is per-message, not per-socket.
+	return sock.SendTraced(m.Encode(), trace.Context{Trace: m.TraceID, Span: m.SpanID})
 }
 
 func (e *simEnv) Dial(ip memnet.IPAddr, port uint16, cb func(Conn, error)) {

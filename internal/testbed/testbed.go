@@ -17,8 +17,10 @@ import (
 	"xunet/internal/core"
 	"xunet/internal/kern"
 	"xunet/internal/memnet"
+	"xunet/internal/obs"
 	"xunet/internal/signaling"
 	"xunet/internal/sim"
+	"xunet/internal/trace"
 	"xunet/internal/ulib"
 	"xunet/internal/xswitch"
 )
@@ -37,6 +39,12 @@ type Options struct {
 	// DisableCallLogging turns off sighost's per-call maintenance
 	// logging (the E3 ablation).
 	DisableCallLogging bool
+	// DisableTracing turns off the causal call tracer (it is on by
+	// default so `xunetstat trace <callid>` works against any testbed).
+	DisableTracing bool
+	// TraceSampleEvery keeps one call trace in every N (head-based
+	// sampling; 0 or 1 keeps all).
+	TraceSampleEvery uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -68,27 +76,45 @@ type Host struct {
 
 // Net is one assembled deployment.
 type Net struct {
-	E        *sim.Engine
-	CM       sim.CostModel
-	Fabric   *xswitch.Fabric
-	IPNet    *memnet.Network
-	Routers  map[atm.Addr]*Router
-	opts     Options
-	nextSite int
+	E      *sim.Engine
+	CM     sim.CostModel
+	Fabric *xswitch.Fabric
+	IPNet  *memnet.Network
+	// TraceC is the deployment-wide causal-trace collector: one
+	// collector spans every machine and the fabric so a call's span
+	// tree stitches together across layers.
+	TraceC  *trace.Collector
+	Routers map[atm.Addr]*Router
+	// FlightDumps accumulates the span trees the flight recorder
+	// auto-dumped for calls ending in REJECT, TIMEOUT, or DEATH — the
+	// E4 storm's failure modes leave their trails here.
+	FlightDumps []string
+	opts        Options
+	nextSite    int
 }
 
 // New builds an empty deployment; add routers and hosts, then Run.
 func New(opts Options) *Net {
 	opts = opts.withDefaults()
 	e := sim.New(opts.Seed)
-	return &Net{
+	n := &Net{
 		E:       e,
 		CM:      sim.DefaultCostModel(),
 		Fabric:  xswitch.NewFabric(e),
 		IPNet:   memnet.New(e),
+		TraceC:  trace.NewCollector(e.Now),
 		Routers: make(map[atm.Addr]*Router),
 		opts:    opts,
 	}
+	n.TraceC.SetEnabled(!opts.DisableTracing)
+	if opts.TraceSampleEvery > 1 {
+		n.TraceC.SetSampleEvery(opts.TraceSampleEvery)
+	}
+	n.TraceC.OnDump(func(t *trace.Trace, tree string) {
+		n.FlightDumps = append(n.FlightDumps, tree)
+	})
+	n.Fabric.TraceC = n.TraceC
+	return n
 }
 
 // AddRouter creates a router attached to sw and starts its signaling
@@ -104,6 +130,8 @@ func (n *Net) AddRouter(addr atm.Addr, sw *xswitch.Switch) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	stack.M.TraceC = n.TraceC
+	registerTraceStats(stack.M.Obs, n.TraceC)
 	r := &Router{Stack: stack, site: site}
 	r.Sig = signaling.StartSim(stack, n.Fabric)
 	if n.opts.DisableCallLogging {
@@ -132,6 +160,7 @@ func (n *Net) AddHost(name atm.Addr, r *Router) (*Host, error) {
 		Name: string(name), Addr: name, IP: ip, RouterIP: routerIP.Addr,
 		DeviceBuffers: n.opts.DeviceBuffers, FDTableSize: n.opts.FDTableSize,
 	})
+	stack.M.TraceC = n.TraceC
 	h := &Host{Stack: stack, Router: r}
 	h.Lib = ulib.New(stack, routerIP.Addr)
 	h.Anand = anand.StartClient(stack, routerIP.Addr, signaling.AnandPort)
@@ -287,6 +316,8 @@ func OpenAndUse(ep Endpoint, p *kern.Proc, dest atm.Addr, service string, notify
 	if err := sock.Connect(conn.VCI, conn.Cookie); err != nil {
 		return CallResult{Err: err}
 	}
+	// Data frames sent on this circuit join the call's span tree.
+	sock.SetTrace(conn.Trace)
 	if frames > 0 {
 		// The stack is datagram-like: frames sent before the server has
 		// bound its socket are legitimately dropped, so give the far
@@ -305,6 +336,37 @@ func OpenAndUse(ep Endpoint, p *kern.Proc, dest atm.Addr, service string, notify
 	}
 	sock.Close()
 	return res
+}
+
+// registerTraceStats surfaces the trace collector's counters in a
+// machine registry, so MGMT stats and the Report include dropped-span
+// and flight-ring-overflow accounting next to the other telemetry.
+func registerTraceStats(reg *obs.Registry, tc *trace.Collector) {
+	reg.Func("trace.traces.started", func() uint64 { return tc.StatsNow().Started })
+	reg.Func("trace.traces.sampled", func() uint64 { return tc.StatsNow().Sampled })
+	reg.Func("trace.traces.completed", func() uint64 { return tc.StatsNow().Completed })
+	// Active is a gauge, not a counter, so it stays off the Func surface
+	// (mgmt counters are expected to be monotonic); StatsNow exposes it.
+	reg.Func("trace.spans.dropped", func() uint64 { return tc.StatsNow().DroppedSpans })
+	reg.Func("trace.flight.evicted", func() uint64 { return tc.StatsNow().Evicted })
+	reg.Func("trace.flight.dumps", func() uint64 { return tc.StatsNow().Dumps })
+}
+
+// CallTrace fetches a call's span tree from the deployment collector
+// (active calls first, then the flight recorder).
+func (n *Net) CallTrace(callID uint32) (*trace.Trace, bool) {
+	return n.TraceC.ByCall(callID)
+}
+
+// SetupAttribution reproduces the paper's Table 1 setup-overhead
+// breakdown for one traced call: where its establishment latency went,
+// layer by layer.
+func (n *Net) SetupAttribution(callID uint32) (trace.Attribution, bool) {
+	t, ok := n.TraceC.ByCall(callID)
+	if !ok {
+		return trace.Attribution{}, false
+	}
+	return trace.Attribute(t)
 }
 
 // Quiesced asserts that all transient signaling state has drained on a

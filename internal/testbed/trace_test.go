@@ -1,0 +1,181 @@
+package testbed_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xunet/internal/kern"
+	"xunet/internal/signaling"
+	"xunet/internal/testbed"
+	"xunet/internal/trace"
+)
+
+// runTracedStorm runs the E4 mixed workload (§10: concurrent calls,
+// some clients killed mid-setup) and returns the deployment with its
+// flight recorder populated.
+func runTracedStorm(t *testing.T, seed uint64) (*testbed.Net, *testbed.Router) {
+	t.Helper()
+	n, ra, rb, err := testbed.NewTestbed(testbed.Options{
+		Seed:          seed,
+		DeviceBuffers: kern.FixedDeviceBuffers,
+		FDTableSize:   kern.FixedFDTableSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testbed.StartEchoServer(rb, "storm", 6000)
+	n.E.RunUntil(time.Second)
+	testbed.CallStorm(ra, "ucb.rt", "storm", testbed.StormConfig{
+		Count: 30, Hold: 250 * time.Millisecond, FramesPerCall: 2,
+		KillEvery: 7, KillAfter: 40 * time.Millisecond,
+	})
+	n.E.RunUntil(n.E.Now() + 4*n.CM.BindTimeout)
+	return n, ra
+}
+
+// TestTraceJSONDeterministicAcrossRuns is the reproducibility gate the
+// trace layer promises: spans carry sim-time stamps and counter-derived
+// IDs, so two same-seed E4 runs export byte-identical Chrome trace JSON.
+func TestTraceJSONDeterministicAcrossRuns(t *testing.T) {
+	export := func() string {
+		n, _ := runTracedStorm(t, 42)
+		defer n.E.Shutdown()
+		out, err := trace.ChromeJSON(n.TraceC.Completed())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	first := export()
+	if !strings.Contains(first, "xswitch") || !strings.Contains(first, "call.setup") {
+		t.Fatalf("trace export lacks cross-layer spans:\n%.400s", first)
+	}
+	second := export()
+	if first != second {
+		t.Fatalf("same-seed trace exports differ: %d vs %d bytes", len(first), len(second))
+	}
+}
+
+// TestStormFlightDumps checks the flight recorder's auto-dump wiring:
+// the E4 kill storm tears some calls down on client death, and each such
+// call must leave its rendered span tree behind.
+func TestStormFlightDumps(t *testing.T) {
+	n, ra := runTracedStorm(t, 42)
+	defer n.E.Shutdown()
+	if len(n.FlightDumps) == 0 {
+		t.Fatal("kill storm produced no flight-recorder dumps")
+	}
+	for _, tree := range n.FlightDumps {
+		if !strings.Contains(tree, "status=DEATH") &&
+			!strings.Contains(tree, "status=REJECT") &&
+			!strings.Contains(tree, "status=TIMEOUT") {
+			t.Fatalf("dump for a non-failure status:\n%s", tree)
+		}
+	}
+	// The collector's health counters surface on the machine registry.
+	snap := ra.Stack.M.Obs.Snapshot()
+	if snap.Count("trace.traces.completed") == 0 {
+		t.Fatal("trace counters missing from MGMT stats surface")
+	}
+	if got, want := snap.Count("trace.flight.dumps"), uint64(len(n.FlightDumps)); got != want {
+		t.Fatalf("trace.flight.dumps = %d, want %d", got, want)
+	}
+}
+
+// TestTraceAttributionGolden is the acceptance check on the paper's
+// Table 1 reproduction: for a scripted single call, the per-layer parts
+// of the attribution report sum exactly to the end-to-end setup span —
+// no double counting, no gaps.
+func TestTraceAttributionGolden(t *testing.T) {
+	n, ra, rb, err := testbed.NewTestbed(testbed.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.E.Shutdown()
+	testbed.StartEchoServer(rb, "echo", 6000)
+	n.E.RunUntil(time.Second)
+	testbed.CallStorm(ra, "ucb.rt", "echo", testbed.StormConfig{
+		Count: 1, Hold: 100 * time.Millisecond, FramesPerCall: 1,
+	})
+	n.E.RunUntil(n.E.Now() + 4*n.CM.BindTimeout)
+
+	completed := n.TraceC.Completed()
+	if len(completed) != 1 {
+		t.Fatalf("expected 1 completed trace, got %d", len(completed))
+	}
+	tr := completed[0]
+	if tr.Status != trace.StatusOK {
+		t.Fatalf("call did not establish: %s", trace.TextTree(tr))
+	}
+
+	att, ok := n.SetupAttribution(tr.CallID)
+	if !ok {
+		t.Fatal("no call.setup span in the trace")
+	}
+	if att.Total <= 0 {
+		t.Fatalf("setup total %v", att.Total)
+	}
+	var sum time.Duration
+	names := map[string]bool{}
+	for _, p := range att.Parts {
+		sum += p.Dur
+		names[p.Comp+"/"+p.Name] = true
+	}
+	if sum != att.Total || att.Unattributed != 0 {
+		t.Fatalf("attribution parts sum %v != setup total %v (unattributed %v):\n%s",
+			sum, att.Total, att.Unattributed, att.String())
+	}
+	for _, want := range []string{"sighost/process", "sighost/peer", "sighost/program"} {
+		if !names[want] {
+			t.Fatalf("attribution missing %s:\n%s", want, att.String())
+		}
+	}
+	// The tree reaches every layer: daemon, socket layer, fabric hops,
+	// and the kernel indication that completed the bind.
+	tree := trace.TextTree(tr)
+	for _, want := range []string{"sighost/", "pfxunet/frame", "xswitch/", "kern/"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("span tree missing %s spans:\n%s", want, tree)
+		}
+	}
+}
+
+// TestMgmtCallTraceQuery exercises the in-band query path applications
+// and cmd/xunetstat use: MGMT_QUERY "calltrace" returns the rendered
+// span tree plus the setup breakdown for the requested call.
+func TestMgmtCallTraceQuery(t *testing.T) {
+	n, ra := runTracedStorm(t, 42)
+	defer n.E.Shutdown()
+	var ok *trace.Trace
+	for _, tr := range n.TraceC.Completed() {
+		if tr.Status == trace.StatusOK {
+			ok = tr
+			break
+		}
+	}
+	if ok == nil {
+		t.Fatal("storm produced no successful call")
+	}
+	var body string
+	var qerr error
+	done := make(chan struct{})
+	ra.Stack.Spawn("mgmt-query", func(p *kern.Proc) {
+		defer close(done)
+		body, qerr = ra.Lib.QueryCall(p, signaling.MgmtCallTrace, ok.CallID)
+	})
+	n.E.RunUntil(n.E.Now() + time.Second)
+	select {
+	case <-done:
+	default:
+		t.Fatal("mgmt query never completed")
+	}
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	for _, want := range []string{"call.setup", "setup breakdown", "sighost/peer"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("calltrace reply missing %q:\n%s", want, body)
+		}
+	}
+}

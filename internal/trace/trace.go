@@ -1,0 +1,422 @@
+// Package trace is the causal tracing layer: Dapper-style span trees
+// that follow one signaling call through every layer of the stack —
+// ulib IPC, the sighost state machine, the /dev/anand indication path,
+// PF_XUNET frame transmission, per-hop cell transit in the fabric, and
+// AAL5-over-IP encapsulation. Spans are stamped with *sim time*, so a
+// trace is a deterministic artifact: two same-seed runs export
+// byte-identical trace JSON.
+//
+// The package rides on the same cost discipline as internal/obs: a
+// disabled collector is a nil check plus one atomic load (under the
+// 5 ns telemetry budget, gated by BenchmarkTraceOverhead), and when the
+// collector is enabled but a call was not head-sampled, every operation
+// is a single branch on Context.Sampled() with zero allocations (gated
+// by TestUnsampledPathAllocs).
+//
+// Identifier assignment is deterministic: trace and span IDs come from
+// per-collector counters, and in the simulator every mutation happens
+// inside the single-threaded event loop, so IDs — and therefore
+// exported JSON — are identical across same-seed runs. A mutex still
+// guards all state past the gate checks, because the real-mode daemon
+// (signaling.RealHost) finishes spans from multiple goroutines.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Context identifies a position in a trace: the trace it belongs to and
+// the span that is the current parent. The zero Context means
+// "unsampled"; every operation on it is a no-op, which is what makes
+// propagating contexts through hot paths free for unsampled calls.
+type Context struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Sampled reports whether this context belongs to a sampled trace.
+func (c Context) Sampled() bool { return c.Trace != 0 }
+
+// Span is one timed operation inside a trace. Start/End are sim-time
+// offsets from the engine epoch. Open marks spans that were never
+// explicitly ended and got force-closed when the trace finished — a
+// debugging signal, not a normal state.
+type Span struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent"`
+	Comp   string        `json:"comp"`
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"start_ns"`
+	End    time.Duration `json:"end_ns"`
+	Open   bool          `json:"open,omitempty"`
+}
+
+// Dur returns the span's duration.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// Trace is one call's complete span tree. Spans appear in creation
+// order; the root span has Parent == 0.
+type Trace struct {
+	ID     uint64 `json:"id"`
+	CallID uint32 `json:"call_id"`
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Spans  []Span `json:"spans"`
+}
+
+// Terminal trace statuses. FinishTrace accepts any string, but the
+// flight recorder auto-dumps only the failure family below.
+const (
+	StatusOK       = "OK"
+	StatusReject   = "REJECT"
+	StatusTimeout  = "TIMEOUT"
+	StatusDeath    = "DEATH"
+	StatusCanceled = "CANCELED"
+	StatusFailed   = "FAILED"
+)
+
+// DumpWorthy reports whether a terminal status triggers an automatic
+// flight-recorder dump: calls that ended in rejection, bind timeout, or
+// teardown-on-death (the E4 storm's failure modes).
+func DumpWorthy(status string) bool {
+	return status == StatusReject || status == StatusTimeout || status == StatusDeath
+}
+
+// Collector owns trace state: in-flight traces keyed by trace ID, a
+// bounded ring of completed traces (the flight recorder), and the
+// head-sampling decision. One collector is shared by every machine in a
+// testbed so a call's spans land in one tree regardless of which stack
+// recorded them.
+type Collector struct {
+	enabled atomic.Bool
+	now     func() time.Duration
+
+	mu       sync.Mutex
+	started  uint64 // traces started (sampled or not); also the trace ID source
+	spanSeq  uint64 // span ID source
+	sampleN  uint64 // keep 1 trace in every sampleN (1 = keep all)
+	spanCap  int    // max spans retained per trace
+	active   map[uint64]*Trace
+	byCall   map[uint32]uint64 // call ID -> active trace ID
+	flight   []*Trace          // completed traces, oldest first
+	capacity int               // flight ring bound
+
+	sampled      uint64 // traces that passed head sampling
+	completed    uint64
+	droppedSpans uint64 // spans discarded by the per-trace cap
+	evicted      uint64 // completed traces pushed out of the flight ring
+	dumps        uint64 // auto-dumps triggered by DumpWorthy statuses
+
+	onDump func(t *Trace, tree string)
+}
+
+// DefaultFlightTraces bounds the flight recorder: completed traces kept
+// for post-hoc inspection before the oldest is evicted.
+const DefaultFlightTraces = 64
+
+// DefaultSpanCap bounds one trace's span count; a call that somehow
+// accumulates more (a data-heavy connection tracing every frame) drops
+// the excess and counts it in trace.spans.dropped.
+const DefaultSpanCap = 512
+
+// NewCollector returns a disabled collector reading time from now
+// (sim-time in the testbed, wall-clock in the real-mode daemon).
+func NewCollector(now func() time.Duration) *Collector {
+	return &Collector{
+		now:      now,
+		sampleN:  1,
+		spanCap:  DefaultSpanCap,
+		active:   make(map[uint64]*Trace),
+		byCall:   make(map[uint32]uint64),
+		capacity: DefaultFlightTraces,
+	}
+}
+
+// SetEnabled flips the master gate. Disabled is the default and costs
+// one nil check plus one atomic load per call site.
+func (c *Collector) SetEnabled(on bool) { c.enabled.Store(on) }
+
+// Enabled reports whether the collector records anything at all. Safe
+// on a nil collector.
+func (c *Collector) Enabled() bool { return c != nil && c.enabled.Load() }
+
+// SetSampleEvery sets head-based sampling: keep one trace in every n.
+// Values <= 1 keep every trace. Unsampled calls still count in
+// trace.started but allocate nothing anywhere in the stack.
+func (c *Collector) SetSampleEvery(n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	c.sampleN = n
+}
+
+// SetFlightCapacity resizes the completed-trace ring (minimum 1).
+func (c *Collector) SetFlightCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	c.capacity = n
+	for len(c.flight) > c.capacity {
+		c.flight = c.flight[1:]
+		c.evicted++
+	}
+}
+
+// OnDump installs the auto-dump hook: fn receives every DumpWorthy
+// trace at finish time along with its rendered text tree.
+func (c *Collector) OnDump(fn func(t *Trace, tree string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onDump = fn
+}
+
+// StartTrace begins a new trace for a call, applying the head-sampling
+// decision. The returned context is the root span; a zero context means
+// the call was not sampled (or the collector is disabled) and every
+// descendant operation will no-op.
+func (c *Collector) StartTrace(comp, name string, callID uint32) Context {
+	if !c.Enabled() {
+		return Context{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.started++
+	if c.sampleN > 1 && (c.started-1)%c.sampleN != 0 {
+		return Context{}
+	}
+	c.sampled++
+	c.spanSeq++
+	t := &Trace{
+		ID:     c.started,
+		CallID: callID,
+		Name:   name,
+		Spans: []Span{{
+			ID:    c.spanSeq,
+			Comp:  comp,
+			Name:  name,
+			Start: c.now(),
+			End:   -1,
+		}},
+	}
+	c.active[t.ID] = t
+	c.byCall[callID] = t.ID
+	return Context{Trace: t.ID, Span: c.spanSeq}
+}
+
+// StartSpan opens a child span under parent starting now. Returns the
+// child context, or zero if the parent is unsampled or the trace has
+// hit its span cap.
+func (c *Collector) StartSpan(parent Context, comp, name string) Context {
+	if !parent.Sampled() || c == nil {
+		return Context{}
+	}
+	return c.StartSpanAt(parent, comp, name, c.now())
+}
+
+// StartSpanAt is StartSpan with an explicit start time, for spans whose
+// beginning was observed earlier than the code path that records them
+// (e.g. a kernel indication stamped at post time).
+func (c *Collector) StartSpanAt(parent Context, comp, name string, at time.Duration) Context {
+	if !parent.Sampled() || c == nil {
+		return Context{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.active[parent.Trace]
+	if t == nil {
+		return Context{}
+	}
+	if len(t.Spans) >= c.spanCap {
+		c.droppedSpans++
+		return Context{}
+	}
+	c.spanSeq++
+	t.Spans = append(t.Spans, Span{
+		ID:     c.spanSeq,
+		Parent: parent.Span,
+		Comp:   comp,
+		Name:   name,
+		Start:  at,
+		End:    -1,
+	})
+	return Context{Trace: parent.Trace, Span: c.spanSeq}
+}
+
+// EndSpan closes the span identified by ctx at the current time.
+func (c *Collector) EndSpan(ctx Context) {
+	if !ctx.Sampled() || c == nil {
+		return
+	}
+	c.EndSpanAt(ctx, c.now())
+}
+
+// EndSpanAt closes the span identified by ctx at an explicit time.
+func (c *Collector) EndSpanAt(ctx Context, at time.Duration) {
+	if !ctx.Sampled() || c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.active[ctx.Trace]
+	if t == nil {
+		return
+	}
+	for i := len(t.Spans) - 1; i >= 0; i-- {
+		if t.Spans[i].ID == ctx.Span {
+			t.Spans[i].End = at
+			return
+		}
+	}
+}
+
+// Record appends an already-completed span under parent: the
+// retroactive form used by hot paths that know an operation's start and
+// end but must not allocate span state while it is in flight (cell
+// transit, frame delivery, kernel indications).
+func (c *Collector) Record(parent Context, comp, name string, start, end time.Duration) {
+	if !parent.Sampled() || c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.active[parent.Trace]
+	if t == nil {
+		return
+	}
+	if len(t.Spans) >= c.spanCap {
+		c.droppedSpans++
+		return
+	}
+	c.spanSeq++
+	t.Spans = append(t.Spans, Span{
+		ID:     c.spanSeq,
+		Parent: parent.Span,
+		Comp:   comp,
+		Name:   name,
+		Start:  start,
+		End:    end,
+	})
+}
+
+// FinishTrace completes the trace owning root: force-closes any still
+// open spans (marking them Open), stamps the terminal status, moves the
+// trace into the flight recorder, and — for DumpWorthy statuses —
+// fires the auto-dump hook with the rendered span tree.
+func (c *Collector) FinishTrace(root Context, status string) {
+	if !root.Sampled() || c == nil {
+		return
+	}
+	now := c.now()
+	c.mu.Lock()
+	t := c.active[root.Trace]
+	if t == nil {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.active, root.Trace)
+	if c.byCall[t.CallID] == t.ID {
+		delete(c.byCall, t.CallID)
+	}
+	for i := range t.Spans {
+		if t.Spans[i].End < 0 {
+			t.Spans[i].End = now
+			if t.Spans[i].ID != root.Span {
+				t.Spans[i].Open = true
+			}
+		}
+	}
+	t.Status = status
+	c.completed++
+	c.flight = append(c.flight, t)
+	for len(c.flight) > c.capacity {
+		c.flight = c.flight[1:]
+		c.evicted++
+	}
+	dump := c.onDump
+	if dump != nil && DumpWorthy(status) {
+		c.dumps++
+	}
+	c.mu.Unlock()
+	if dump != nil && DumpWorthy(status) {
+		dump(t, TextTree(t))
+	}
+}
+
+// ByCall returns a copy of the trace for callID: the active trace if
+// the call is still in flight, else the newest completed trace in the
+// flight recorder with that call ID.
+func (c *Collector) ByCall(callID uint32) (*Trace, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.byCall[callID]; ok {
+		if t := c.active[id]; t != nil {
+			return copyTrace(t), true
+		}
+	}
+	for i := len(c.flight) - 1; i >= 0; i-- {
+		if c.flight[i].CallID == callID {
+			return copyTrace(c.flight[i]), true
+		}
+	}
+	return nil, false
+}
+
+// Completed returns copies of the flight recorder's contents, oldest
+// first.
+func (c *Collector) Completed() []*Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Trace, len(c.flight))
+	for i, t := range c.flight {
+		out[i] = copyTrace(t)
+	}
+	return out
+}
+
+func copyTrace(t *Trace) *Trace {
+	ct := *t
+	ct.Spans = append([]Span(nil), t.Spans...)
+	return &ct
+}
+
+// Stats is a point-in-time copy of the collector's health counters,
+// surfaced on every machine's MGMT stats so truncation is visible.
+type Stats struct {
+	Started      uint64
+	Sampled      uint64
+	Completed    uint64
+	Active       uint64
+	DroppedSpans uint64
+	Evicted      uint64
+	Dumps        uint64
+}
+
+// StatsNow samples the counters.
+func (c *Collector) StatsNow() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Started:      c.started,
+		Sampled:      c.sampled,
+		Completed:    c.completed,
+		Active:       uint64(len(c.active)),
+		DroppedSpans: c.droppedSpans,
+		Evicted:      c.evicted,
+		Dumps:        c.dumps,
+	}
+}

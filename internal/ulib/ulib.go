@@ -28,6 +28,7 @@ import (
 	"xunet/internal/memnet"
 	"xunet/internal/sigmsg"
 	"xunet/internal/signaling"
+	"xunet/internal/trace"
 )
 
 // Errors from the library.
@@ -198,6 +199,11 @@ type Connection struct {
 	VCI    atm.VCI
 	Cookie uint16
 	QoS    string // negotiated (possibly modified by the server)
+	// Trace is the call's root trace context, carried in VCI_FOR_CONN.
+	// Pass it to pfxunet.Socket.SetTrace so data frames sent on the
+	// circuit join the call's span tree; zero when tracing is off or the
+	// call was unsampled.
+	Trace trace.Context
 }
 
 // OpenConnection requests a circuit to <dest, service, qos> and blocks
@@ -240,7 +246,8 @@ func (l *Lib) OpenConnection(p *kern.Proc, dest atm.Addr, service string, notify
 	p.ContextSwitches(1)
 	switch m.Kind {
 	case sigmsg.KindVCIForConn:
-		return &Connection{VCI: m.VCI, Cookie: cookie, QoS: m.QoS}, nil
+		return &Connection{VCI: m.VCI, Cookie: cookie, QoS: m.QoS,
+			Trace: trace.Context{Trace: m.TraceID, Span: m.SpanID}}, nil
 	case sigmsg.KindConnFailed:
 		return nil, fmt.Errorf("%w: %s", ErrFailed, m.Reason)
 	default:
@@ -252,6 +259,19 @@ func (l *Lib) OpenConnection(p *kern.Proc, dest atm.Addr, service string, notify
 // signaling.MgmtServices, MgmtCalls, MgmtStats, MgmtLists.
 func (l *Lib) Query(p *kern.Proc, what string) (string, error) {
 	reply, err := l.rpc(p, sigmsg.Msg{Kind: sigmsg.KindMgmtQuery, Service: what})
+	if err != nil {
+		return "", err
+	}
+	if reply.Kind != sigmsg.KindMgmtReply {
+		return "", fmt.Errorf("%w: %v", ErrProtocol, reply.Kind)
+	}
+	return reply.Comment, nil
+}
+
+// QueryCall performs a per-call management query (signaling.MgmtCallTrace
+// or MgmtCallTraceJSON) and returns the rendered body.
+func (l *Lib) QueryCall(p *kern.Proc, what string, callID uint32) (string, error) {
+	reply, err := l.rpc(p, sigmsg.Msg{Kind: sigmsg.KindMgmtQuery, Service: what, CallID: callID})
 	if err != nil {
 		return "", err
 	}
@@ -313,7 +333,8 @@ func (pc *PendingConnection) Await(p *kern.Proc) (*Connection, error) {
 	p.ContextSwitches(1)
 	switch m.Kind {
 	case sigmsg.KindVCIForConn:
-		return &Connection{VCI: m.VCI, Cookie: pc.Cookie, QoS: m.QoS}, nil
+		return &Connection{VCI: m.VCI, Cookie: pc.Cookie, QoS: m.QoS,
+			Trace: trace.Context{Trace: m.TraceID, Span: m.SpanID}}, nil
 	case sigmsg.KindConnFailed:
 		return nil, fmt.Errorf("%w: %s", ErrFailed, m.Reason)
 	default:

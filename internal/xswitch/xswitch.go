@@ -25,6 +25,7 @@ import (
 	"xunet/internal/obs"
 	"xunet/internal/qos"
 	"xunet/internal/sim"
+	"xunet/internal/trace"
 )
 
 // LinkConfig describes one direction of a cell trunk.
@@ -219,6 +220,11 @@ func (t *trunk) send(c atm.Cell) {
 	if t.draining {
 		t.truncate()
 	}
+	if c.TC.Sampled() {
+		// Mark the hop entry time so deliver can record this trunk's
+		// queueing + serialization + propagation as one span.
+		c.TCAt = t.fabric.Engine.Now()
+	}
 	cls := t.classVCIs[c.VCI] // zero value = BestEffort
 	if t.queues[cls].Len() >= t.cfg.QueueCells {
 		t.Dropped++
@@ -317,6 +323,13 @@ func (t *trunk) deliver() {
 	now := e.Now()
 	for t.inflight.Len() > 0 && t.inflight.At(0).at <= now {
 		fc := t.inflight.Pop()
+		if fc.cell.TC.Sampled() && t.fabric.TraceC != nil && fc.cell.EndOfFrame() {
+			// One span per AAL5 frame per trunk, recorded on the frame's
+			// final cell: [hop entry .. last-cell arrival] covers the
+			// whole frame's transit of this link.
+			t.fabric.TraceC.Record(fc.cell.TC, "xswitch",
+				t.from.name()+">"+t.to.name(), fc.cell.TCAt, now)
+		}
 		t.to.inject(t, fc.cell)
 	}
 	if t.inflight.Len() > 0 {
@@ -418,6 +431,10 @@ type Fabric struct {
 	// registry). Per-class cell counts and the active-VC level are
 	// registered as read-through metrics over the trunk counters.
 	Obs *obs.Registry
+
+	// TraceC records per-hop cell transit spans for sampled traces
+	// (nil means no tracing).
+	TraceC *trace.Collector
 }
 
 type vcID uint64
