@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchcheck bench bench-telemetry tracegate
+.PHONY: ci build vet test race benchcheck bench bench-telemetry tracegate chaosgate
 
-ci: vet build test race benchcheck tracegate
+ci: vet build test race benchcheck tracegate chaosgate
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,18 @@ tracegate:
 	$(GO) test -run '^$$' -bench BenchmarkTraceOverhead/disabled -benchtime 2000000x ./internal/trace/
 	$(GO) run ./cmd/tracegen | $(GO) run ./cmd/tracecheck -v
 	$(GO) run ./cmd/tracegen > /tmp/tracegate-a.json && $(GO) run ./cmd/tracegen > /tmp/tracegate-b.json && cmp /tmp/tracegate-a.json /tmp/tracegate-b.json
+
+# The fault-injection gate: a disabled fault hook (nil plane pointer)
+# must stay under 5 ns (asserted inside the benchmark) so the hooks
+# compiled into every transport cannot skew clean-path numbers, then
+# the chaos soak — call storms under the seeded fault cocktail with two
+# mid-storm sighost crashes — is run twice and byte-diffed, guarding
+# the claim that the fault schedule is part of the deterministic
+# replay. (The zero-probability golden-preservation side is
+# TestZeroProbPlaneInvisibleEndToEnd in `make test`.)
+chaosgate:
+	$(GO) test -run '^$$' -bench BenchmarkFaultsOverhead/disabled -benchtime 2000000x ./internal/faults/
+	$(GO) run ./cmd/chaosgen > /tmp/chaosgate-a.txt && $(GO) run ./cmd/chaosgen > /tmp/chaosgate-b.txt && cmp /tmp/chaosgate-a.txt /tmp/chaosgate-b.txt
 
 # The telemetry cost gate: a disabled trace call site must stay under
 # 5 ns (asserted inside the benchmark), and the signaling throughput

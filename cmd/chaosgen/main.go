@@ -1,0 +1,105 @@
+// Command chaosgen runs the chaos soak — the §10 call storm plus a
+// host-originated storm under the seeded fault cocktail with two
+// mid-storm signaling-entity crashes — and prints every observable
+// artifact as one stable text fingerprint: storm outcomes, injected
+// fault counters, the healing counters on both routers, flight-recorder
+// dump count, leak check, and the full testbed report.
+//
+// The fault schedule is part of the deterministic replay, so the same
+// seeds always print the same bytes — `make chaosgate` runs it twice
+// and diffs, guarding the chaos-replay claim the fault plane makes.
+//
+//	go run ./cmd/chaosgen > chaos.txt
+//	go run ./cmd/chaosgen -seed 11 -chaos-seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xunet/internal/faults"
+	"xunet/internal/kern"
+	"xunet/internal/testbed"
+	"xunet/internal/ulib"
+)
+
+var healingCounters = []string{
+	"sighost.crashes", "sighost.recoveries",
+	"sighost.recovered.bound", "sighost.recovered.wait_bind",
+	"sighost.recovery.aborted_calls", "sighost.dropped_while_down",
+	"sighost.rel.retransmits", "sighost.rel.acks", "sighost.rel.dups",
+	"sighost.rel.stale_epoch", "sighost.rel.exhausted",
+	"sighost.rel.peer_deaths",
+	"sighost.calls.active", "sighost.calls.established",
+}
+
+func main() {
+	seed := flag.Uint64("seed", 7, "simulation seed")
+	chaosSeed := flag.Uint64("chaos-seed", 99, "fault plane seed (0 derives it from -seed)")
+	flag.Parse()
+
+	n, ra, rb, err := testbed.NewTestbed(testbed.Options{
+		Seed:          *seed,
+		DeviceBuffers: kern.FixedDeviceBuffers,
+		FDTableSize:   kern.FixedFDTableSize,
+		Faults: &faults.Config{
+			Seed:    *chaosSeed,
+			SigLoss: 0.01,
+			PktLoss: 0.01, PktDup: 0.005, PktDelayProb: 0.02, PktDelayMax: 2 * time.Millisecond,
+			GE:         faults.GEConfig{PGoodToBad: 0.0002, PBadToGood: 0.1, LossBad: 0.5},
+			FlapMeanUp: 2 * time.Second, FlapDown: 40 * time.Millisecond,
+			DevLoss: 0.001,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ha, err := n.AddHost("mh.h1", ra)
+	if err != nil {
+		fatal(err)
+	}
+	for _, l := range []*ulib.Lib{ra.Lib, rb.Lib, ha.Lib} {
+		l.SetTimeouts(ulib.Timeouts{
+			RPC: 10 * time.Second, Establish: 60 * time.Second,
+			Attempts: 2, Backoff: 100 * time.Millisecond, MaxBackoff: time.Second,
+		})
+	}
+	testbed.StartEchoServer(rb, "storm", 6000)
+	testbed.StartEchoServer(rb, "hstorm", 6001)
+	n.E.RunUntil(time.Second)
+	n.StartTrunkFlapping(20 * time.Second)
+	res := testbed.CallStorm(ra, "ucb.rt", "storm", testbed.StormConfig{
+		Count: 40, Hold: time.Second, FramesPerCall: 2,
+		Stagger: 20 * time.Millisecond,
+	})
+	resH := testbed.CallStorm(ha, "ucb.rt", "hstorm", testbed.StormConfig{
+		Count: 15, Hold: time.Second, FramesPerCall: 2,
+		Stagger: 50 * time.Millisecond, BasePort: 25000,
+	})
+	n.E.Schedule(3*time.Second, func() { rb.Sig.CrashFor(400 * time.Millisecond) })
+	n.E.Schedule(12*time.Second, func() { rb.Sig.CrashFor(400 * time.Millisecond) })
+	n.E.RunUntil(n.E.Now() + 60*time.Second)
+
+	fmt.Printf("storm: launched=%d ok=%d failed=%d min=%v max=%v total=%v\n",
+		res.Launched, res.Succeeded, res.Failed, res.MinSetup, res.MaxSetup, res.TotalSetup)
+	fmt.Printf("host-storm: launched=%d ok=%d failed=%d min=%v max=%v total=%v\n",
+		resH.Launched, resH.Succeeded, resH.Failed, resH.MinSetup, resH.MaxSetup, resH.TotalSetup)
+	fmt.Printf("faults:\n%s", n.Faults.Obs.Snapshot().Text())
+	for _, r := range []*testbed.Router{ra, rb} {
+		reg := r.Stack.M.Obs.Snapshot()
+		for _, name := range healingCounters {
+			fmt.Printf("%s %s %d\n", r.Stack.Addr, name, reg.Count(name))
+		}
+	}
+	fmt.Printf("flight-dumps: %d\n", len(n.FlightDumps))
+	fmt.Printf("quiesce mh.rt: %q ucb.rt: %q\n", testbed.Quiesced(ra), testbed.Quiesced(rb))
+	fmt.Printf("report:\n%s", n.Snapshot().String())
+	n.E.Shutdown()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chaosgen:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@
 //
 //	xunetsim -topology testbed -calls 100 -hold 1s
 //	xunetsim -topology xunet -hosts 2 -calls 50 -buffers 8
+//	xunetsim -chaos -chaos-seed 99 -calls 60   # storm under the fault cocktail
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"xunet/internal/atm"
+	"xunet/internal/faults"
 	"xunet/internal/kern"
 	"xunet/internal/testbed"
 	"xunet/internal/xswitch"
@@ -32,6 +34,8 @@ func main() {
 	nolog := flag.Bool("nolog", false, "disable per-call maintenance logging (E3 ablation)")
 	kill := flag.Int("kill-every", 0, "kill every k-th client mid-call (robustness)")
 	qosStr := flag.String("qos", "", "per-call QoS descriptor (e.g. cbr:1000)")
+	chaos := flag.Bool("chaos", false, "arm the fault-injection plane: 1% signaling loss, packet loss/dup/delay, bursty trunk cell loss, trunk flapping, device indication loss")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "fault plane seed (0 derives it from -seed)")
 	flag.Parse()
 
 	opts := testbed.Options{
@@ -39,6 +43,16 @@ func main() {
 		DeviceBuffers:      *buffers,
 		FDTableSize:        *fdsize,
 		DisableCallLogging: *nolog,
+	}
+	if *chaos {
+		opts.Faults = &faults.Config{
+			Seed:    *chaosSeed,
+			SigLoss: 0.01,
+			PktLoss: 0.01, PktDup: 0.005, PktDelayProb: 0.02, PktDelayMax: 2 * time.Millisecond,
+			GE:         faults.GEConfig{PGoodToBad: 0.0002, PBadToGood: 0.1, LossBad: 0.5},
+			FlapMeanUp: 2 * time.Second, FlapDown: 40 * time.Millisecond,
+			DevLoss: 0.001,
+		}
 	}
 
 	var n *testbed.Net
@@ -82,6 +96,10 @@ func main() {
 	server := routers[len(routers)-1]
 	srv := testbed.StartEchoServer(server, "storm", 6000)
 	n.E.RunUntil(time.Second)
+	if *chaos {
+		// Flap trunks for the expected storm duration plus drain margin.
+		n.StartTrunkFlapping(time.Duration(*calls)*(*hold) + 30*time.Second)
+	}
 
 	var client testbed.Endpoint = routers[0]
 	if len(allHosts) > 0 {
@@ -103,6 +121,9 @@ func main() {
 			res.MinSetup, res.Avg(), res.MaxSetup)
 	}
 	fmt.Printf("echo server: %d calls accepted, %d frames received\n\n", srv.Accepted, srv.Received)
+	if *chaos {
+		fmt.Printf("faults injected:\n%s\n", n.Faults.Obs.Snapshot().Text())
+	}
 	report := n.Snapshot()
 	fmt.Print(report)
 	if report.Quiesced() {

@@ -16,6 +16,11 @@
 //	                              # (load in Perfetto / chrome://tracing)
 //	xunetstat flight              # span trees of the last completed calls
 //	xunetstat flight -json        # flight recorder as Chrome trace JSON
+//
+// And one queries the fault-injection plane, when one is armed:
+//
+//	xunetstat faults              # fault config + injection counters
+//	xunetstat faults -json        # the same as one JSON object
 package main
 
 import (
@@ -93,7 +98,7 @@ func runSubcommand(c *signaling.RealClient, args []string) {
 		rest = append(rest, a)
 	}
 	if len(rest) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: xunetstat [flags] [trace <callid> | flight]")
+		fmt.Fprintln(os.Stderr, "usage: xunetstat [flags] [trace <callid> | flight | faults]")
 		os.Exit(2)
 	}
 	switch rest[0] {
@@ -128,8 +133,19 @@ func runSubcommand(c *signaling.RealClient, args []string) {
 			os.Exit(1)
 		}
 		fmt.Println(body)
+	case "faults":
+		what := signaling.MgmtFaults
+		if asJSON {
+			what = signaling.MgmtFaultsJSON
+		}
+		body, err := c.Query(what)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xunetstat:", err)
+			os.Exit(1)
+		}
+		fmt.Println(body)
 	default:
-		fmt.Fprintln(os.Stderr, "xunetstat: unknown subcommand", rest[0], "(want trace or flight)")
+		fmt.Fprintln(os.Stderr, "xunetstat: unknown subcommand", rest[0], "(want trace, flight or faults)")
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,275 @@
+// Package faults is the deterministic fault-injection plane. It decides
+// — from its own seeded RNG, never the workload's — whether each packet,
+// signaling message, cell, or device indication is lost, duplicated,
+// delayed, or corrupted, and schedules trunk up/down flapping. Because
+// the plane has a dedicated sim.Rand, enabling faults never perturbs the
+// workload's random sequence, and a run's fault schedule is a pure
+// function of the fault seed: same seed, same faults, byte-identical
+// replay.
+//
+// Every hook site holds a *Plane pointer that is nil by default, so the
+// disabled cost is a single pointer comparison (gated under 5 ns by
+// BenchmarkFaultsOverhead, like the telemetry and trace gates). Every
+// injected fault increments a counter in the plane's own obs.Registry
+// and, when the affected unit carries a sampled trace context, records a
+// zero-width "faults" span so chaos shows up inside call traces.
+package faults
+
+import (
+	"time"
+
+	"xunet/internal/obs"
+	"xunet/internal/sim"
+	"xunet/internal/trace"
+)
+
+// GEConfig parameterizes the Gilbert–Elliott two-state burst-loss model
+// applied to cells on switch trunks: the trunk wanders between a good
+// and a bad state with the given transition probabilities (evaluated per
+// cell), and loses cells at the state's loss rate. Burstiness comes from
+// dwelling in the bad state, which uniform per-cell loss cannot model.
+type GEConfig struct {
+	PGoodToBad float64 // per-cell probability of entering the bad state
+	PBadToGood float64 // per-cell probability of leaving it
+	LossGood   float64 // cell loss probability while good
+	LossBad    float64 // cell loss probability while bad
+}
+
+func (g GEConfig) enabled() bool {
+	return g.PGoodToBad > 0 || g.LossGood > 0 || g.LossBad > 0
+}
+
+// Config selects which faults the plane injects and how often. The zero
+// value injects nothing; probabilities are per-unit (per packet, per
+// signaling message, per cell, per indication).
+type Config struct {
+	// Seed seeds the plane's private RNG. Zero selects a fixed default
+	// so a zero-value-but-enabled config is still deterministic.
+	Seed uint64
+
+	// Packet faults apply to every memnet link transmission and to
+	// carrier-encapsulated frames on the testbed's tunnel carriers.
+	PktLoss      float64
+	PktDup       float64
+	PktDelayProb float64
+	PktDelayMax  time.Duration // extra latency drawn uniform in [0, max)
+
+	// Signaling-message faults apply to sighost-to-sighost messages on
+	// the signaling PVC (the paper's "1% signaling loss" knob).
+	SigLoss      float64
+	SigDup       float64
+	SigDelayProb float64
+	SigDelayMax  time.Duration
+
+	// Cell faults apply per cell on switch-to-switch trunks, alongside
+	// the existing queue-overflow drops.
+	GE          GEConfig
+	CellCorrupt float64 // flip a payload byte; AAL5 CRC-32 catches it
+
+	// Trunk flapping: trunks stay up for roughly FlapMeanUp (jittered by
+	// the plane RNG), then drop every cell for FlapDown. Zero disables.
+	FlapMeanUp time.Duration
+	FlapDown   time.Duration
+
+	// DevLoss drops kernel pseudo-device indications as if the
+	// /dev/anand indication buffer were under pressure.
+	DevLoss float64
+}
+
+// Enabled reports whether any fault in the config can ever fire.
+func (c Config) Enabled() bool {
+	return c.PktLoss > 0 || c.PktDup > 0 || c.PktDelayProb > 0 ||
+		c.SigLoss > 0 || c.SigDup > 0 || c.SigDelayProb > 0 ||
+		c.GE.enabled() || c.CellCorrupt > 0 ||
+		c.FlapMeanUp > 0 || c.DevLoss > 0
+}
+
+// Verdict is the plane's decision for one packet or signaling message.
+type Verdict struct {
+	Drop       bool
+	Dup        bool
+	ExtraDelay time.Duration
+}
+
+// Plane is one fault-injection domain: a seeded RNG plus fault counters.
+// A testbed has at most one; all hooks share it so the fault schedule is
+// totally ordered by simulation-event order.
+type Plane struct {
+	cfg Config
+	rng *sim.Rand
+
+	// Obs holds the plane's own fault counters (faults.* namespace),
+	// kept out of the workload registries so fault-free runs render
+	// byte-identical reports.
+	Obs *obs.Registry
+
+	tc  *trace.Collector
+	now func() time.Duration
+
+	pktDrop, pktDup, pktDelay       *obs.Counter
+	sigDrop, sigDup, sigDelay       *obs.Counter
+	cellDrop, cellCorrupt           *obs.Counter
+	trunkFlaps, flapDrops           *obs.Counter
+	devDrop                         *obs.Counter
+}
+
+// NewPlane builds a plane from cfg. The plane is ready to be attached to
+// transports; AttachTrace additionally lets it record fault spans.
+func NewPlane(cfg Config) *Plane {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0xFA017C0DE // distinct from any workload seed in use
+	}
+	p := &Plane{cfg: cfg, rng: sim.NewRand(seed), Obs: obs.NewRegistry()}
+	p.pktDrop = p.Obs.Counter("faults.pkt.drop")
+	p.pktDup = p.Obs.Counter("faults.pkt.dup")
+	p.pktDelay = p.Obs.Counter("faults.pkt.delay")
+	p.sigDrop = p.Obs.Counter("faults.sig.drop")
+	p.sigDup = p.Obs.Counter("faults.sig.dup")
+	p.sigDelay = p.Obs.Counter("faults.sig.delay")
+	p.cellDrop = p.Obs.Counter("faults.cell.drop")
+	p.cellCorrupt = p.Obs.Counter("faults.cell.corrupt")
+	p.trunkFlaps = p.Obs.Counter("faults.trunk.flaps")
+	p.flapDrops = p.Obs.Counter("faults.trunk.flap_drops")
+	p.devDrop = p.Obs.Counter("faults.dev.drop")
+	return p
+}
+
+// Config returns the plane's configuration.
+func (p *Plane) Config() Config { return p.cfg }
+
+// AttachTrace connects the plane to the testbed's trace collector so
+// faults on traced units appear as spans inside the call's span tree.
+func (p *Plane) AttachTrace(tc *trace.Collector, now func() time.Duration) {
+	p.tc, p.now = tc, now
+}
+
+// span records a zero-width fault span under parent if it is sampled.
+func (p *Plane) span(parent trace.Context, name string) {
+	if p.tc == nil || p.now == nil || !parent.Sampled() {
+		return
+	}
+	at := p.now()
+	p.tc.Record(parent, "faults", name, at, at)
+}
+
+// Packet returns the verdict for one packet on a memnet link or tunnel
+// carrier. Draw order is fixed (loss, dup, delay) so the fault schedule
+// is stable; disabled probabilities draw nothing (sim.Rand.Chance).
+func (p *Plane) Packet(tc trace.Context) Verdict {
+	var v Verdict
+	if p.rng.Chance(p.cfg.PktLoss) {
+		p.pktDrop.Inc()
+		p.span(tc, "pkt.drop")
+		v.Drop = true
+		return v
+	}
+	if p.rng.Chance(p.cfg.PktDup) {
+		p.pktDup.Inc()
+		p.span(tc, "pkt.dup")
+		v.Dup = true
+	}
+	if p.rng.Chance(p.cfg.PktDelayProb) {
+		v.ExtraDelay = p.rng.Jitter(p.cfg.PktDelayMax)
+		if v.ExtraDelay > 0 {
+			p.pktDelay.Inc()
+			p.span(tc, "pkt.delay")
+		}
+	}
+	return v
+}
+
+// SigMsg returns the verdict for one sighost-to-sighost signaling
+// message about to be sent on the peer PVC.
+func (p *Plane) SigMsg(tc trace.Context) Verdict {
+	var v Verdict
+	if p.rng.Chance(p.cfg.SigLoss) {
+		p.sigDrop.Inc()
+		p.span(tc, "sig.drop")
+		v.Drop = true
+		return v
+	}
+	if p.rng.Chance(p.cfg.SigDup) {
+		p.sigDup.Inc()
+		p.span(tc, "sig.dup")
+		v.Dup = true
+	}
+	if p.rng.Chance(p.cfg.SigDelayProb) {
+		v.ExtraDelay = p.rng.Jitter(p.cfg.SigDelayMax)
+		if v.ExtraDelay > 0 {
+			p.sigDelay.Inc()
+			p.span(tc, "sig.delay")
+		}
+	}
+	return v
+}
+
+// CellDrop steps the trunk's Gilbert–Elliott state (stored by the caller
+// per trunk, so independent trunks burst independently) and reports
+// whether this cell is lost.
+func (p *Plane) CellDrop(bad *bool, tc trace.Context) bool {
+	if !p.cfg.GE.enabled() {
+		return false
+	}
+	if *bad {
+		if p.rng.Chance(p.cfg.GE.PBadToGood) {
+			*bad = false
+		}
+	} else if p.rng.Chance(p.cfg.GE.PGoodToBad) {
+		*bad = true
+	}
+	loss := p.cfg.GE.LossGood
+	if *bad {
+		loss = p.cfg.GE.LossBad
+	}
+	if p.rng.Chance(loss) {
+		p.cellDrop.Inc()
+		p.span(tc, "cell.drop")
+		return true
+	}
+	return false
+}
+
+// CellCorrupt reports whether this cell's payload should be corrupted.
+// Corruption surfaces as an AAL5 CRC error at reassembly, so the frame
+// is discarded — behaviorally a loss, detected where real hardware
+// detects it.
+func (p *Plane) CellCorrupt(tc trace.Context) bool {
+	if p.rng.Chance(p.cfg.CellCorrupt) {
+		p.cellCorrupt.Inc()
+		p.span(tc, "cell.corrupt")
+		return true
+	}
+	return false
+}
+
+// TrunkDownDrop counts a cell dropped because its trunk is flapped down.
+func (p *Plane) TrunkDownDrop(tc trace.Context) {
+	p.flapDrops.Inc()
+	p.span(tc, "trunk.down")
+}
+
+// DevDrop reports whether a kernel pseudo-device indication is dropped
+// (simulated indication-buffer pressure).
+func (p *Plane) DevDrop() bool {
+	if p.rng.Chance(p.cfg.DevLoss) {
+		p.devDrop.Inc()
+		return true
+	}
+	return false
+}
+
+// FlapEnabled reports whether trunk flapping is configured.
+func (p *Plane) FlapEnabled() bool { return p.cfg.FlapMeanUp > 0 && p.cfg.FlapDown > 0 }
+
+// NextUp returns the next up-time before a flap: FlapMeanUp jittered by
+// ±50% from the plane RNG.
+func (p *Plane) NextUp() time.Duration {
+	return p.cfg.FlapMeanUp/2 + p.rng.Jitter(p.cfg.FlapMeanUp)
+}
+
+// DownFor returns the outage length of one flap and counts it.
+func (p *Plane) DownFor() time.Duration {
+	p.trunkFlaps.Inc()
+	return p.cfg.FlapDown
+}

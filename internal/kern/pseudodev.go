@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"xunet/internal/atm"
+	"xunet/internal/faults"
 	"xunet/internal/obs"
 	"xunet/internal/sim"
 )
@@ -100,7 +101,15 @@ type PseudoDev struct {
 	// gauge's high-water mark records how close to capacity the buffer ran.
 	overflows *obs.Counter
 	depth     *obs.Gauge
+
+	// faults, when non-nil, drops upward indications as if the buffer
+	// were under pressure — the §10 failure mode on demand.
+	faults *faults.Plane
 }
+
+// SetFaults attaches a fault plane; injected drops count as Lost and
+// overflow exactly like real buffer exhaustion.
+func (d *PseudoDev) SetFaults(p *faults.Plane) { d.faults = p }
 
 // NewPseudoDev creates a device with the given number of message
 // buffers (§10: 8 originally, 80 after the fix).
@@ -129,6 +138,13 @@ func (d *PseudoDev) Instrument(reg *obs.Registry) {
 // and counts the loss — when every buffer is occupied. A message handed
 // directly to a blocked reader occupies no buffer.
 func (d *PseudoDev) PostUp(m KMsg) bool {
+	if d.faults != nil && d.faults.DevDrop() {
+		d.Lost++
+		if d.overflows != nil {
+			d.overflows.Inc()
+		}
+		return false
+	}
 	if d.q.Len() >= d.capacity {
 		d.Lost++
 		if d.overflows != nil {

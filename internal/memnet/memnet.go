@@ -18,8 +18,10 @@ import (
 	"time"
 
 	"xunet/internal/cost"
+	"xunet/internal/faults"
 	"xunet/internal/mbuf"
 	"xunet/internal/sim"
+	"xunet/internal/trace"
 )
 
 // IPAddr is a 32-bit IPv4-style address.
@@ -95,6 +97,10 @@ type link struct {
 type Network struct {
 	Engine *sim.Engine
 	nodes  map[IPAddr]*Node
+	// Faults, when non-nil, injects seeded packet loss, duplication,
+	// and extra delay on every link transmission, on top of (and drawn
+	// independently of) each link's own configured impairments.
+	Faults *faults.Plane
 }
 
 // New returns an empty internetwork on engine e.
@@ -277,7 +283,26 @@ func (l *link) transmit(pkt *Packet) {
 		arrive += l.cfg.ReorderBy
 	}
 	to := l.to
+	var dup *Packet
+	if fp := l.net.Faults; fp != nil {
+		v := fp.Packet(trace.Context{})
+		if v.Drop {
+			l.Dropped++
+			return
+		}
+		arrive += v.ExtraDelay
+		if v.Dup {
+			// Deep-copy the payload: the original chain is consumed
+			// (and possibly released) by its receiver.
+			cp := *pkt
+			cp.Payload = pkt.Payload.Clone()
+			dup = &cp
+		}
+	}
 	e.Schedule(arrive, func() { to.receive(pkt) })
+	if dup != nil {
+		e.Schedule(arrive+l.cfg.Delay/2+time.Microsecond, func() { to.receive(dup) })
+	}
 }
 
 // receive handles an arriving packet: local delivery or forwarding.

@@ -73,6 +73,14 @@ const (
 	KindConnectDone
 	// KindRelease tears a call down: CallID, Reason.
 	KindRelease
+	// KindPeerAck acknowledges receipt of a reliable peer message: Seq,
+	// Epoch. Acks are themselves unreliable — a lost ack is repaired by
+	// the sender's retransmission, which the receiver deduplicates.
+	KindPeerAck
+	// KindKeepalive probes peer liveness: Epoch. Sent only while calls
+	// or unacknowledged messages exist toward the peer; any traffic from
+	// the peer (keepalives included) refreshes its liveness deadline.
+	KindKeepalive
 )
 
 var kindNames = map[Kind]string{
@@ -95,6 +103,8 @@ var kindNames = map[Kind]string{
 	KindSetupRej:     "SETUP_REJ",
 	KindConnectDone:  "CONNECT_DONE",
 	KindRelease:      "RELEASE",
+	KindPeerAck:      "PEER_ACK",
+	KindKeepalive:    "KEEPALIVE",
 }
 
 // String returns the protocol name of the kind.
@@ -134,6 +144,14 @@ type Msg struct {
 	// root span. Zero means the call is untraced or unsampled.
 	TraceID uint64
 	SpanID  uint64
+	// Seq/Epoch implement reliable peer delivery. Seq numbers each
+	// sighost-to-sighost message per destination (0 means the sender ran
+	// without reliability — the receiver passes it through unsequenced).
+	// Epoch is the sender's incarnation: it bumps on crash-recovery so a
+	// receiver can discard stale retransmissions from before the crash
+	// and reset its duplicate-detection window for the new life.
+	Seq   uint32
+	Epoch uint32
 }
 
 // String renders the message for traces, in the style of the paper's
@@ -188,6 +206,8 @@ func (m Msg) Encode() []byte {
 	out = append(out, byte(m.PID>>24), byte(m.PID>>16), byte(m.PID>>8), byte(m.PID))
 	out = appendU64(out, m.TraceID)
 	out = appendU64(out, m.SpanID)
+	out = append(out, byte(m.Seq>>24), byte(m.Seq>>16), byte(m.Seq>>8), byte(m.Seq))
+	out = append(out, byte(m.Epoch>>24), byte(m.Epoch>>16), byte(m.Epoch>>8), byte(m.Epoch))
 	for _, s := range []string{m.Service, string(m.Dest), string(m.Src), m.QoS, m.Comment, m.Reason} {
 		out = appendString(out, s)
 	}
@@ -213,7 +233,7 @@ func u64(b []byte) uint64 {
 // Decode parses a message encoded by Encode.
 func Decode(b []byte) (Msg, error) {
 	var m Msg
-	if len(b) < 32 {
+	if len(b) < 40 {
 		return m, ErrShort
 	}
 	m.Kind = Kind(b[0])
@@ -228,7 +248,9 @@ func Decode(b []byte) (Msg, error) {
 	m.PID = uint32(b[12])<<24 | uint32(b[13])<<16 | uint32(b[14])<<8 | uint32(b[15])
 	m.TraceID = u64(b[16:24])
 	m.SpanID = u64(b[24:32])
-	rest := b[32:]
+	m.Seq = uint32(b[32])<<24 | uint32(b[33])<<16 | uint32(b[34])<<8 | uint32(b[35])
+	m.Epoch = uint32(b[36])<<24 | uint32(b[37])<<16 | uint32(b[38])<<8 | uint32(b[39])
+	rest := b[40:]
 	var fields [6]string
 	for i := range fields {
 		var s string

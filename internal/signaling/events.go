@@ -18,6 +18,15 @@ const (
 	EvTeardown = "teardown"  // call released
 	EvBindOK   = "bind.ok"   // bind/connect authenticated, wait_for_bind cleared
 	EvBindTime = "bind.fire" // wait_for_bind timer fired
+
+	// Reliability and recovery events (rendered generically; the legacy
+	// golden format above never sees them because reliability is opt-in).
+	EvRelRetx    = "rel.retx"    // peer message retransmitted
+	EvRelExhaust = "rel.exhaust" // retry budget exhausted
+	EvRelDup     = "rel.dup"     // duplicate peer message suppressed
+	EvPeerDead   = "peer.dead"   // keepalive miss threshold crossed
+	EvCrash      = "crash"       // sighost crashed (state lost)
+	EvRecover    = "recover"     // sighost recovered from journal
 )
 
 // teardownInfo rides in Event.Data for EvTeardown events.

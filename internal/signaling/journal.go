@@ -1,0 +1,277 @@
+package signaling
+
+import (
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/memnet"
+	"xunet/internal/obs"
+)
+
+// Crash-recovery for the signaling entity. sighost's state is exactly
+// the five lists of §7.3 plus the per-VCI cookie table, so a bounded
+// write-ahead journal of list transitions is enough to rebuild it: on
+// restart the journal is replayed, wait_for_bind timers are re-armed
+// with their REMAINING (not full) deadlines, and calls that were still
+// mid-establishment are torn down with the paper's disconnect
+// indications, since their in-flight handshakes died with the process.
+//
+// The journal is an in-memory append log standing in for the disk log a
+// real daemon would write (the sim has no filesystem); it survives
+// Crash() because it models persistent storage. Entries for dead calls
+// are compacted away once the log exceeds its bound, keeping it
+// proportional to live state. VC handles are journaled by reference as
+// a stand-in for re-resolving the circuit from the switch tables on
+// restart (DESIGN.md §11 records the substitution).
+
+type jop uint8
+
+const (
+	jExport jop = iota + 1
+	jUnexport
+	jOpen  // call created (either side)
+	jGrant // VCI + cookie handed out, bind timer armed
+	jBound // bind authenticated, entry moved to VCI_mapping
+	jEnd   // call released (any path)
+)
+
+// jrec is one journal record; fields beyond op/key are op-specific.
+type jrec struct {
+	op      jop
+	key     callKey
+	service string
+	ip      memnet.IPAddr
+	port    uint16
+	qos     string
+	cookie  uint16
+	vci     atm.VCI
+	// deadline is the ABSOLUTE bind deadline (sim clock), so recovery
+	// can re-arm the timer with only the remaining allowance.
+	deadline time.Duration
+	vc       *VCHandle
+}
+
+// journal is the bounded write-ahead log.
+type journal struct {
+	recs []jrec
+	cap  int
+	// generation counts recoveries; it seeds the reliability epoch so
+	// peers can tell a new incarnation's messages from stale ones.
+	generation uint32
+	// lastCallID persists the allocator so a recovered sighost never
+	// reuses a call ID that a peer may still hold state for.
+	lastCallID uint32
+
+	appends     *obs.Counter // sighost.journal.appends
+	compactions *obs.Counter // sighost.journal.compactions
+}
+
+// EnableJournal attaches a write-ahead journal with the given record
+// bound (<=0 selects 4096) and enables Crash/Recover.
+func (sh *Sighost) EnableJournal(bound int) {
+	if bound <= 0 {
+		bound = 4096
+	}
+	sh.jr = &journal{
+		cap:         bound,
+		appends:     sh.Obs.Counter("sighost.journal.appends"),
+		compactions: sh.Obs.Counter("sighost.journal.compactions"),
+	}
+}
+
+// jlog appends one record, compacting first if the log hit its bound.
+func (sh *Sighost) jlog(r jrec) {
+	j := sh.jr
+	if j == nil {
+		return
+	}
+	if len(j.recs) >= j.cap {
+		sh.compactJournal()
+	}
+	j.recs = append(j.recs, r)
+	j.appends.Inc()
+	if r.op == jOpen && r.key.origin && r.key.id > j.lastCallID {
+		j.lastCallID = r.key.id
+	}
+}
+
+// compactJournal rewrites the log from live state: one export per
+// registered service, and per live call an open plus its grant/bound
+// progress. Ended calls vanish.
+func (sh *Sighost) compactJournal() {
+	j := sh.jr
+	j.compactions.Inc()
+	out := make([]jrec, 0, len(sh.services)+2*len(sh.calls))
+	for _, svc := range sh.services {
+		out = append(out, jrec{op: jExport, service: svc.name, ip: svc.ip, port: svc.port})
+	}
+	for _, c := range sh.calls {
+		out = append(out, jrec{
+			op: jOpen, key: c.key, service: c.service, qos: c.qosStr,
+			ip: c.endIP, port: c.endPort, cookie: c.cookie,
+		})
+		if c.localVCI == 0 {
+			continue
+		}
+		if bw, waiting := sh.waitBind[c.localVCI]; waiting && bw.c == c {
+			out = append(out, jrec{
+				op: jGrant, key: c.key, vci: c.localVCI, cookie: c.cookie,
+				deadline: bw.deadline, vc: c.vc,
+			})
+		} else if sh.vciMap[c.localVCI] == c {
+			out = append(out, jrec{op: jGrant, key: c.key, vci: c.localVCI, cookie: c.cookie, vc: c.vc})
+			out = append(out, jrec{op: jBound, key: c.key, vci: c.localVCI})
+		}
+	}
+	j.recs = out
+}
+
+// Down reports whether the sighost is crashed (dropping all input).
+func (sh *Sighost) Down() bool { return sh.down }
+
+// Crash models the signaling process dying: every timer is canceled and
+// all five lists, the cookie table, and the reliability state vanish.
+// While down, every handler drops its input (the peers' retransmissions
+// are what carry calls across the outage). The journal survives — it
+// models persistent storage.
+func (sh *Sighost) Crash() {
+	if sh.down {
+		return
+	}
+	sh.down = true
+	sh.Obs.Counter("sighost.crashes").Inc()
+	if sh.traceOn() {
+		sh.emit(obs.Event{Kind: EvCrash})
+	}
+	for _, bw := range sh.waitBind {
+		bw.cancel()
+	}
+	if sh.rel != nil {
+		for _, lk := range sh.rel.links {
+			for _, pm := range lk.unacked {
+				if pm.cancel != nil {
+					pm.cancel()
+				}
+			}
+			if lk.kaCancel != nil {
+				lk.kaCancel()
+			}
+		}
+		sh.rel.links = make(map[atm.Addr]*peerLink)
+	}
+	sh.services = make(map[string]*serviceEntry)
+	sh.outgoing = make(map[uint16]*outRequest)
+	sh.incoming = make(map[uint16]*inRequest)
+	sh.waitBind = make(map[atm.VCI]*bindWait)
+	sh.vciMap = make(map[atm.VCI]*call)
+	sh.cookies = make(map[atm.VCI]uint16)
+	sh.calls = make(map[callKey]*call)
+}
+
+// Recover restarts a crashed sighost: bump the incarnation, replay the
+// journal, re-arm bind timers with remaining deadlines, and tear down
+// calls that were mid-establishment when the process died.
+func (sh *Sighost) Recover() {
+	if !sh.down {
+		return
+	}
+	sh.down = false
+	sh.Obs.Counter("sighost.recoveries").Inc()
+	if sh.traceOn() {
+		sh.emit(obs.Event{Kind: EvRecover})
+	}
+	if sh.jr == nil {
+		return // no journal: recovered empty, like a cold start
+	}
+	sh.jr.generation++
+	sh.epochGen = sh.jr.generation
+	if sh.jr.lastCallID > sh.nextCallID {
+		sh.nextCallID = sh.jr.lastCallID
+	}
+
+	// Fold the log into per-call final state.
+	type replay struct {
+		open  jrec
+		grant *jrec
+		bound bool
+	}
+	live := make(map[callKey]*replay)
+	order := make([]callKey, 0, 16)
+	for i := range sh.jr.recs {
+		r := &sh.jr.recs[i]
+		switch r.op {
+		case jExport:
+			sh.services[r.service] = &serviceEntry{name: r.service, ip: r.ip, port: r.port}
+		case jUnexport:
+			delete(sh.services, r.service)
+		case jOpen:
+			if _, dup := live[r.key]; !dup {
+				order = append(order, r.key)
+			}
+			live[r.key] = &replay{open: *r}
+		case jGrant:
+			if st, ok := live[r.key]; ok {
+				st.grant = r
+			}
+		case jBound:
+			if st, ok := live[r.key]; ok {
+				st.bound = true
+			}
+		case jEnd:
+			delete(live, r.key)
+		}
+	}
+
+	now := sh.env.Now()
+	var aborted []*call
+	for _, key := range order {
+		st, ok := live[key]
+		if !ok {
+			continue
+		}
+		c := &call{
+			key: key, service: st.open.service, qosStr: st.open.qos,
+			endIP: st.open.ip, endPort: st.open.port, cookie: st.open.cookie,
+			reqAt: now,
+		}
+		sh.calls[key] = c
+		switch {
+		case st.bound:
+			// Fully established and bound: restore VCI_mapping + cookie.
+			c.state = callEstablished
+			c.localVCI = st.grant.vci
+			c.vc = st.grant.vc
+			sh.vciMap[c.localVCI] = c
+			sh.cookies[c.localVCI] = st.grant.cookie
+			sh.Obs.Counter("sighost.recovered.bound").Inc()
+		case st.grant != nil:
+			// Granted but unbound: restore wait_for_bind with whatever
+			// allowance the call had left. An already-expired deadline
+			// tears down immediately — the timer fired during the outage.
+			c.state = callEstablished
+			c.localVCI = st.grant.vci
+			c.vc = st.grant.vc
+			sh.cookies[c.localVCI] = st.grant.cookie
+			remaining := st.grant.deadline - now
+			if remaining <= 0 {
+				sh.ct.bindTimeouts.Inc()
+				aborted = append(aborted, c)
+				continue
+			}
+			sh.armBindTimer(c, c.localVCI, remaining, st.grant.deadline)
+			sh.Obs.Counter("sighost.recovered.wait_bind").Inc()
+		default:
+			// Mid-establishment: its handshake died with the process.
+			aborted = append(aborted, c)
+		}
+	}
+	for _, c := range aborted {
+		sh.Obs.Counter("sighost.recovery.aborted_calls").Inc()
+		sh.ct.callsFailed.Inc()
+		if c.key.origin {
+			sh.notifyClientFailure(c, "signaling entity restarted")
+		}
+		sh.teardown(c, "lost in signaling restart", true)
+	}
+	sh.compactJournal()
+}

@@ -37,6 +37,8 @@ const (
 	MgmtCallTraceJSON = "calltrace.json"
 	MgmtFlight        = "flight"
 	MgmtFlightJSON    = "flight.json"
+	MgmtFaults        = "faults"
+	MgmtFaultsJSON    = "faults.json"
 )
 
 // MgmtTraceDefault is how many ring events a trace query returns when the
@@ -115,6 +117,18 @@ func (sh *Sighost) handleMgmtQuery(conn Conn, m sigmsg.Msg) {
 			out = []byte("{}")
 		}
 		body = string(out)
+	case MgmtFaults:
+		if sh.FaultsInfo != nil {
+			body = sh.FaultsInfo()
+		} else {
+			body = "fault injection disabled"
+		}
+	case MgmtFaultsJSON:
+		if sh.FaultsJSON != nil {
+			body = sh.FaultsJSON()
+		} else {
+			body = "{}"
+		}
 	case MgmtLists:
 		svc, out, in, wb, vm := sh.ListSizes()
 		body = fmt.Sprintf("service_list=%d outgoing_requests=%d incoming_requests=%d wait_for_bind=%d VCI_mapping=%d cookies=%d",

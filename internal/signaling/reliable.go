@@ -1,0 +1,359 @@
+package signaling
+
+import (
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/obs"
+	"xunet/internal/sigmsg"
+)
+
+// The peer PVC mesh offers no transport reliability: sighost-to-sighost
+// messages ride raw AAL5 frames, so a lost SETUP stalls a call forever
+// and a duplicated one could double-allocate a VCI. This file adds the
+// missing layer at the signaling level — per-peer sequence numbers,
+// ack-driven retransmission with capped exponential backoff and a retry
+// budget, and a receive-side dedup window — all opt-in (EnableReliability)
+// so the clean-path wire traffic and goldens are untouched by default.
+
+// RelConfig tunes the reliable peer channel.
+type RelConfig struct {
+	// RTO is the first retransmission timeout; each retry doubles it up
+	// to MaxBackoffShift doublings.
+	RTO             time.Duration
+	MaxBackoffShift uint
+	// MaxRetries is the retry budget beyond the initial send; when it is
+	// spent the affected call is torn down with a TIMEOUT status (which
+	// dumps its trace to the flight recorder).
+	MaxRetries int
+	// KeepaliveEvery probes each active peer at this period; a peer
+	// silent for KeepaliveMisses periods is declared dead and every call
+	// through it is torn down (§7's endpoint-death cascade, applied to
+	// the signaling neighbor itself). Zero disables keepalives.
+	KeepaliveEvery  time.Duration
+	KeepaliveMisses int
+}
+
+// DefaultRelConfig matches the testbed's RTTs: first retry after 250ms,
+// budget of 6 retries (~16s worst case), keepalives every 2s with a
+// 3-miss death threshold.
+func DefaultRelConfig() RelConfig {
+	return RelConfig{
+		RTO:             250 * time.Millisecond,
+		MaxBackoffShift: 4,
+		MaxRetries:      6,
+		KeepaliveEvery:  2 * time.Second,
+		KeepaliveMisses: 3,
+	}
+}
+
+// pendingMsg is one unacknowledged reliable message.
+type pendingMsg struct {
+	m        sigmsg.Msg
+	attempts int // retransmissions so far
+	cancel   CancelFunc
+}
+
+// peerLink is the per-neighbor reliability state.
+type peerLink struct {
+	addr atm.Addr
+
+	// Transmit side.
+	epoch   uint32
+	nextSeq uint32
+	unacked map[uint32]*pendingMsg
+
+	// Receive side: floor is the highest sequence below which everything
+	// was delivered; seen holds delivered sequences above it.
+	rxEpoch uint32
+	floor   uint32
+	seen    map[uint32]bool
+
+	// Keepalive state. kaOn marks the probe chain armed; it disarms
+	// itself when the link goes idle so a quiesced sim can drain.
+	lastHeard time.Duration
+	kaOn      bool
+	kaCancel  CancelFunc
+}
+
+// reliability is the per-sighost reliable-channel state.
+type reliability struct {
+	cfg   RelConfig
+	links map[atm.Addr]*peerLink
+
+	retransmits *obs.Counter // sighost.rel.retransmits
+	acks        *obs.Counter // sighost.rel.acks
+	dups        *obs.Counter // sighost.rel.dups
+	stale       *obs.Counter // sighost.rel.stale_epoch
+	exhausted   *obs.Counter // sighost.rel.exhausted
+	keepalives  *obs.Counter // sighost.rel.keepalives
+	peerDeaths  *obs.Counter // sighost.rel.peer_deaths
+}
+
+// EnableReliability turns the reliable peer channel on. Must be called
+// before the first call is placed; counters register lazily here so
+// reliability-free runs render byte-identical registry snapshots.
+func (sh *Sighost) EnableReliability(cfg RelConfig) {
+	if cfg.RTO <= 0 {
+		cfg = DefaultRelConfig()
+	}
+	sh.rel = &reliability{
+		cfg:         cfg,
+		links:       make(map[atm.Addr]*peerLink),
+		retransmits: sh.Obs.Counter("sighost.rel.retransmits"),
+		acks:        sh.Obs.Counter("sighost.rel.acks"),
+		dups:        sh.Obs.Counter("sighost.rel.dups"),
+		stale:       sh.Obs.Counter("sighost.rel.stale_epoch"),
+		exhausted:   sh.Obs.Counter("sighost.rel.exhausted"),
+		keepalives:  sh.Obs.Counter("sighost.rel.keepalives"),
+		peerDeaths:  sh.Obs.Counter("sighost.rel.peer_deaths"),
+	}
+}
+
+// link returns (creating if needed) the reliability state for peer.
+func (r *reliability) link(sh *Sighost, peer atm.Addr) *peerLink {
+	lk := r.links[peer]
+	if lk == nil {
+		lk = &peerLink{
+			addr:    peer,
+			epoch:   sh.epochGen + 1,
+			unacked: make(map[uint32]*pendingMsg),
+			seen:    make(map[uint32]bool),
+		}
+		r.links[peer] = lk
+	}
+	return lk
+}
+
+// relSend transmits one peer message reliably: number it, remember it,
+// and arm the retransmission timer.
+func (sh *Sighost) relSend(dst atm.Addr, m sigmsg.Msg) error {
+	lk := sh.rel.link(sh, dst)
+	lk.nextSeq++
+	m.Seq = lk.nextSeq
+	m.Epoch = lk.epoch
+	pm := &pendingMsg{m: m}
+	lk.unacked[m.Seq] = pm
+	sh.emitMsg(EvPeerTx, string(dst), m)
+	if err := sh.env.SendPeer(dst, m); err != nil {
+		// No signaling path at all (no PVC): retrying cannot help.
+		delete(lk.unacked, m.Seq)
+		return err
+	}
+	sh.armRetransmit(lk, pm)
+	sh.ensureKeepalive(lk)
+	return nil
+}
+
+// armRetransmit schedules the next (re)transmission of pm with capped
+// exponential backoff.
+func (sh *Sighost) armRetransmit(lk *peerLink, pm *pendingMsg) {
+	shift := uint(pm.attempts)
+	if shift > sh.rel.cfg.MaxBackoffShift {
+		shift = sh.rel.cfg.MaxBackoffShift
+	}
+	pm.cancel = sh.env.After(sh.rel.cfg.RTO<<shift, func() {
+		if cur, live := lk.unacked[pm.m.Seq]; !live || cur != pm {
+			return // acked (or link reset) while the timer was in flight
+		}
+		if pm.attempts >= sh.rel.cfg.MaxRetries {
+			delete(lk.unacked, pm.m.Seq)
+			sh.rel.exhausted.Inc()
+			if sh.traceOn() {
+				sh.emit(obs.Event{Kind: EvRelExhaust, Peer: string(lk.addr), CallID: pm.m.CallID, Data: pm.m})
+			}
+			sh.retryExhausted(lk.addr, pm.m)
+			return
+		}
+		pm.attempts++
+		sh.rel.retransmits.Inc()
+		if sh.traceOn() {
+			sh.emit(obs.Event{Kind: EvRelRetx, Peer: string(lk.addr), CallID: pm.m.CallID, Data: pm.m})
+		}
+		_ = sh.env.SendPeer(lk.addr, pm.m)
+		sh.armRetransmit(lk, pm)
+	})
+}
+
+// retryExhausted gives up on a message: the call it belongs to cannot
+// make progress, so tear it down. The reason maps to a TIMEOUT trace
+// status, which dumps the call's span tree to the flight recorder.
+func (sh *Sighost) retryExhausted(dst atm.Addr, m sigmsg.Msg) {
+	var key callKey
+	switch m.Kind {
+	case sigmsg.KindSetup, sigmsg.KindConnectDone:
+		key = callKey{peer: dst, id: m.CallID, origin: true}
+	case sigmsg.KindSetupAck, sigmsg.KindSetupRej:
+		key = callKey{peer: dst, id: m.CallID, origin: false}
+	default:
+		return // a lost RELEASE for an already-dead call: nothing to tear
+	}
+	if c, ok := sh.calls[key]; ok {
+		sh.ct.callsFailed.Inc()
+		if key.origin {
+			sh.notifyClientFailure(c, "signaling retransmit budget exhausted")
+		}
+		sh.teardown(c, "retransmit budget exhausted", false)
+	}
+}
+
+// cancelCallRetransmits drops pending retransmissions that only make
+// sense while the call is being established; called from teardown so a
+// dead call cannot keep the retry machinery (and the sim) alive.
+func (sh *Sighost) cancelCallRetransmits(c *call) {
+	lk := sh.rel.links[c.key.peer]
+	if lk == nil {
+		return
+	}
+	for seq, pm := range lk.unacked {
+		if pm.m.CallID != c.key.id {
+			continue
+		}
+		var ours bool
+		switch pm.m.Kind {
+		case sigmsg.KindSetup, sigmsg.KindConnectDone:
+			ours = c.key.origin
+		case sigmsg.KindSetupAck, sigmsg.KindSetupRej:
+			ours = !c.key.origin
+		}
+		if ours {
+			if pm.cancel != nil {
+				pm.cancel()
+			}
+			delete(lk.unacked, seq)
+		}
+	}
+}
+
+// relRecv filters one arriving peer message through the reliability
+// layer. It returns false when the message was consumed (ack, keepalive,
+// duplicate, stale epoch) and must not reach the protocol handlers.
+func (sh *Sighost) relRecv(from atm.Addr, m sigmsg.Msg) bool {
+	lk := sh.rel.link(sh, from)
+	lk.lastHeard = sh.env.Now()
+	switch m.Kind {
+	case sigmsg.KindPeerAck:
+		sh.rel.acks.Inc()
+		if m.Epoch == lk.epoch {
+			if pm, ok := lk.unacked[m.Seq]; ok {
+				if pm.cancel != nil {
+					pm.cancel()
+				}
+				delete(lk.unacked, m.Seq)
+			}
+		}
+		return false
+	case sigmsg.KindKeepalive:
+		sh.rel.keepalives.Inc()
+		sh.ensureKeepalive(lk) // probe back so both deadlines refresh
+		return false
+	}
+	if m.Seq == 0 {
+		return true // unsequenced sender (reliability off at the peer)
+	}
+	if m.Epoch != lk.rxEpoch {
+		if m.Epoch < lk.rxEpoch {
+			// A retransmission from before the peer's crash: its call
+			// state died with the old incarnation.
+			sh.rel.stale.Inc()
+			return false
+		}
+		// New incarnation: reset the dedup window for its fresh sequence
+		// space.
+		lk.rxEpoch = m.Epoch
+		lk.floor = 0
+		lk.seen = make(map[uint32]bool)
+	}
+	// Always ack — even duplicates, whose earlier ack may have been the
+	// loss that caused the retransmission. Acks are unsequenced.
+	_ = sh.env.SendPeer(from, sigmsg.Msg{Kind: sigmsg.KindPeerAck, Seq: m.Seq, Epoch: m.Epoch})
+	if m.Seq <= lk.floor || lk.seen[m.Seq] {
+		sh.rel.dups.Inc()
+		if sh.traceOn() {
+			sh.emit(obs.Event{Kind: EvRelDup, Peer: string(from), CallID: m.CallID, Data: m})
+		}
+		return false
+	}
+	lk.seen[m.Seq] = true
+	for lk.seen[lk.floor+1] {
+		delete(lk.seen, lk.floor+1)
+		lk.floor++
+	}
+	sh.ensureKeepalive(lk)
+	return true
+}
+
+// linkActive reports whether the peer link carries live state worth
+// probing: calls through the peer or unacknowledged messages to it.
+func (sh *Sighost) linkActive(lk *peerLink) bool {
+	if len(lk.unacked) > 0 {
+		return true
+	}
+	for key := range sh.calls {
+		if key.peer == lk.addr {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureKeepalive arms the probe chain if keepalives are configured and
+// the chain is not already running. The chain disarms itself when the
+// link goes idle, so keepalives never keep a drained simulation alive.
+func (sh *Sighost) ensureKeepalive(lk *peerLink) {
+	if sh.rel.cfg.KeepaliveEvery <= 0 || lk.kaOn || lk.addr == sh.env.Addr() {
+		return
+	}
+	if !sh.linkActive(lk) {
+		return
+	}
+	lk.kaOn = true
+	lk.lastHeard = sh.env.Now()
+	sh.armKeepalive(lk)
+}
+
+func (sh *Sighost) armKeepalive(lk *peerLink) {
+	cfg := sh.rel.cfg
+	lk.kaCancel = sh.env.After(cfg.KeepaliveEvery, func() {
+		if !sh.linkActive(lk) {
+			lk.kaOn = false
+			return
+		}
+		if sh.env.Now()-lk.lastHeard >= cfg.KeepaliveEvery*time.Duration(cfg.KeepaliveMisses) {
+			lk.kaOn = false
+			sh.peerDead(lk)
+			return
+		}
+		_ = sh.env.SendPeer(lk.addr, sigmsg.Msg{Kind: sigmsg.KindKeepalive, Epoch: lk.epoch})
+		sh.armKeepalive(lk)
+	})
+}
+
+// peerDead declares the neighbor dead after the keepalive miss threshold
+// and cascades into per-call teardown, exactly as §7 prescribes for
+// endpoint death — applied here to the signaling entity itself.
+func (sh *Sighost) peerDead(lk *peerLink) {
+	sh.rel.peerDeaths.Inc()
+	if sh.traceOn() {
+		sh.emit(obs.Event{Kind: EvPeerDead, Peer: string(lk.addr)})
+	}
+	for _, pm := range lk.unacked {
+		if pm.cancel != nil {
+			pm.cancel()
+		}
+	}
+	lk.unacked = make(map[uint32]*pendingMsg)
+	var doomed []*call
+	for key, c := range sh.calls {
+		if key.peer == lk.addr {
+			doomed = append(doomed, c)
+		}
+	}
+	for _, c := range doomed {
+		sh.ct.callsFailed.Inc()
+		if c.key.origin {
+			sh.notifyClientFailure(c, "peer signaling entity dead")
+		}
+		sh.teardown(c, "peer signaling entity dead", false)
+	}
+}

@@ -10,17 +10,132 @@ import (
 	"xunet/internal/sigmsg"
 )
 
+// ErrRPCTimeout is the sentinel for real-TCP signaling timeouts; the
+// concrete error is always an *RPCTimeoutError carrying peer/attempt
+// context, and errors.Is(err, ErrRPCTimeout) matches it.
+var ErrRPCTimeout = errors.New("signaling: rpc timed out")
+
+// RPCTimeoutError records which daemon an RPC was waiting on, which
+// operation, on which attempt, and the expired deadline.
+type RPCTimeoutError struct {
+	Peer    string
+	Op      string
+	Attempt int
+	Waited  time.Duration
+}
+
+func (e *RPCTimeoutError) Error() string {
+	return fmt.Sprintf("signaling: rpc timed out (%s to %s, attempt %d, waited %v)",
+		e.Op, e.Peer, e.Attempt, e.Waited)
+}
+
+// Is makes errors.Is(err, ErrRPCTimeout) true for every RPCTimeoutError.
+func (e *RPCTimeoutError) Is(target error) bool { return target == ErrRPCTimeout }
+
 // RealClient is the user library for the real-TCP deployment: the same
 // RPC exchanges as internal/ulib, spoken to a RealHost daemon over the
 // loopback (or any) network. cmd/sigdemo and the realtime tests use it.
+//
+// The zero value keeps the legacy fixed deadlines (5 s dial, 10 s
+// reply, 15 s establish, single attempt); set the timeout fields to
+// override, and Attempts > 1 to retry idempotent RPCs with capped
+// exponential backoff.
 type RealClient struct {
 	// SighostAddr is the daemon's TCP address ("127.0.0.1:3177").
 	SighostAddr string
+
+	// DialTimeout bounds each TCP connect to the daemon (default 5s).
+	DialTimeout time.Duration
+	// ReplyTimeout bounds each RPC reply read (default 10s).
+	ReplyTimeout time.Duration
+	// EstablishTimeout bounds the wait for the asynchronous
+	// establishment notification in OpenConnection (default 15s).
+	EstablishTimeout time.Duration
+	// Attempts is the total tries for idempotent RPCs — export,
+	// unexport, cancel, management queries (default 1). CONNECT_REQ is
+	// never retried: it allocates a cookie on the daemon.
+	Attempts int
+	// Backoff is the sleep before the second attempt, doubling per
+	// attempt up to MaxBackoff (defaults 100ms / 2s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
 }
 
-// rpc performs one request/reply exchange over a fresh connection.
+func (c *RealClient) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c *RealClient) replyTimeout() time.Duration {
+	if c.ReplyTimeout > 0 {
+		return c.ReplyTimeout
+	}
+	return 10 * time.Second
+}
+
+func (c *RealClient) establishTimeout() time.Duration {
+	if c.EstablishTimeout > 0 {
+		return c.EstablishTimeout
+	}
+	return 15 * time.Second
+}
+
+// rpc performs a request/reply exchange, retrying idempotent kinds on
+// dial failure or reply timeout with capped exponential backoff.
 func (c *RealClient) rpc(m sigmsg.Msg) (sigmsg.Msg, error) {
-	conn, err := net.DialTimeout("tcp", c.SighostAddr, 5*time.Second)
+	attempts := 1
+	switch m.Kind {
+	case sigmsg.KindExportSrv, sigmsg.KindUnexportSrv, sigmsg.KindCancelReq, sigmsg.KindMgmtQuery:
+		if c.Attempts > 1 {
+			attempts = c.Attempts
+		}
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		reply, err := c.rpcOnce(m, a)
+		if err == nil || !retryableNetErr(err) {
+			return reply, err
+		}
+		lastErr = err
+		if a < attempts {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
+	return sigmsg.Msg{}, lastErr
+}
+
+// retryableNetErr reports whether an RPC attempt failed in a way a
+// retry can fix: the daemon was unreachable or the exchange timed out —
+// as opposed to a protocol-level refusal.
+func retryableNetErr(err error) bool {
+	if errors.Is(err, ErrRPCTimeout) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// rpcOnce performs one request/reply exchange over a fresh connection.
+func (c *RealClient) rpcOnce(m sigmsg.Msg, attempt int) (sigmsg.Msg, error) {
+	conn, err := net.DialTimeout("tcp", c.SighostAddr, c.dialTimeout())
 	if err != nil {
 		return sigmsg.Msg{}, err
 	}
@@ -28,9 +143,13 @@ func (c *RealClient) rpc(m sigmsg.Msg) (sigmsg.Msg, error) {
 	if err := WriteFrame(conn, m.Encode()); err != nil {
 		return sigmsg.Msg{}, err
 	}
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(c.replyTimeout()))
 	raw, err := ReadFrame(conn)
 	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return sigmsg.Msg{}, &RPCTimeoutError{Peer: c.SighostAddr, Op: m.Kind.String(), Attempt: attempt, Waited: c.replyTimeout()}
+		}
 		return sigmsg.Msg{}, err
 	}
 	reply, err := sigmsg.Decode(raw)
@@ -62,7 +181,10 @@ type RealRequest struct {
 	QoS     string
 	Comment string
 	Service string
-	conn    net.Conn
+	// ReplyTimeout bounds Accept's wait for the granted VCI (default
+	// 10s); the server may set it before deciding.
+	ReplyTimeout time.Duration
+	conn         net.Conn
 }
 
 // AwaitServiceRequest accepts one incoming-connection notification on
@@ -91,9 +213,17 @@ func (r *RealRequest) Accept(modifiedQoS string) (atm.VCI, string, error) {
 	if err := WriteFrame(r.conn, sigmsg.Msg{Kind: sigmsg.KindAcceptConn, Cookie: r.Cookie, QoS: modifiedQoS}.Encode()); err != nil {
 		return 0, "", err
 	}
-	r.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	wait := r.ReplyTimeout
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	r.conn.SetReadDeadline(time.Now().Add(wait))
 	raw, err := ReadFrame(r.conn)
 	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return 0, "", &RPCTimeoutError{Peer: "sighost", Op: "accept_connection", Attempt: 1, Waited: wait}
+		}
 		return 0, "", err
 	}
 	m, err := sigmsg.Decode(raw)
@@ -131,10 +261,14 @@ func (c *RealClient) OpenConnection(dest atm.Addr, service string, notifyListene
 	}
 	cookie := reply.Cookie
 	if d, ok := notifyListener.(*net.TCPListener); ok {
-		d.SetDeadline(time.Now().Add(15 * time.Second))
+		d.SetDeadline(time.Now().Add(c.establishTimeout()))
 	}
 	conn, err := notifyListener.Accept()
 	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return nil, &RPCTimeoutError{Peer: string(dest), Op: "open_connection", Attempt: 1, Waited: c.establishTimeout()}
+		}
 		return nil, fmt.Errorf("sighost: no establishment notification: %w", err)
 	}
 	defer conn.Close()

@@ -39,6 +39,16 @@ type RealHost struct {
 	next   atm.VCI
 	book   *qos.Book
 	closed bool
+
+	// DialTimeout / DialAttempts / DialBackoff govern how the daemon
+	// reaches an application's notify port: each attempt is bounded by
+	// DialTimeout, failures retry with doubling backoff (capped at 8×)
+	// up to DialAttempts total tries. StartReal sets 5s / 3 / 250ms —
+	// the retries cover the race where a client registers its notify
+	// port a beat after issuing CONNECT_REQ.
+	DialTimeout  time.Duration
+	DialAttempts int
+	DialBackoff  time.Duration
 }
 
 // frame I/O: 4-byte big-endian length prefix, then the encoded message.
@@ -88,6 +98,10 @@ func StartReal(addr atm.Addr, listenAddr string) (*RealHost, error) {
 		vcis:    make(map[atm.VCI]bool),
 		next:    32,
 		book:    qos.NewBook(622_000), // one OC-12's worth of local capacity
+
+		DialTimeout:  5 * time.Second,
+		DialAttempts: 3,
+		DialBackoff:  250 * time.Millisecond,
 	}
 	env := &realEnv{h: h}
 	// Real time passes by itself; the cost model charges nothing.
@@ -233,15 +247,35 @@ func (e *realEnv) SendPeer(dst atm.Addr, m sigmsg.Msg) error {
 	return nil
 }
 
-// Dial connects to an application's notify port over TCP.
+// Dial connects to an application's notify port over TCP, retrying
+// with capped exponential backoff per the host's Dial* knobs.
 func (e *realEnv) Dial(ip memnet.IPAddr, port uint16, cb func(Conn, error)) {
 	h := e.h
 	h.wg.Add(1)
 	go func() {
 		defer h.wg.Done()
 		target := fmt.Sprintf("%s:%d", ip, port)
-		conn, err := net.DialTimeout("tcp", target, 5*time.Second)
+		var conn net.Conn
+		var err error
+		backoff := h.DialBackoff
+		attempts := h.DialAttempts
+		if attempts < 1 {
+			attempts = 1
+		}
+		for a := 1; a <= attempts; a++ {
+			conn, err = net.DialTimeout("tcp", target, h.DialTimeout)
+			if err == nil {
+				break
+			}
+			if a < attempts && backoff > 0 {
+				time.Sleep(backoff)
+				if backoff < 8*h.DialBackoff {
+					backoff *= 2
+				}
+			}
+		}
 		if err != nil {
+			err = fmt.Errorf("signaling: notify dial %s failed after %d attempts: %w", target, attempts, err)
 			h.post(func() { cb(nil, err) })
 			return
 		}

@@ -154,6 +154,12 @@ type call struct {
 	// port, held at the destination side during establishment.
 	serverConn Conn
 
+	// notified marks that CONN_FAILED was already delivered to this
+	// side's application, so overlapping failure paths (explicit
+	// rejection, crash recovery, teardown of a pre-VCI call) cannot
+	// notify twice.
+	notified bool
+
 	// Stage timestamps (env.Now) feeding the setup-latency histograms:
 	// request handled, SETUP sent, SETUP_ACK received, established.
 	reqAt       time.Duration
@@ -189,9 +195,12 @@ type inRequest struct {
 
 // bindWait is a wait_for_bind entry: a VCI handed to an application
 // that has not yet bound or connected, guarded by the per-VCI timer.
+// deadline is the timer's absolute expiry; crash-recovery re-arms the
+// timer with only the remaining allowance.
 type bindWait struct {
-	c      *call
-	cancel CancelFunc
+	c        *call
+	cancel   CancelFunc
+	deadline time.Duration
 }
 
 // Sighost is the signaling entity.
@@ -232,6 +241,21 @@ type Sighost struct {
 	// collector, so spans recorded here and at the peer land in one
 	// tree; the real-mode daemon gets a local wall-clock collector.
 	TraceC *trace.Collector
+
+	// rel is the reliable peer channel (nil until EnableReliability);
+	// jr is the crash-recovery journal (nil until EnableJournal).
+	rel *reliability
+	jr  *journal
+	// down marks a crashed entity: handlers drop everything until
+	// Recover. epochGen is the incarnation number feeding new links'
+	// reliability epochs.
+	down     bool
+	epochGen uint32
+
+	// FaultsInfo/FaultsJSON, when set, render the fault plane's counters
+	// for the MGMT `faults` / `faults.json` queries.
+	FaultsInfo func() string
+	FaultsJSON func() string
 }
 
 // sigCounters are the registry counters behind the legacy Stats fields,
@@ -336,6 +360,7 @@ func NewWithObs(env Env, cm CostModel, reg *obs.Registry) *Sighost {
 	reg.Func("sighost.list.wait_bind", func() uint64 { return uint64(len(sh.waitBind)) })
 	reg.Func("sighost.list.vci_map", func() uint64 { return uint64(len(sh.vciMap)) })
 	reg.Func("sighost.cookies", func() uint64 { return uint64(len(sh.cookies)) })
+	reg.Func("sighost.calls.active", func() uint64 { return uint64(len(sh.calls)) })
 	return sh
 }
 
@@ -435,6 +460,10 @@ func (sh *Sighost) sendApp(conn Conn, m sigmsg.Msg) {
 // HandleApp processes one message from an application IPC connection.
 // from is the application machine's IP address (getpeername).
 func (sh *Sighost) HandleApp(conn Conn, from memnet.IPAddr, m sigmsg.Msg) {
+	if sh.down {
+		sh.Obs.Counter("sighost.dropped_while_down").Inc()
+		return
+	}
 	sh.ct.appMsgs.Inc()
 	// Application-to-kernel-to-sighost delivery: one switch charged at
 	// the sender, one here.
@@ -466,6 +495,7 @@ func (sh *Sighost) handleExport(conn Conn, from memnet.IPAddr, m sigmsg.Msg) {
 		return
 	}
 	sh.services[m.Service] = &serviceEntry{name: m.Service, ip: from, port: m.NotifyPort}
+	sh.jlog(jrec{op: jExport, service: m.Service, ip: from, port: m.NotifyPort})
 	sh.ct.servicesRegistered.Inc()
 	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindServiceRegs, Service: m.Service})
 }
@@ -476,6 +506,7 @@ func (sh *Sighost) handleUnexport(conn Conn, m sigmsg.Msg) {
 		return
 	}
 	delete(sh.services, m.Service)
+	sh.jlog(jrec{op: jUnexport, service: m.Service})
 	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindServiceRegs, Service: m.Service})
 }
 
@@ -502,6 +533,10 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 	}
 	sh.calls[c.key] = c
 	sh.outgoing[cookie] = &outRequest{c: c}
+	sh.jlog(jrec{
+		op: jOpen, key: c.key, service: c.service, qos: c.qosStr,
+		ip: c.endIP, port: c.endPort, cookie: cookie,
+	})
 	// Open the call's trace: root span for the call's whole lifetime,
 	// call.setup for the establishment phase the paper's breakdown
 	// table partitions.
@@ -536,6 +571,7 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 		sh.notifyClientFailure(c, "destination unreachable: "+err.Error())
 		delete(sh.outgoing, cookie)
 		delete(sh.calls, c.key)
+		sh.jlog(jrec{op: jEnd, key: c.key})
 		c.state = callReleased
 		sh.TraceC.FinishTrace(c.tcRoot, trace.StatusFailed)
 		return
@@ -604,6 +640,7 @@ func (sh *Sighost) handleRejectConn(conn Conn, m sigmsg.Msg) {
 func (sh *Sighost) dropIncoming(c *call) {
 	delete(sh.incoming, c.cookie)
 	delete(sh.calls, c.key)
+	sh.jlog(jrec{op: jEnd, key: c.key})
 	if c.serverConn != nil {
 		c.serverConn.Close()
 		c.serverConn = nil
@@ -612,12 +649,29 @@ func (sh *Sighost) dropIncoming(c *call) {
 }
 
 func (sh *Sighost) sendPeer(dst atm.Addr, m sigmsg.Msg) error {
+	// Loopback and non-call messages stay on the fast unsequenced path;
+	// with reliability enabled, call-control messages to real peers get
+	// sequence numbers and retransmission.
+	if sh.rel != nil && dst != sh.env.Addr() {
+		switch m.Kind {
+		case sigmsg.KindSetup, sigmsg.KindSetupAck, sigmsg.KindSetupRej,
+			sigmsg.KindConnectDone, sigmsg.KindRelease:
+			return sh.relSend(dst, m)
+		}
+	}
 	sh.emitMsg(EvPeerTx, string(dst), m)
 	return sh.env.SendPeer(dst, m)
 }
 
 // HandlePeer processes one message from the signaling entity at from.
 func (sh *Sighost) HandlePeer(from atm.Addr, m sigmsg.Msg) {
+	if sh.down {
+		sh.Obs.Counter("sighost.dropped_while_down").Inc()
+		return
+	}
+	if sh.rel != nil && from != sh.env.Addr() && !sh.relRecv(from, m) {
+		return
+	}
 	sh.ct.peerMsgs.Inc()
 	sh.emitMsg(EvPeerRx, string(from), m)
 	switch m.Kind {
@@ -637,6 +691,12 @@ func (sh *Sighost) HandlePeer(from atm.Addr, m sigmsg.Msg) {
 // peerSetup is the destination side of call establishment: look the
 // service up, dial the server's notify port, forward INCOMING_CONN.
 func (sh *Sighost) peerSetup(from atm.Addr, m sigmsg.Msg) {
+	// Idempotency: a duplicated or replayed SETUP for a call we already
+	// know must not allocate a second cookie, dial the server twice, or
+	// leak a second state-list entry.
+	if _, dup := sh.calls[callKey{peer: from, id: m.CallID, origin: false}]; dup {
+		return
+	}
 	// The SETUP's trace context is the origin's peer span: everything
 	// this side does until SETUP_ACK/SETUP_REJ nests under it.
 	wire := trace.Context{Trace: m.TraceID, Span: m.SpanID}
@@ -667,6 +727,10 @@ func (sh *Sighost) peerSetup(from atm.Addr, m sigmsg.Msg) {
 	c.tcAccept = sh.TraceC.StartSpanAt(wire, "sighost", "dest.accept", c.reqAt)
 	sh.calls[c.key] = c
 	sh.incoming[cookie] = &inRequest{c: c}
+	sh.jlog(jrec{
+		op: jOpen, key: c.key, service: c.service, qos: c.qosStr,
+		ip: c.endIP, port: c.endPort, cookie: cookie,
+	})
 	sh.env.Dial(svc.ip, svc.port, func(conn Conn, err error) {
 		// The call may have been released while the dial was in flight.
 		cur, live := sh.calls[c.key]
@@ -719,6 +783,7 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 		sh.notifyClientFailure(c, "network admission failed: "+err.Error())
 		delete(sh.outgoing, c.cookie)
 		delete(sh.calls, c.key)
+		sh.jlog(jrec{op: jEnd, key: c.key})
 		sh.TraceC.FinishTrace(c.tcRoot, trace.StatusFailed)
 		return
 	}
@@ -773,13 +838,19 @@ func (sh *Sighost) peerSetupRej(from atm.Addr, m sigmsg.Msg) {
 	sh.notifyClientFailure(c, m.Reason)
 	delete(sh.outgoing, c.cookie)
 	delete(sh.calls, c.key)
+	sh.jlog(jrec{op: jEnd, key: c.key})
 	c.state = callReleased
 	sh.TraceC.EndSpan(c.tcPeer)
 	sh.TraceC.FinishTrace(c.tcRoot, trace.StatusReject)
 }
 
-// notifyClientFailure delivers CONN_FAILED to the client's notify port.
+// notifyClientFailure delivers CONN_FAILED to the client's notify port
+// (at most once per call).
 func (sh *Sighost) notifyClientFailure(c *call, reason string) {
+	if c.notified {
+		return
+	}
+	c.notified = true
 	cookie := c.cookie
 	sh.env.Dial(c.endIP, c.endPort, func(conn Conn, err error) {
 		if err != nil {
@@ -841,7 +912,15 @@ func (sh *Sighost) grantVCI(c *call, vci atm.VCI) {
 	sh.cookies[vci] = c.cookie
 	c.tcBind = sh.TraceC.StartSpan(c.tcRoot, "sighost", "wait_bind")
 	deadline := sh.env.Now() + sh.cm.BindTimeout
-	cancel := sh.env.After(sh.cm.BindTimeout, func() {
+	sh.armBindTimer(c, vci, sh.cm.BindTimeout, deadline)
+	sh.jlog(jrec{op: jGrant, key: c.key, vci: vci, cookie: c.cookie, deadline: deadline, vc: c.vc})
+}
+
+// armBindTimer installs the wait_for_bind entry with an explicit
+// allowance: the full BindTimeout on grant, or whatever remained of the
+// original deadline when crash-recovery re-arms it.
+func (sh *Sighost) armBindTimer(c *call, vci atm.VCI, wait time.Duration, deadline time.Duration) {
+	cancel := sh.env.After(wait, func() {
 		if bw, ok := sh.waitBind[vci]; ok && bw.c == c {
 			sh.ct.bindTimeouts.Inc()
 			// Fire lag: how far past its nominal deadline the timer ran
@@ -853,13 +932,17 @@ func (sh *Sighost) grantVCI(c *call, vci atm.VCI) {
 			sh.teardown(c, "bind timeout", true)
 		}
 	})
-	sh.waitBind[vci] = &bindWait{c: c, cancel: cancel}
+	sh.waitBind[vci] = &bindWait{c: c, cancel: cancel, deadline: deadline}
 }
 
 // HandleKernel processes one pseudo-device (or anand-relayed) message.
 // from is the machine whose kernel produced it: the router itself, or
 // an IP-connected host.
 func (sh *Sighost) HandleKernel(from memnet.IPAddr, k kern.KMsg) {
+	if sh.down {
+		sh.Obs.Counter("sighost.dropped_while_down").Inc()
+		return
+	}
 	sh.ct.kernelMsgs.Inc()
 	if sh.traceOn() {
 		sh.emit(obs.Event{
@@ -913,6 +996,7 @@ func (sh *Sighost) kernelBindConnect(from memnet.IPAddr, k kern.KMsg) {
 		bw.cancel()
 		delete(sh.waitBind, k.VCI)
 		sh.vciMap[k.VCI] = bw.c
+		sh.jlog(jrec{op: jBound, key: bw.c.key, vci: k.VCI})
 		if bw.c.estAt > 0 {
 			sh.h.bindLatency.Observe(sh.env.Now() - bw.c.estAt)
 		}
@@ -965,6 +1049,12 @@ func (sh *Sighost) teardown(c *call, reason string, notifyPeer bool) {
 	if c.state == callReleased {
 		return
 	}
+	// A client that has only seen REQ_ID is still blocked awaiting its
+	// VCI; if the call dies before that hand-off (peer released it, the
+	// remote entity restarted, retransmit budget spent), tell it now
+	// rather than leaving it to run out its establishment timeout. A
+	// client-initiated cancel needs no echo back.
+	clientWaiting := c.key.origin && c.state == callSetupSent && reason != "canceled by client"
 	c.state = callReleased
 	sh.ct.callsTorn.Inc()
 	if sh.traceOn() {
@@ -975,6 +1065,11 @@ func (sh *Sighost) teardown(c *call, reason string, notifyPeer bool) {
 	}
 	if sh.cm.LoggingEnabled {
 		sh.env.Charge(sh.cm.TeardownLogging)
+	}
+	if sh.rel != nil {
+		// Pending establishment-phase retransmissions for a dead call
+		// are pointless; drop them so they cannot outlive the call.
+		sh.cancelCallRetransmits(c)
 	}
 	if bw, ok := sh.waitBind[c.localVCI]; ok && bw.c == c {
 		bw.cancel()
@@ -996,6 +1091,7 @@ func (sh *Sighost) teardown(c *call, reason string, notifyPeer bool) {
 	delete(sh.outgoing, c.cookie)
 	delete(sh.incoming, c.cookie)
 	delete(sh.calls, c.key)
+	sh.jlog(jrec{op: jEnd, key: c.key})
 	if c.vc != nil {
 		c.vc.Release()
 		c.vc = nil
@@ -1005,6 +1101,9 @@ func (sh *Sighost) teardown(c *call, reason string, notifyPeer bool) {
 			Kind: sigmsg.KindRelease, CallID: c.key.id, Reason: reason,
 			FromOrigin: c.key.origin,
 		})
+	}
+	if clientWaiting {
+		sh.notifyClientFailure(c, reason)
 	}
 	// The origin owns the trace's lifetime: finish it with a terminal
 	// status derived from the teardown reason, which moves the span
@@ -1023,9 +1122,10 @@ func statusForReason(reason string) string {
 		return trace.StatusOK
 	case "canceled by client":
 		return trace.StatusCanceled
-	case "bind timeout":
+	case "bind timeout", "retransmit budget exhausted":
 		return trace.StatusTimeout
-	case "client terminated", "client unreachable":
+	case "client terminated", "client unreachable", "peer signaling entity dead",
+		"lost in signaling restart":
 		return trace.StatusDeath
 	default:
 		return trace.StatusFailed

@@ -7,6 +7,7 @@ import (
 	"xunet/internal/anand"
 	"xunet/internal/atm"
 	"xunet/internal/core"
+	"xunet/internal/faults"
 	"xunet/internal/kern"
 	"xunet/internal/memnet"
 	"xunet/internal/pfxunet"
@@ -28,10 +29,31 @@ type SimHost struct {
 	Fabric *xswitch.Fabric
 	Anand  *anand.Server
 
+	// Faults, when non-nil, filters outbound peer signaling messages
+	// (loss/duplication/extra delay on the PVC) — the direct "N%
+	// signaling loss" knob of the chaos experiments.
+	Faults *faults.Plane
+
 	inbox *sim.Queue[func()]
 	actor *sim.Proc
 	peers map[atm.Addr]*pfxunet.Socket
 	env   *simEnv
+}
+
+// Crash kills the signaling entity in actor context: all state is lost
+// and every subsequent input is dropped until Recover. The PVC readers,
+// listeners, and device pumps stay up — they model the machine, not the
+// process.
+func (h *SimHost) Crash() { h.inbox.Put(func() { h.SH.Crash() }) }
+
+// Recover restarts the entity in actor context (journal replay,
+// remaining-deadline bind timers, teardown of calls lost mid-setup).
+func (h *SimHost) Recover() { h.inbox.Put(func() { h.SH.Recover() }) }
+
+// CrashFor crashes the entity now and schedules its recovery after d.
+func (h *SimHost) CrashFor(d time.Duration) {
+	h.Crash()
+	h.Stack.M.E.Schedule(d, func() { h.Recover() })
 }
 
 // signalingPVCQoS reserves a little guaranteed bandwidth for each
@@ -249,7 +271,22 @@ func (e *simEnv) SendPeer(dst atm.Addr, m sigmsg.Msg) error {
 	// The message's own trace context (if any) parents the PVC frame's
 	// transit span — the PVC socket is shared by many calls, so the
 	// context is per-message, not per-socket.
-	return sock.SendTraced(m.Encode(), trace.Context{Trace: m.TraceID, Span: m.SpanID})
+	tc := trace.Context{Trace: m.TraceID, Span: m.SpanID}
+	if fp := e.h.Faults; fp != nil {
+		v := fp.SigMsg(tc)
+		if v.Drop {
+			return nil // swallowed by the wire; reliability must repair it
+		}
+		if v.ExtraDelay > 0 {
+			raw := m.Encode()
+			e.h.Stack.M.E.Schedule(v.ExtraDelay, func() { _ = sock.SendTraced(raw, tc) })
+			return nil
+		}
+		if v.Dup {
+			_ = sock.SendTraced(m.Encode(), tc)
+		}
+	}
+	return sock.SendTraced(m.Encode(), tc)
 }
 
 func (e *simEnv) Dial(ip memnet.IPAddr, port uint16, cb func(Conn, error)) {

@@ -10,6 +10,7 @@ import (
 	"xunet/internal/memnet"
 	"xunet/internal/qos"
 	"xunet/internal/sim"
+	"xunet/internal/trace"
 )
 
 // This file implements the §5.4 design-choice ablation (experiment X2):
@@ -98,6 +99,18 @@ func UseUDPCarrier(host *Host) (*CarrierStats, error) {
 		st.FramesSent++
 		payload := append(tunnelHeader(vci, seq), frame.Bytes()...)
 		seq++
+		// Carrier-layer fault hook: tunneled frames can be lost or
+		// duplicated at the encapsulation boundary itself, on top of
+		// whatever the underlying links do.
+		if fp := host.net.Faults; fp != nil {
+			v := fp.Packet(trace.Context{})
+			if v.Drop {
+				return nil
+			}
+			if v.Dup {
+				_ = host.Stack.M.IP.SendDatagram(router.Stack.M.IP.Addr, tunnelPort, tunnelPort, payload)
+			}
+		}
 		return host.Stack.M.IP.SendDatagram(router.Stack.M.IP.Addr, tunnelPort, tunnelPort, payload)
 	})
 	return st, nil

@@ -1,0 +1,262 @@
+package testbed_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"xunet/internal/faults"
+	"xunet/internal/kern"
+	"xunet/internal/testbed"
+	"xunet/internal/ulib"
+)
+
+// chaosConfig is the soak's standard fault cocktail: 1% signaling-PVC
+// loss, 1% IP packet loss with occasional duplication and delay, bursty
+// cell loss on the trunks (Gilbert–Elliott), trunk flapping, and a
+// pinch of pseudo-device indication loss.
+func chaosConfig() *faults.Config {
+	return &faults.Config{
+		Seed:    99,
+		SigLoss: 0.01,
+		PktLoss: 0.01, PktDup: 0.005, PktDelayProb: 0.02, PktDelayMax: 2 * time.Millisecond,
+		GE:         faults.GEConfig{PGoodToBad: 0.0002, PBadToGood: 0.1, LossBad: 0.5},
+		FlapMeanUp: 2 * time.Second, FlapDown: 40 * time.Millisecond,
+		DevLoss: 0.001,
+	}
+}
+
+// chaosSighostCounters is the fixed counter set folded into the chaos
+// fingerprint for each router, so the determinism check covers the
+// healing machinery, not just the faults injected.
+var chaosSighostCounters = []string{
+	"sighost.crashes", "sighost.recoveries",
+	"sighost.recovered.bound", "sighost.recovered.wait_bind",
+	"sighost.recovery.aborted_calls", "sighost.dropped_while_down",
+	"sighost.rel.retransmits", "sighost.rel.acks", "sighost.rel.dups",
+	"sighost.rel.stale_epoch", "sighost.rel.exhausted",
+	"sighost.rel.peer_deaths",
+	"sighost.calls.active", "sighost.calls.established",
+}
+
+// chaosStorm runs the §10 call storm — a router-to-router storm plus a
+// host-originated storm so both the signaling PVCs and the IP carrier
+// see traffic — under the chaos cocktail, with two mid-storm crashes of
+// the callee's signaling entity: one while calls are mid-setup (the
+// journal must abort them with prompt client notification) and one
+// while calls are bound (the journal must carry them across the
+// outage). It drains fully and renders every observable artifact into
+// one fingerprint string.
+func chaosStorm(t *testing.T, seed uint64) (string, *testbed.StormResult, *testbed.StormResult, *testbed.Net, *testbed.Router, *testbed.Router) {
+	t.Helper()
+	n, ra, rb, err := testbed.NewTestbed(testbed.Options{
+		Seed:          seed,
+		DeviceBuffers: kern.FixedDeviceBuffers,
+		FDTableSize:   kern.FixedFDTableSize,
+		Faults:        chaosConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := n.AddHost("mh.h1", ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under storm load the callee's single-threaded signaling actor
+	// queues requests for seconds; a tight RPC deadline would time every
+	// late call out at the client before the sighost ever saw it.
+	for _, l := range []*ulib.Lib{ra.Lib, rb.Lib, ha.Lib} {
+		l.SetTimeouts(ulib.Timeouts{
+			RPC: 10 * time.Second, Establish: 60 * time.Second,
+			Attempts: 2, Backoff: 100 * time.Millisecond, MaxBackoff: time.Second,
+		})
+	}
+	testbed.StartEchoServer(rb, "storm", 6000)
+	testbed.StartEchoServer(rb, "hstorm", 6001)
+	n.E.RunUntil(time.Second)
+	n.StartTrunkFlapping(20 * time.Second)
+	res := testbed.CallStorm(ra, "ucb.rt", "storm", testbed.StormConfig{
+		Count: 40, Hold: time.Second, FramesPerCall: 2,
+		Stagger: 20 * time.Millisecond,
+	})
+	resH := testbed.CallStorm(ha, "ucb.rt", "hstorm", testbed.StormConfig{
+		Count: 15, Hold: time.Second, FramesPerCall: 2,
+		Stagger: 50 * time.Millisecond, BasePort: 25000,
+	})
+	// First crash lands mid-setup (t=4s: the callee's backlog is all
+	// unaccepted requests); the second lands in the bound burst (t=13s).
+	n.E.Schedule(3*time.Second, func() { rb.Sig.CrashFor(400 * time.Millisecond) })
+	n.E.Schedule(12*time.Second, func() { rb.Sig.CrashFor(400 * time.Millisecond) })
+	// Drain far past the worst failure path: retransmit exhaustion
+	// (~16 s at default tuning) and the 30 s bind timeout.
+	n.E.RunUntil(n.E.Now() + 60*time.Second)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "storm: launched=%d ok=%d failed=%d min=%v max=%v total=%v\n",
+		res.Launched, res.Succeeded, res.Failed, res.MinSetup, res.MaxSetup, res.TotalSetup)
+	fmt.Fprintf(&sb, "host-storm: launched=%d ok=%d failed=%d min=%v max=%v total=%v\n",
+		resH.Launched, resH.Succeeded, resH.Failed, resH.MinSetup, resH.MaxSetup, resH.TotalSetup)
+	fmt.Fprintf(&sb, "faults:\n%s", n.Faults.Obs.Snapshot().Text())
+	for _, r := range []*testbed.Router{ra, rb} {
+		reg := r.Stack.M.Obs.Snapshot()
+		for _, name := range chaosSighostCounters {
+			fmt.Fprintf(&sb, "%s %s %d\n", r.Stack.Addr, name, reg.Count(name))
+		}
+	}
+	fmt.Fprintf(&sb, "flight-dumps: %d\n", len(n.FlightDumps))
+	fmt.Fprintf(&sb, "quiesce mh.rt: %q ucb.rt: %q\n", testbed.Quiesced(ra), testbed.Quiesced(rb))
+	fmt.Fprintf(&sb, "report:\n%s", n.Snapshot().String())
+	return sb.String(), res, resH, n, ra, rb
+}
+
+// TestChaosSoak is the PR's headline acceptance run: the call storms
+// under the full fault cocktail plus two mid-storm crashes must end
+// with every call in exactly one terminal bucket and zero leaked
+// signaling state on either router.
+func TestChaosSoak(t *testing.T) {
+	_, res, resH, n, ra, rb := chaosStorm(t, 7)
+
+	// Every call terminated, each in exactly one bucket.
+	if res.Launched != 40 || resH.Launched != 15 {
+		t.Fatalf("launched %d/40 + %d/15 calls", res.Launched, resH.Launched)
+	}
+	for _, sr := range []*testbed.StormResult{res, resH} {
+		if sr.Succeeded+sr.Failed != sr.Launched {
+			t.Fatalf("buckets don't partition: ok=%d failed=%d launched=%d",
+				sr.Succeeded, sr.Failed, sr.Launched)
+		}
+		for i, r := range sr.Results {
+			if r.OK && r.Err != nil {
+				t.Errorf("call %d in both buckets: OK with err %v", i, r.Err)
+			}
+			if !r.OK && r.Err == nil {
+				t.Errorf("call %d in neither bucket", i)
+			}
+		}
+	}
+	// The cocktail actually fired: chaos that injects nothing proves
+	// nothing.
+	snap := n.Faults.Obs.Snapshot()
+	for _, c := range []string{"faults.sig.drop", "faults.pkt.drop", "faults.trunk.flaps", "faults.trunk.flap_drops"} {
+		if snap.Count(c) == 0 {
+			t.Errorf("%s = 0; the storm ran without that fault class", c)
+		}
+	}
+	// Healing happened: the reliable channel retransmitted on both
+	// sides, duplicates were absorbed, and the journal both aborted
+	// mid-setup calls (first crash) and restored bound calls (second).
+	for _, r := range []*testbed.Router{ra, rb} {
+		reg := r.Stack.M.Obs.Snapshot()
+		if reg.Count("sighost.rel.retransmits") == 0 {
+			t.Errorf("%s never retransmitted under 1%% signaling loss", r.Stack.Addr)
+		}
+		if reg.Count("sighost.rel.dups") == 0 {
+			t.Errorf("%s never absorbed a duplicate", r.Stack.Addr)
+		}
+	}
+	reg := rb.Stack.M.Obs.Snapshot()
+	if got := reg.Count("sighost.crashes"); got != 2 {
+		t.Errorf("sighost.crashes = %d, want 2", got)
+	}
+	if got := reg.Count("sighost.recoveries"); got != 2 {
+		t.Errorf("sighost.recoveries = %d, want 2", got)
+	}
+	if reg.Count("sighost.recovered.bound") == 0 {
+		t.Error("no bound call survived a crash via the journal")
+	}
+	if reg.Count("sighost.recovery.aborted_calls") == 0 {
+		t.Error("no mid-setup call was aborted by recovery")
+	}
+	// Zero leaked state: transient lists, cookies, and active calls all
+	// drained on both sides.
+	for _, r := range []*testbed.Router{ra, rb} {
+		if msg := testbed.Quiesced(r); msg != "" {
+			t.Errorf("leak: %s", msg)
+		}
+		if got := r.Stack.M.Obs.Snapshot().Count("sighost.calls.active"); got != 0 {
+			t.Errorf("%s: sighost.calls.active = %d after drain", r.Stack.Addr, got)
+		}
+	}
+	// Failed calls failed fast with the recovery reason, not by running
+	// out a 60 s client timeout, and left span trees in the recorder.
+	for _, sr := range []*testbed.StormResult{res, resH} {
+		for i, r := range sr.Results {
+			if !r.OK && !strings.Contains(r.Err.Error(), "lost in signaling restart") &&
+				!strings.Contains(r.Err.Error(), "retransmit budget exhausted") &&
+				!strings.Contains(r.Err.Error(), "signaling entity restarted") {
+				t.Errorf("call %d failed outside the recovery paths: %v", i, r.Err)
+			}
+		}
+	}
+	if res.Failed+resH.Failed > 0 && len(n.FlightDumps) == 0 {
+		t.Errorf("%d calls failed but the flight recorder dumped nothing", res.Failed+resH.Failed)
+	}
+	n.E.Shutdown()
+}
+
+// TestChaosSameSeedByteIdentical runs the identical chaos soak twice
+// and demands byte-identical fingerprints: every fault draw, every
+// retransmission, every recovery is replayable.
+func TestChaosSameSeedByteIdentical(t *testing.T) {
+	first, _, _, n1, _, _ := chaosStorm(t, 11)
+	n1.E.Shutdown()
+	second, _, _, n2, _, _ := chaosStorm(t, 11)
+	n2.E.Shutdown()
+	if first != second {
+		a, b := strings.Split(first, "\n"), strings.Split(second, "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("same-seed chaos runs diverge at line %d:\n run1: %s\n run2: %s", i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("same-seed chaos runs diverge in length: %d vs %d lines", len(a), len(b))
+	}
+}
+
+// TestZeroProbPlaneInvisibleEndToEnd is the golden-preservation claim
+// at deployment scale: attaching a fault plane whose probabilities are
+// all zero to every hook (IP links, fabric trunks, pseudo-devices) must
+// leave the full storm fingerprint byte-identical to a plane-free run.
+func TestZeroProbPlaneInvisibleEndToEnd(t *testing.T) {
+	run := func(attachZeroPlane bool) string {
+		n, ra, rb, err := testbed.NewTestbed(testbed.Options{
+			Seed:          5,
+			DeviceBuffers: kern.FixedDeviceBuffers,
+			FDTableSize:   kern.FixedFDTableSize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attachZeroPlane {
+			fp := faults.NewPlane(faults.Config{})
+			n.IPNet.Faults = fp
+			n.Fabric.Faults = fp
+			ra.Stack.M.Dev.SetFaults(fp)
+			rb.Stack.M.Dev.SetFaults(fp)
+		}
+		testbed.StartEchoServer(rb, "storm", 6000)
+		n.E.RunUntil(time.Second)
+		res := testbed.CallStorm(ra, "ucb.rt", "storm", testbed.StormConfig{
+			Count: 30, Hold: 250 * time.Millisecond, FramesPerCall: 2,
+		})
+		n.E.RunUntil(n.E.Now() + 4*n.CM.BindTimeout)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "storm: launched=%d ok=%d failed=%d min=%v max=%v total=%v\n",
+			res.Launched, res.Succeeded, res.Failed, res.MinSetup, res.MaxSetup, res.TotalSetup)
+		fmt.Fprintf(&sb, "report:\n%s", n.Snapshot().String())
+		n.E.Shutdown()
+		return sb.String()
+	}
+	plain := run(false)
+	planed := run(true)
+	if plain != planed {
+		a, b := strings.Split(plain, "\n"), strings.Split(planed, "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("zero-prob plane perturbed the run at line %d:\n bare: %s\n plane: %s", i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("zero-prob plane changed run length: %d vs %d lines", len(a), len(b))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"xunet/internal/anand"
 	"xunet/internal/atm"
 	"xunet/internal/core"
+	"xunet/internal/faults"
 	"xunet/internal/kern"
 	"xunet/internal/memnet"
 	"xunet/internal/obs"
@@ -45,6 +46,15 @@ type Options struct {
 	// TraceSampleEvery keeps one call trace in every N (head-based
 	// sampling; 0 or 1 keeps all).
 	TraceSampleEvery uint64
+	// Faults, when non-nil, arms the fault-injection plane with this
+	// config and enables the self-healing signaling machinery (reliable
+	// peer channel, crash-recovery journal, keepalives) on every router.
+	// Nil leaves every transport hook a single nil-check and the
+	// signaling clean path byte-identical to a fault-free build.
+	Faults *faults.Config
+	// Rel overrides the reliability tuning when faults are armed (zero
+	// value selects signaling.DefaultRelConfig()).
+	Rel signaling.RelConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +82,7 @@ type Host struct {
 	Router *Router
 	Lib    *ulib.Lib
 	Anand  *anand.Client
+	net    *Net
 }
 
 // Net is one assembled deployment.
@@ -85,6 +96,9 @@ type Net struct {
 	// tree stitches together across layers.
 	TraceC  *trace.Collector
 	Routers map[atm.Addr]*Router
+	// Faults is the deployment's fault plane (nil unless Options.Faults
+	// armed it); its registry holds the faults.* injection counters.
+	Faults *faults.Plane
 	// FlightDumps accumulates the span trees the flight recorder
 	// auto-dumped for calls ending in REJECT, TIMEOUT, or DEATH — the
 	// E4 storm's failure modes leave their trails here.
@@ -114,7 +128,25 @@ func New(opts Options) *Net {
 		n.FlightDumps = append(n.FlightDumps, tree)
 	})
 	n.Fabric.TraceC = n.TraceC
+	if opts.Faults != nil {
+		fc := *opts.Faults
+		if fc.Seed == 0 {
+			// Derive from the workload seed so distinct testbeds get
+			// distinct fault schedules by default, deterministically.
+			fc.Seed = opts.Seed*0x9E3779B97F4A7C15 + 0xC4A05
+		}
+		n.Faults = faults.NewPlane(fc)
+		n.Faults.AttachTrace(n.TraceC, e.Now)
+		n.Fabric.Faults = n.Faults
+		n.IPNet.Faults = n.Faults
+	}
 	return n
+}
+
+// StartTrunkFlapping begins the fault plane's trunk flap schedule,
+// running until the given sim-time cutoff (trunks always end up).
+func (n *Net) StartTrunkFlapping(until time.Duration) {
+	n.Fabric.StartFlapping(until)
 }
 
 // AddRouter creates a router attached to sw and starts its signaling
@@ -136,6 +168,21 @@ func (n *Net) AddRouter(addr atm.Addr, sw *xswitch.Switch) (*Router, error) {
 	r.Sig = signaling.StartSim(stack, n.Fabric)
 	if n.opts.DisableCallLogging {
 		r.Sig.SH.SetLogging(false)
+	}
+	if n.Faults != nil {
+		// Chaos mode: arm the self-healing machinery and thread the
+		// plane through this router's transports.
+		rel := n.opts.Rel
+		if rel.RTO <= 0 {
+			rel = signaling.DefaultRelConfig()
+		}
+		r.Sig.SH.EnableReliability(rel)
+		r.Sig.SH.EnableJournal(0)
+		r.Sig.Faults = n.Faults
+		stack.M.Dev.SetFaults(n.Faults)
+		fp := n.Faults
+		r.Sig.SH.FaultsInfo = func() string { return fp.Obs.Snapshot().Text() }
+		r.Sig.SH.FaultsJSON = func() string { return fp.Obs.Snapshot().JSON() }
 	}
 	r.Lib = ulib.New(stack, ip.Addr)
 	for _, other := range n.Routers {
@@ -161,7 +208,10 @@ func (n *Net) AddHost(name atm.Addr, r *Router) (*Host, error) {
 		DeviceBuffers: n.opts.DeviceBuffers, FDTableSize: n.opts.FDTableSize,
 	})
 	stack.M.TraceC = n.TraceC
-	h := &Host{Stack: stack, Router: r}
+	if n.Faults != nil {
+		stack.M.Dev.SetFaults(n.Faults)
+	}
+	h := &Host{Stack: stack, Router: r, net: n}
 	h.Lib = ulib.New(stack, routerIP.Addr)
 	h.Anand = anand.StartClient(stack, routerIP.Addr, signaling.AnandPort)
 	return h, nil

@@ -40,26 +40,143 @@ var (
 	ErrTimeout   = errors.New("ulib: timed out awaiting signaling")
 )
 
+// TimeoutError is the concrete error behind ErrTimeout: it records which
+// peer was being awaited, which operation, on which attempt, and how long
+// the library waited. errors.Is(err, ErrTimeout) still matches, so
+// existing callers are unaffected; callers that want the context can
+// errors.As into it.
+type TimeoutError struct {
+	Peer    string        // who the library was waiting for
+	Op      string        // the RPC or wait that expired
+	Attempt int           // 1-based attempt number
+	Waited  time.Duration // the deadline that expired
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("ulib: timed out awaiting signaling (%s from %s, attempt %d, waited %v)",
+		e.Op, e.Peer, e.Attempt, e.Waited)
+}
+
+// Is makes errors.Is(err, ErrTimeout) true for every TimeoutError.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
+
 // acceptBackoff is how long AwaitServiceRequest sleeps when the
 // process's descriptor table is full before retrying the accept — the
 // stall behaviour of §10.
 const acceptBackoff = 50 * time.Millisecond
 
+// Timeouts configures the library's deadlines and retry policy. The
+// zero value of any field means "use the default", so callers can
+// override just one knob.
+type Timeouts struct {
+	// RPC bounds each request/reply exchange with the signaling entity.
+	RPC time.Duration
+	// Establish bounds the wait for the asynchronous VCI_FOR_CONN /
+	// CONN_FAILED notification after a connect request is accepted.
+	Establish time.Duration
+	// Attempts is the total number of tries for *idempotent* RPCs
+	// (export, unexport, cancel, management queries). Non-idempotent
+	// requests — CONNECT_REQ allocates a cookie — are never retried
+	// here; the signaling entities' own retransmission layer owns that.
+	Attempts int
+	// Backoff is the sleep before the second attempt; it doubles per
+	// attempt, capped at MaxBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the doubled backoff.
+	MaxBackoff time.Duration
+}
+
+// DefaultTimeouts returns the library's historical behaviour: one-minute
+// deadlines, a single attempt. Experiment E5's stall measurements depend
+// on these defaults staying put.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{
+		RPC:        time.Minute,
+		Establish:  time.Minute,
+		Attempts:   1,
+		Backoff:    100 * time.Millisecond,
+		MaxBackoff: 2 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields from DefaultTimeouts.
+func (t Timeouts) withDefaults() Timeouts {
+	d := DefaultTimeouts()
+	if t.RPC <= 0 {
+		t.RPC = d.RPC
+	}
+	if t.Establish <= 0 {
+		t.Establish = d.Establish
+	}
+	if t.Attempts <= 0 {
+		t.Attempts = d.Attempts
+	}
+	if t.Backoff <= 0 {
+		t.Backoff = d.Backoff
+	}
+	if t.MaxBackoff <= 0 {
+		t.MaxBackoff = d.MaxBackoff
+	}
+	return t
+}
+
 // Lib binds the library to a stack and its signaling entity.
 type Lib struct {
 	stack *core.Stack
 	sigIP memnet.IPAddr
+	to    Timeouts
 }
 
 // New returns a library instance talking to the sighost at sigIP
 // (the machine's own router).
 func New(stack *core.Stack, sigIP memnet.IPAddr) *Lib {
-	return &Lib{stack: stack, sigIP: sigIP}
+	return &Lib{stack: stack, sigIP: sigIP, to: DefaultTimeouts()}
 }
 
-// rpc performs one request/reply exchange with sighost over a fresh
-// IPC connection.
+// SetTimeouts overrides the library's deadlines and retry policy; zero
+// fields keep their defaults.
+func (l *Lib) SetTimeouts(t Timeouts) { l.to = t.withDefaults() }
+
+// idempotentKind reports whether an RPC may safely be sent twice: the
+// daemon's handler for it either overwrites (export), deletes
+// (unexport, cancel) or only reads (management query) state.
+func idempotentKind(k sigmsg.Kind) bool {
+	switch k {
+	case sigmsg.KindExportSrv, sigmsg.KindUnexportSrv, sigmsg.KindCancelReq, sigmsg.KindMgmtQuery:
+		return true
+	}
+	return false
+}
+
+// rpc performs one request/reply exchange with sighost, retrying
+// idempotent requests with capped exponential backoff when the daemon
+// is unreachable or the reply deadline expires.
 func (l *Lib) rpc(p *kern.Proc, m sigmsg.Msg) (sigmsg.Msg, error) {
+	attempts := 1
+	if idempotentKind(m.Kind) {
+		attempts = l.to.Attempts
+	}
+	backoff := l.to.Backoff
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		reply, err := l.rpcOnce(p, m, a)
+		if err == nil || (!errors.Is(err, ErrTimeout) && !errors.Is(err, ErrSignaling)) {
+			return reply, err
+		}
+		lastErr = err
+		if a < attempts {
+			p.SP.Sleep(backoff)
+			backoff *= 2
+			if backoff > l.to.MaxBackoff {
+				backoff = l.to.MaxBackoff
+			}
+		}
+	}
+	return sigmsg.Msg{}, lastErr
+}
+
+// rpcOnce is one request/reply exchange over a fresh IPC connection.
+func (l *Lib) rpcOnce(p *kern.Proc, m sigmsg.Msg, attempt int) (sigmsg.Msg, error) {
 	p.ContextSwitches(1) // application to kernel
 	ks, err := p.Dial(l.sigIP, signaling.SigPort)
 	if err != nil {
@@ -69,9 +186,9 @@ func (l *Lib) rpc(p *kern.Proc, m sigmsg.Msg) (sigmsg.Msg, error) {
 	if err := ks.Send(m.Encode()); err != nil {
 		return sigmsg.Msg{}, fmt.Errorf("%w: %v", ErrSignaling, err)
 	}
-	raw, ok, timedOut := ks.RecvTimeout(time.Minute)
+	raw, ok, timedOut := ks.RecvTimeout(l.to.RPC)
 	if timedOut {
-		return sigmsg.Msg{}, ErrTimeout
+		return sigmsg.Msg{}, &TimeoutError{Peer: fmt.Sprint(l.sigIP), Op: m.Kind.String(), Attempt: attempt, Waited: l.to.RPC}
 	}
 	if !ok {
 		return sigmsg.Msg{}, ErrSignaling
@@ -121,8 +238,9 @@ func (l *Lib) CreateReceiveConnection(p *kern.Proc, port uint16) (*kern.KListene
 
 // ServiceRequest is one incoming call awaiting the server's decision.
 type ServiceRequest struct {
-	p    *kern.Proc
-	conn *kern.KStream
+	p     *kern.Proc
+	conn  *kern.KStream
+	rpcTO time.Duration // reply deadline inherited from the library
 	// Cookie is the capability for the coming circuit; QoS the client's
 	// requested descriptor; Comment the client's free-form comment.
 	Cookie  uint16
@@ -157,7 +275,7 @@ func (l *Lib) AwaitServiceRequest(p *kern.Proc, kl *kern.KListener) (*ServiceReq
 		}
 		p.ContextSwitches(1) // kernel handed the notification up
 		return &ServiceRequest{
-			p: p, conn: conn,
+			p: p, conn: conn, rpcTO: l.to.RPC,
 			Cookie: m.Cookie, QoS: m.QoS, Comment: m.Comment, Service: m.Service,
 		}, nil
 	}
@@ -172,9 +290,13 @@ func (r *ServiceRequest) Accept(modifiedQoS string) (vci atm.VCI, grantedQoS str
 	if err := r.conn.Send(sigmsg.Msg{Kind: sigmsg.KindAcceptConn, Cookie: r.Cookie, QoS: modifiedQoS}.Encode()); err != nil {
 		return 0, "", fmt.Errorf("%w: %v", ErrSignaling, err)
 	}
-	raw, ok, timedOut := r.conn.RecvTimeout(time.Minute)
+	wait := r.rpcTO
+	if wait <= 0 {
+		wait = DefaultTimeouts().RPC
+	}
+	raw, ok, timedOut := r.conn.RecvTimeout(wait)
 	if timedOut {
-		return 0, "", ErrTimeout
+		return 0, "", &TimeoutError{Peer: "sighost", Op: "accept_connection", Attempt: 1, Waited: wait}
 	}
 	if !ok {
 		return 0, "", ErrSignaling
@@ -228,16 +350,16 @@ func (l *Lib) OpenConnection(p *kern.Proc, dest atm.Addr, service string, notify
 	}
 	cookie := reply.Cookie
 	// Await the asynchronous establishment notification.
-	conn, err := kl.AcceptTimeout(time.Minute)
+	conn, err := kl.AcceptTimeout(l.to.Establish)
 	if err != nil {
 		// Best effort cancellation of the dangling request.
 		_, _ = l.rpc(p, sigmsg.Msg{Kind: sigmsg.KindCancelReq, Cookie: cookie})
-		return nil, ErrTimeout
+		return nil, &TimeoutError{Peer: string(dest), Op: "open_connection", Attempt: 1, Waited: l.to.Establish}
 	}
 	defer conn.Close()
-	raw, ok, timedOut := conn.RecvTimeout(time.Minute)
+	raw, ok, timedOut := conn.RecvTimeout(l.to.Establish)
 	if timedOut || !ok {
-		return nil, ErrTimeout
+		return nil, &TimeoutError{Peer: string(dest), Op: "open_connection", Attempt: 1, Waited: l.to.Establish}
 	}
 	m, derr := sigmsg.Decode(raw)
 	if derr != nil {
@@ -316,15 +438,16 @@ func (l *Lib) OpenConnectionAsync(p *kern.Proc, dest atm.Addr, service string, n
 // the notify listener.
 func (pc *PendingConnection) Await(p *kern.Proc) (*Connection, error) {
 	defer pc.kl.Close()
-	conn, err := pc.kl.AcceptTimeout(time.Minute)
+	wait := pc.lib.to.Establish
+	conn, err := pc.kl.AcceptTimeout(wait)
 	if err != nil {
 		_ = pc.lib.CancelRequest(p, pc.Cookie)
-		return nil, ErrTimeout
+		return nil, &TimeoutError{Peer: "sighost", Op: "await_connection", Attempt: 1, Waited: wait}
 	}
 	defer conn.Close()
-	raw, ok, timedOut := conn.RecvTimeout(time.Minute)
+	raw, ok, timedOut := conn.RecvTimeout(wait)
 	if timedOut || !ok {
-		return nil, ErrTimeout
+		return nil, &TimeoutError{Peer: "sighost", Op: "await_connection", Attempt: 1, Waited: wait}
 	}
 	m, derr := sigmsg.Decode(raw)
 	if derr != nil {

@@ -19,9 +19,11 @@ package xswitch
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"xunet/internal/atm"
+	"xunet/internal/faults"
 	"xunet/internal/obs"
 	"xunet/internal/qos"
 	"xunet/internal/sim"
@@ -134,6 +136,12 @@ type trunk struct {
 	perClass     [3]uint64
 	perClassDrop [3]uint64
 	classVCIs    map[atm.VCI]qos.Class
+
+	// Fault-plane state (used only when fabric.Faults is non-nil):
+	// geBad is the trunk's Gilbert–Elliott burst-loss state, down marks
+	// a flapped-out trunk that drops every cell.
+	geBad bool
+	down  bool
 }
 
 // wrrWeights drain CBR most aggressively, then VBR, then best effort —
@@ -220,12 +228,31 @@ func (t *trunk) send(c atm.Cell) {
 	if t.draining {
 		t.truncate()
 	}
+	cls := t.classVCIs[c.VCI] // zero value = BestEffort
+	if fp := t.fabric.Faults; fp != nil {
+		if t.down {
+			t.Dropped++
+			t.perClassDrop[cls]++
+			fp.TrunkDownDrop(c.TC)
+			return
+		}
+		if fp.CellDrop(&t.geBad, c.TC) {
+			t.Dropped++
+			t.perClassDrop[cls]++
+			return
+		}
+		if fp.CellCorrupt(c.TC) {
+			// Cells are values, so flipping a payload byte corrupts
+			// only this copy; the AAL5 CRC-32 rejects the frame at
+			// reassembly, exactly where real hardware would.
+			c.Payload[0] ^= 0xA5
+		}
+	}
 	if c.TC.Sampled() {
 		// Mark the hop entry time so deliver can record this trunk's
 		// queueing + serialization + propagation as one span.
 		c.TCAt = t.fabric.Engine.Now()
 	}
-	cls := t.classVCIs[c.VCI] // zero value = BestEffort
 	if t.queues[cls].Len() >= t.cfg.QueueCells {
 		t.Dropped++
 		t.perClassDrop[cls]++
@@ -435,6 +462,10 @@ type Fabric struct {
 	// TraceC records per-hop cell transit spans for sampled traces
 	// (nil means no tracing).
 	TraceC *trace.Collector
+
+	// Faults, when non-nil, injects Gilbert–Elliott burst cell loss,
+	// payload corruption, and trunk flapping on switch trunks.
+	Faults *faults.Plane
 }
 
 type vcID uint64
@@ -484,6 +515,54 @@ func (f *Fabric) ConnectSwitches(a, b *Switch, cfg LinkConfig) {
 	ab.pair, ba.pair = ba, ab
 	a.trunks = append(a.trunks, ab)
 	b.trunks = append(b.trunks, ba)
+}
+
+// StartFlapping schedules deterministic up/down flapping on every
+// switch-to-switch trunk, driven by the fault plane's RNG: each duplex
+// link stays up for a jittered mean-up period, drops every cell for the
+// configured outage, and repeats until the cutoff, always ending in the
+// up state so a quiesced run drains. Switch names are sorted so the
+// flap schedule does not depend on map iteration order.
+func (f *Fabric) StartFlapping(until time.Duration) {
+	fp := f.Faults
+	if fp == nil || !fp.FlapEnabled() {
+		return
+	}
+	names := make([]string, 0, len(f.switches))
+	for n := range f.switches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	seen := make(map[*trunk]bool)
+	for _, n := range names {
+		for _, t := range f.switches[n].trunks {
+			if _, ok := t.to.(*Switch); !ok {
+				continue // endpoint links stay clean; flaps hit the backbone
+			}
+			if seen[t] || seen[t.pair] {
+				continue
+			}
+			seen[t] = true
+			f.flapLink(t, until)
+		}
+	}
+}
+
+// flapLink runs one duplex link's flap cycle until the cutoff.
+func (f *Fabric) flapLink(t *trunk, until time.Duration) {
+	fp := f.Faults
+	up := fp.NextUp()
+	if f.Engine.Now()+up >= until {
+		return // next flap would land past the cutoff; stay up for good
+	}
+	f.Engine.Schedule(up, func() {
+		down := fp.DownFor()
+		t.down, t.pair.down = true, true
+		f.Engine.Schedule(down, func() {
+			t.down, t.pair.down = false, false
+			f.flapLink(t, until)
+		})
+	})
 }
 
 // Attach connects an endpoint (host interface) to a switch.
