@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchcheck bench bench-telemetry tracegate chaosgate
+.PHONY: ci build vet test race benchcheck bench bench-telemetry tracegate chaosgate sigbench
 
-ci: vet build test race benchcheck tracegate chaosgate
+ci: vet build test race benchcheck tracegate chaosgate sigbench
 
 build:
 	$(GO) build ./...
@@ -21,12 +21,28 @@ race:
 benchcheck:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Full measurement run: every benchmark at default benchtime, captured
-# as machine-readable JSON (see README for the BENCH_*.json format).
-# BenchmarkScheduleRun's 0 allocs/op steady state is gated separately by
-# TestScheduleRunSteadyStateAllocs in `make test`.
+# Full measurement run: every benchmark three times, aggregated to
+# min/median per metric as machine-readable JSON (see README for the
+# BENCH_*.json format). BenchmarkScheduleRun's 0 allocs/op steady state
+# is gated separately by TestScheduleRunSteadyStateAllocs in `make
+# test`; the signaling path's zero-alloc call cycle by
+# TestSteadyStateCallAllocs.
 bench:
-	$(GO) test -run '^$$' -bench . ./... | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	$(GO) test -run '^$$' -bench . -count 3 ./... | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+
+# The control-plane throughput gate: re-measure the call-storm
+# benchmark and compare against the committed PR 5 baseline with
+# benchjson -diff. Two verdicts: allocs/op is deterministic run to run,
+# so it gates tight (2%) and catches any pooling or codec regression;
+# sim-calls/s is wall clock on whatever machine ci landed on — shared
+# vCPUs throttle burst credits late in a ci run, so its gate is wide
+# (30%), sized to catch structural regressions (a reintroduced linear
+# scan costs 2.4x here) while riding out cgroup throttling. min-of-5
+# on the new side keeps scheduler noise out of the verdict.
+sigbench:
+	$(GO) test -run '^$$' -bench BenchmarkSimulatedCallsPerSecond -count 5 ./internal/signaling/ | $(GO) run ./cmd/benchjson -o /tmp/sigbench.json
+	$(GO) run ./cmd/benchjson -diff -bench 'SimulatedCallsPerSecond$$' -metric 'allocs/op' -gate 2 BENCH_PR5.json /tmp/sigbench.json
+	$(GO) run ./cmd/benchjson -diff -bench 'SimulatedCallsPerSecond$$' -metric 'sim-calls/s' -gate 30 BENCH_PR5.json /tmp/sigbench.json
 
 # The causal-tracing gate: the overhead benchmark self-asserts that a
 # disabled collector call site stays under 5 ns (and the unsampled path

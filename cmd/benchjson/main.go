@@ -2,12 +2,24 @@
 // machine-readable JSON report, so benchmark history can be diffed
 // across PRs (BENCH_PR2.json and successors).
 //
-//	go test -run '^$' -bench . ./... | go run ./cmd/benchjson -o BENCH_PR2.json
+//	go test -run '^$' -bench . -count 3 ./... | go run ./cmd/benchjson -o BENCH_PR5.json
 //
+// Repeated runs of the same benchmark (from -count N) are aggregated
+// into min/median per metric instead of emitting duplicate rows.
 // Every metric a benchmark reports is captured: the standard ns/op,
 // B/op and allocs/op plus custom b.ReportMetric units (events/sec,
 // sim-calls/s, vMbps, ...), which is how the paper-band virtual
 // metrics ride along with the wall-clock numbers.
+//
+// Diff mode compares two reports and optionally gates on regressions:
+//
+//	go run ./cmd/benchjson -diff -bench SimulatedCallsPerSecond \
+//	    -metric sim-calls/s -gate 10 old.json new.json
+//
+// exits nonzero if any selected metric is worse than the old report by
+// more than the gate percentage. Better/worse direction is inferred
+// from the unit: /op and *-ms metrics want smaller numbers, rate
+// metrics (/s, /sec, bps) want bigger ones.
 package main
 
 import (
@@ -18,21 +30,49 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// Bench is one benchmark result: the bare name (GOMAXPROCS suffix
-// stripped), its package, the iteration count and all reported metrics.
-type Bench struct {
-	Package    string             `json:"package"`
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+// Metric is one aggregated benchmark statistic. Old reports carry
+// plain numbers (one raw row per run); UnmarshalJSON accepts both
+// shapes so -diff works across the format change.
+type Metric struct {
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
 }
 
-// Report is the file layout. Benchmarks keep input order, so diffs
-// between PRs line up.
+func (m *Metric) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] != '{' {
+		v, err := strconv.ParseFloat(strings.TrimSpace(string(b)), 64)
+		if err != nil {
+			return err
+		}
+		m.Min, m.Median = v, v
+		return nil
+	}
+	type alias Metric
+	var a alias
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*m = Metric(a)
+	return nil
+}
+
+// Bench is one benchmark: the bare name (GOMAXPROCS suffix stripped),
+// its package, how many runs were aggregated, and all metrics.
+type Bench struct {
+	Package    string            `json:"package"`
+	Name       string            `json:"name"`
+	Runs       int               `json:"runs"`
+	Iterations int64             `json:"iterations"`
+	Metrics    map[string]Metric `json:"metrics"`
+}
+
+// Report is the file layout. Benchmarks keep first-seen input order,
+// so diffs between PRs line up.
 type Report struct {
 	GoVersion  string  `json:"go_version"`
 	GOOS       string  `json:"goos"`
@@ -40,19 +80,33 @@ type Report struct {
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)\s+(\d+)\s+(.+)$`)
 
-func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
-
-	rep := Report{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+// trimProcs strips the -GOMAXPROCS suffix go test appends when running
+// on more than one CPU. Only that exact number is stripped — a
+// sub-benchmark parameter that happens to end in -N survives, because
+// go test would have put its own suffix after it. (The old parser
+// stripped any trailing -digits nongreedily, which collapsed
+// Table1_HostSend/mbufs-1, -4 and -8 into three duplicate rows.)
+func trimProcs(name string) string {
+	procs := runtime.GOMAXPROCS(0)
+	if procs == 1 {
+		return name
 	}
+	suffix := "-" + strconv.Itoa(procs)
+	return strings.TrimSuffix(name, suffix)
+}
+
+type rawRun struct {
+	iters   int64
+	metrics map[string]float64
+}
+
+func parseRuns(f *os.File) (order []string, pkgOf map[string]string, runs map[string][]rawRun, err error) {
+	pkgOf = map[string]string{}
+	runs = map[string][]rawRun{}
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -68,27 +122,246 @@ func main() {
 		if err != nil {
 			continue
 		}
-		b := Bench{
-			Package:    pkg,
-			Name:       strings.TrimPrefix(m[1], "Benchmark"),
-			Iterations: iters,
-			Metrics:    map[string]float64{},
-		}
+		run := rawRun{iters: iters, metrics: map[string]float64{}}
 		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				break // malformed tail; keep what parsed
 			}
-			b.Metrics[fields[i+1]] = v
+			run.metrics[fields[i+1]] = v
 		}
-		if len(b.Metrics) > 0 {
-			rep.Benchmarks = append(rep.Benchmarks, b)
+		if len(run.metrics) == 0 {
+			continue
+		}
+		name := strings.TrimPrefix(trimProcs(m[1]), "Benchmark")
+		key := pkg + "\x00" + name
+		if _, seen := runs[key]; !seen {
+			order = append(order, key)
+			pkgOf[key] = pkg
+		}
+		runs[key] = append(runs[key], run)
+	}
+	return order, pkgOf, runs, sc.Err()
+}
+
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+func aggregate(order []string, pkgOf map[string]string, runs map[string][]rawRun) []Bench {
+	var out []Bench
+	for _, key := range order {
+		rs := runs[key]
+		b := Bench{
+			Package: pkgOf[key],
+			Name:    key[strings.IndexByte(key, 0)+1:],
+			Runs:    len(rs),
+			Metrics: map[string]Metric{},
+		}
+		units := map[string][]float64{}
+		for _, r := range rs {
+			if r.iters > b.Iterations {
+				b.Iterations = r.iters
+			}
+			for u, v := range r.metrics {
+				units[u] = append(units[u], v)
+			}
+		}
+		for u, vs := range units {
+			mn := vs[0]
+			for _, v := range vs[1:] {
+				if v < mn {
+					mn = v
+				}
+			}
+			b.Metrics[u] = Metric{Min: mn, Median: median(vs)}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// lowerBetter infers the improvement direction from the metric unit.
+func lowerBetter(unit string) bool {
+	switch {
+	case strings.Contains(unit, "/op"), strings.HasSuffix(unit, "-ms"), strings.HasSuffix(unit, "ns"):
+		return true
+	case strings.Contains(unit, "/s"), strings.Contains(unit, "bps"):
+		return false
+	}
+	return true
+}
+
+func loadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// index collapses a report to one Bench per package/name. Old-format
+// files carry duplicate raw rows; fold them with min/median-of-medians
+// so pre-aggregation reports gate the same way.
+func index(r *Report) map[string]Bench {
+	out := map[string]Bench{}
+	for _, b := range r.Benchmarks {
+		key := b.Package + "\x00" + b.Name
+		prev, ok := out[key]
+		if !ok {
+			out[key] = b
+			continue
+		}
+		merged := prev
+		merged.Runs += b.Runs
+		merged.Metrics = map[string]Metric{}
+		for u, m := range prev.Metrics {
+			merged.Metrics[u] = m
+		}
+		for u, m := range b.Metrics {
+			if pm, ok := merged.Metrics[u]; ok {
+				if m.Min < pm.Min {
+					pm.Min = m.Min
+				}
+				pm.Median = (pm.Median + m.Median) / 2
+				merged.Metrics[u] = pm
+			} else {
+				merged.Metrics[u] = m
+			}
+		}
+		out[key] = merged
+	}
+	return out
+}
+
+func runDiff(oldPath, newPath, benchRE, metricRE string, gatePct float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	benchPat, err := regexp.Compile(benchRE)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -bench:", err)
+		return 2
+	}
+	metricPat, err := regexp.Compile(metricRE)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -metric:", err)
+		return 2
+	}
+
+	oldIdx := index(oldRep)
+	compared, regressed := 0, 0
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, nb := range index2Sorted(index(newRep)) {
+		if !benchPat.MatchString(nb.Name) {
+			continue
+		}
+		ob, ok := oldIdx[nb.Package+"\x00"+nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s (new benchmark, nothing to compare)\n", nb.Name)
+			continue
+		}
+		units := make([]string, 0, len(nb.Metrics))
+		for u := range nb.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			if !metricPat.MatchString(u) {
+				continue
+			}
+			om, ok := ob.Metrics[u]
+			if !ok || om.Min == 0 {
+				continue
+			}
+			nm := nb.Metrics[u]
+			// Compare best-vs-best: min is the least noise-polluted
+			// observation of what the code can do.
+			delta := (nm.Min - om.Min) / om.Min * 100
+			worse := delta
+			if !lowerBetter(u) {
+				worse = -delta
+			}
+			compared++
+			mark := ""
+			if gatePct > 0 && worse > gatePct {
+				regressed++
+				mark = "  REGRESSION"
+			}
+			fmt.Fprintf(w, "%-44s %-18s %14.4g -> %-14.4g %+7.2f%%%s\n",
+				nb.Name, u, om.Min, nm.Min, delta, mark)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -diff matched no common benchmarks")
+		return 2
+	}
+	if regressed > 0 {
+		w.Flush()
+		fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond %.0f%%\n", regressed, gatePct)
+		return 1
+	}
+	return 0
+}
+
+func index2Sorted(idx map[string]Bench) []Bench {
+	out := make([]Bench, 0, len(idx))
+	for _, b := range idx {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Package != out[j].Package {
+			return out[i].Package < out[j].Package
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two reports: benchjson -diff old.json new.json")
+	benchRE := flag.String("bench", "", "diff: only benchmarks whose name matches this regexp")
+	metricRE := flag.String("metric", "", "diff: only metrics whose unit matches this regexp")
+	gate := flag.Float64("gate", 0, "diff: exit 1 if any selected metric regresses more than this percent")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-bench re] [-metric re] [-gate pct] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *benchRE, *metricRE, *gate))
+	}
+
+	order, pkgOf, runs, err := parseRuns(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
+	}
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: aggregate(order, pkgOf, runs),
 	}
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")

@@ -1,0 +1,73 @@
+package atm
+
+// VCIAlloc hands out VCIs in O(1): a LIFO free list of released values
+// backed by a high-water cursor for never-used ones. It replaces the
+// linear next-free scans the switch trunks and the standalone daemon's
+// local pool used to run on every call setup — the control-plane analog
+// of the paper's direct-index argument for the data path (§6): the
+// allocator never searches, it indexes.
+//
+// Allocation is fully deterministic: fresh VCIs ascend from min, and a
+// released VCI is reused most-recently-freed first. VCIs below min
+// (the reserved/PVC range) are never handed out.
+type VCIAlloc struct {
+	min  VCI
+	next VCI   // next never-used value; past MaxVCI means exhausted
+	free []VCI // LIFO of released values
+	used map[VCI]bool
+}
+
+// NewVCIAlloc builds an allocator covering [min, MaxVCI]. min below 32
+// is raised to 32, keeping the reserved VCI range untouchable.
+func NewVCIAlloc(min VCI) *VCIAlloc {
+	if min < 32 {
+		min = 32
+	}
+	return &VCIAlloc{min: min, next: min, used: make(map[VCI]bool)}
+}
+
+// Alloc reserves an unused VCI, or 0 when the space is exhausted.
+func (a *VCIAlloc) Alloc() VCI {
+	for n := len(a.free); n > 0; n = len(a.free) {
+		v := a.free[n-1]
+		a.free = a.free[:n-1]
+		if !a.used[v] { // skip entries reserved out-of-band since release
+			a.used[v] = true
+			return v
+		}
+	}
+	for a.next <= MaxVCI {
+		v := a.next
+		a.next++
+		if !a.used[v] {
+			a.used[v] = true
+			return v
+		}
+	}
+	return 0
+}
+
+// Reserve marks a specific VCI in use (PVCs provisioned out-of-band).
+// It reports false when the value is already taken.
+func (a *VCIAlloc) Reserve(v VCI) bool {
+	if a.used[v] {
+		return false
+	}
+	a.used[v] = true
+	return true
+}
+
+// Free releases a VCI for reuse. Double frees are ignored.
+func (a *VCIAlloc) Free(v VCI) {
+	if !a.used[v] {
+		return
+	}
+	delete(a.used, v)
+	a.free = append(a.free, v)
+}
+
+// InUse reports whether v is currently allocated or reserved.
+func (a *VCIAlloc) InUse(v VCI) bool { return a.used[v] }
+
+// Live reports how many VCIs are currently in use.
+func (a *VCIAlloc) Live() int { return len(a.used) }

@@ -484,7 +484,7 @@ func TestStreamResetAfterPeerVanishes(t *testing.T) {
 		s.SetTeardown(func(reset bool) { sawReset = reset })
 		p.Sleep(10 * time.Millisecond)
 		// Simulate silent remote death: the server's conn evaporates.
-		delete(r.streams.conns, srv.key)
+		r.streams.delConn(srv.key)
 		// Cut the reverse path so RSTs cannot rescue the sender and it
 		// must discover the failure by retransmission exhaustion.
 		r.LinkTo(h).SetLoss(1.0)

@@ -90,6 +90,11 @@ type streamLayer struct {
 	node      *Node
 	listeners map[uint16]*StreamListener
 	conns     map[connKey]*Stream
+	// ports counts live connections per local port so portBusy — called
+	// by every ephemeral-port probe — is an indexed lookup instead of a
+	// scan over every connection on the node. All conns mutations go
+	// through addConn/delConn to keep the index exact.
+	ports map[uint16]int
 }
 
 func newStreamLayer(nd *Node) *streamLayer {
@@ -97,21 +102,37 @@ func newStreamLayer(nd *Node) *streamLayer {
 		node:      nd,
 		listeners: make(map[uint16]*StreamListener),
 		conns:     make(map[connKey]*Stream),
+		ports:     make(map[uint16]int),
 	}
 	nd.BindProto(ProtoStream, sl.input)
 	return sl
+}
+
+func (sl *streamLayer) addConn(s *Stream) {
+	sl.conns[s.key] = s
+	sl.ports[s.key.lport]++
+}
+
+// delConn removes the connection under key, if still present, and
+// releases its claim on the local port. Idempotent: teardown can race
+// a test's simulated peer death, and only the first removal counts.
+func (sl *streamLayer) delConn(key connKey) {
+	if _, ok := sl.conns[key]; !ok {
+		return
+	}
+	delete(sl.conns, key)
+	if n := sl.ports[key.lport] - 1; n <= 0 {
+		delete(sl.ports, key.lport)
+	} else {
+		sl.ports[key.lport] = n
+	}
 }
 
 func (sl *streamLayer) portBusy(port uint16) bool {
 	if _, ok := sl.listeners[port]; ok {
 		return true
 	}
-	for k := range sl.conns {
-		if k.lport == port {
-			return true
-		}
-	}
-	return false
+	return sl.ports[port] > 0
 }
 
 // StreamListener accepts inbound stream connections on one port.
@@ -213,14 +234,14 @@ func newStream(nd *Node, key connKey) *Stream {
 func (nd *Node) DialStream(p *sim.Proc, raddr IPAddr, rport uint16) (*Stream, error) {
 	key := connKey{lport: nd.ephemeralPort(), raddr: raddr, rport: rport}
 	s := newStream(nd, key)
-	nd.streams.conns[key] = s
+	nd.streams.addConn(s)
 	s.dialWaiter = p
 	s.sendSegment(&segment{flags: flagSYN, sport: key.lport, dport: rport})
 	s.armRetransmit()
 	p.Park()
 	s.dialWaiter = nil
 	if s.dialErr != nil {
-		delete(nd.streams.conns, key)
+		nd.streams.delConn(key)
 		return nil, s.dialErr
 	}
 	return s, nil
@@ -331,7 +352,7 @@ func (s *Stream) finish(reset bool) {
 		return
 	}
 	s.toreDown = true
-	delete(s.node.streams.conns, s.key)
+	s.node.streams.delConn(s.key)
 	s.rtimer.Stop()
 	if s.teardown != nil {
 		s.teardown(reset)
@@ -412,7 +433,7 @@ func (sl *streamLayer) input(pkt *Packet) {
 		if l, ok := sl.listeners[seg.dport]; ok && !l.closed {
 			s := newStream(sl.node, key)
 			s.established = true
-			sl.conns[key] = s
+			sl.addConn(s)
 			s.sendSegment(&segment{flags: flagSYN | flagACK, sport: seg.dport, dport: seg.sport})
 			l.backlog.Put(s)
 			return

@@ -17,14 +17,30 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{byte(KindSetup)})
 	f.Add(make([]byte, 16))
+	var dec Decoder
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
+		// The interning decoder must agree with the one-shot path —
+		// same message or same failure — and never panic.
+		var mi Msg
+		ierr := dec.DecodeInto(&mi, data)
+		if (err == nil) != (ierr == nil) || (err == nil && mi != m) {
+			t.Fatalf("Decoder disagrees: %v/%v, %+v vs %+v", err, ierr, mi, m)
+		}
 		if err != nil {
 			return
 		}
 		// Anything that decodes must re-encode and decode to the same
-		// message (canonical round trip).
-		again, err := Decode(m.Encode())
+		// message (canonical round trip), and AppendTo must produce
+		// exactly Encode's bytes at exactly EncodedSize.
+		enc := m.Encode()
+		if app := m.AppendTo(make([]byte, 0, 8)); string(enc) != string(app) {
+			t.Fatal("AppendTo differs from Encode")
+		}
+		if len(enc) != m.EncodedSize() {
+			t.Fatalf("EncodedSize = %d, encoded %d bytes", m.EncodedSize(), len(enc))
+		}
+		again, err := Decode(enc)
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}

@@ -188,11 +188,31 @@ var (
 	ErrBadKind = errors.New("sigmsg: unknown message kind")
 )
 
-// Encode serializes the message. The format is a kind byte followed by
-// fixed fields and length-prefixed strings; it is identical for every
-// kind to keep the codec simple and the fuzz surface small.
+// fixedLen is the size of the fixed-field prefix every message carries
+// before the six length-prefixed strings.
+const fixedLen = 40
+
+// EncodedSize is the exact number of bytes Encode/AppendTo produce for
+// this message, so callers can size a buffer without a trial encode.
+func (m *Msg) EncodedSize() int {
+	return fixedLen + 2*6 + len(m.Service) + len(m.Dest) + len(m.Src) +
+		len(m.QoS) + len(m.Comment) + len(m.Reason)
+}
+
+// Encode serializes the message into a fresh slice. Hot paths should
+// prefer AppendTo with a reused buffer; Encode remains for one-shot
+// callers and compatibility.
 func (m Msg) Encode() []byte {
-	out := make([]byte, 0, 48+len(m.Service)+len(m.QoS)+len(m.Comment)+len(m.Reason)+len(m.Dest)+len(m.Src))
+	return m.AppendTo(make([]byte, 0, m.EncodedSize()))
+}
+
+// AppendTo serializes the message onto buf (usually buf[:0] of a reused
+// scratch slice) and returns the extended slice. It allocates only when
+// buf lacks capacity. The format is a kind byte followed by fixed
+// fields and length-prefixed strings; it is identical for every kind to
+// keep the codec simple and the fuzz surface small.
+func (m *Msg) AppendTo(buf []byte) []byte {
+	out := buf
 	out = append(out, byte(m.Kind))
 	out = append(out, byte(m.Cookie>>8), byte(m.Cookie))
 	out = append(out, byte(m.VCI>>8), byte(m.VCI))
@@ -230,15 +250,66 @@ func u64(b []byte) uint64 {
 		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
 }
 
-// Decode parses a message encoded by Encode.
+// Decode parses a message encoded by Encode. Each string field is a
+// fresh allocation; hot receive paths should hold a Decoder, whose
+// intern table makes repeated service/QoS/address strings free.
 func Decode(b []byte) (Msg, error) {
 	var m Msg
-	if len(b) < 40 {
-		return m, ErrShort
+	err := (*Decoder)(nil).DecodeInto(&m, b)
+	return m, err
+}
+
+// Decoder is a reusable decode context. Its intern table maps the byte
+// content of string fields to previously-built Go strings, so a steady
+// state of repeating services, addresses and QoS descriptors decodes
+// with zero allocations. A Decoder is not safe for concurrent use; give
+// each receive pump its own.
+type Decoder struct {
+	intern map[string]string
+}
+
+// internCap bounds the intern table so a hostile peer streaming unique
+// strings cannot grow it without bound; internMaxStr skips interning
+// huge one-off strings (comments, reasons) that would bloat the table.
+const (
+	internCap    = 4096
+	internMaxStr = 128
+)
+
+// str materializes one decoded string field, interning it when the
+// decoder is non-nil.
+func (d *Decoder) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if d == nil || len(b) > internMaxStr {
+		return string(b)
+	}
+	if d.intern == nil {
+		d.intern = make(map[string]string, 64)
+	}
+	if s, ok := d.intern[string(b)]; ok { // no-alloc map lookup
+		return s
+	}
+	s := string(b)
+	if len(d.intern) < internCap {
+		d.intern[s] = s
+	}
+	return s
+}
+
+// DecodeInto parses a message encoded by Encode/AppendTo into *m,
+// overwriting every field. With a reused *m and a warm intern table the
+// steady state allocates nothing. A nil receiver is valid and decodes
+// without interning.
+func (d *Decoder) DecodeInto(m *Msg, b []byte) error {
+	*m = Msg{}
+	if len(b) < fixedLen {
+		return ErrShort
 	}
 	m.Kind = Kind(b[0])
 	if _, ok := kindNames[m.Kind]; !ok {
-		return m, fmt.Errorf("%w: %d", ErrBadKind, b[0])
+		return fmt.Errorf("%w: %d", ErrBadKind, b[0])
 	}
 	m.Cookie = uint16(b[1])<<8 | uint16(b[2])
 	m.VCI = atm.VCI(uint16(b[3])<<8 | uint16(b[4]))
@@ -250,16 +321,16 @@ func Decode(b []byte) (Msg, error) {
 	m.SpanID = u64(b[24:32])
 	m.Seq = uint32(b[32])<<24 | uint32(b[33])<<16 | uint32(b[34])<<8 | uint32(b[35])
 	m.Epoch = uint32(b[36])<<24 | uint32(b[37])<<16 | uint32(b[38])<<8 | uint32(b[39])
-	rest := b[40:]
+	rest := b[fixedLen:]
 	var fields [6]string
 	for i := range fields {
-		var s string
-		var err error
-		s, rest, err = takeString(rest)
+		raw, tail, err := takeBytes(rest)
 		if err != nil {
-			return m, err
+			*m = Msg{}
+			return err
 		}
-		fields[i] = s
+		fields[i] = d.str(raw)
+		rest = tail
 	}
 	m.Service = fields[0]
 	m.Dest = atm.Addr(fields[1])
@@ -267,16 +338,16 @@ func Decode(b []byte) (Msg, error) {
 	m.QoS = fields[3]
 	m.Comment = fields[4]
 	m.Reason = fields[5]
-	return m, nil
+	return nil
 }
 
-func takeString(b []byte) (string, []byte, error) {
+func takeBytes(b []byte) ([]byte, []byte, error) {
 	if len(b) < 2 {
-		return "", nil, ErrShort
+		return nil, nil, ErrShort
 	}
 	n := int(b[0])<<8 | int(b[1])
 	if len(b) < 2+n {
-		return "", nil, ErrShort
+		return nil, nil, ErrShort
 	}
-	return string(b[2 : 2+n]), b[2+n:], nil
+	return b[2 : 2+n], b[2+n:], nil
 }

@@ -134,3 +134,33 @@ func clip(s string) string {
 	}
 	return s
 }
+
+// The codec's steady state must be allocation-free: AppendTo into a
+// warm buffer and DecodeInto through a warm intern table are the per-
+// message costs on every signaling hot path.
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	m := Msg{
+		Kind: KindSetup, Service: "echo", Dest: "ucb.rt", Src: "mh.rt",
+		QoS: "cbr:64", Cookie: 7, VCI: 40, CallID: 9, Seq: 3, Epoch: 1,
+	}
+	buf := make([]byte, 0, m.EncodedSize())
+	var dec Decoder
+	var out Msg
+	// Warm the intern table.
+	buf = m.AppendTo(buf[:0])
+	if err := dec.DecodeInto(&out, buf); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = m.AppendTo(buf[:0])
+		if err := dec.DecodeInto(&out, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode+decode steady state allocates %.1f/op, want 0", allocs)
+	}
+	if out != m {
+		t.Fatalf("round trip changed message: %+v vs %+v", m, out)
+	}
+}

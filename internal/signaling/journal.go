@@ -1,6 +1,9 @@
 package signaling
 
 import (
+	"encoding/binary"
+	"errors"
+	"sort"
 	"time"
 
 	"xunet/internal/atm"
@@ -16,13 +19,18 @@ import (
 // mid-establishment are torn down with the paper's disconnect
 // indications, since their in-flight handshakes died with the process.
 //
-// The journal is an in-memory append log standing in for the disk log a
+// The journal is an in-memory byte log standing in for the disk log a
 // real daemon would write (the sim has no filesystem); it survives
-// Crash() because it models persistent storage. Entries for dead calls
+// Crash() because it models persistent storage. Records are encoded
+// into a per-dispatch batch and appended to the log in one copy when
+// the dispatch completes (jflush), so a teardown cascade costs one
+// append, not one per record — and the batch buffer is reused, so
+// steady-state journaling allocates nothing. Entries for dead calls
 // are compacted away once the log exceeds its bound, keeping it
-// proportional to live state. VC handles are journaled by reference as
-// a stand-in for re-resolving the circuit from the switch tables on
-// restart (DESIGN.md §11 records the substitution).
+// proportional to live state. VC handles cannot ride a byte log; a
+// side table keyed by VCI stands in for re-resolving the circuit from
+// the switch tables on restart (DESIGN.md §11 records the
+// substitution).
 
 type jop uint8
 
@@ -51,19 +59,146 @@ type jrec struct {
 	vc       *VCHandle
 }
 
+// Wire format of one record: u16 payload length, then
+//
+//	u8 op · u8-prefixed peer · u32 id · u8 origin ·
+//	u16-prefixed service · u32 ip · u16 port · u16-prefixed qos ·
+//	u16 cookie · u16 vci · u64 deadline · u8 hasVC
+//
+// all big-endian. Replay stops at the first short or corrupt record,
+// like a daemon reading a torn tail after a crash mid-write.
+
+var errJrec = errors.New("signaling: corrupt journal record")
+
+// appendJrec appends r's encoding to dst.
+func appendJrec(dst []byte, r *jrec) []byte {
+	lenAt := len(dst)
+	dst = append(dst, 0, 0) // payload length, patched below
+	dst = append(dst, byte(r.op))
+	peer := r.key.peer
+	if len(peer) > 255 {
+		peer = peer[:255]
+	}
+	dst = append(dst, byte(len(peer)))
+	dst = append(dst, peer...)
+	dst = binary.BigEndian.AppendUint32(dst, r.key.id)
+	if r.key.origin {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendStr16(dst, r.service)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.ip))
+	dst = binary.BigEndian.AppendUint16(dst, r.port)
+	dst = appendStr16(dst, r.qos)
+	dst = binary.BigEndian.AppendUint16(dst, r.cookie)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(r.vci))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.deadline))
+	if r.vc != nil {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	binary.BigEndian.PutUint16(dst[lenAt:], uint16(len(dst)-lenAt-2))
+	return dst
+}
+
+func appendStr16(dst []byte, s string) []byte {
+	if len(s) > 1<<16-1 {
+		s = s[:1<<16-1]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// decodeJrec decodes one record from the front of b, resolving circuit
+// handles through the vcs side table. Returns the bytes consumed.
+func decodeJrec(b []byte, vcs map[atm.VCI]*VCHandle) (jrec, int, error) {
+	var r jrec
+	if len(b) < 2 {
+		return r, 0, errJrec
+	}
+	plen := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+plen {
+		return r, 0, errJrec
+	}
+	p := b[2 : 2+plen]
+	fail := errJrec
+	get := func(n int) []byte {
+		if len(p) < n {
+			return nil
+		}
+		v := p[:n]
+		p = p[n:]
+		return v
+	}
+	v := get(2)
+	if v == nil {
+		return r, 0, fail
+	}
+	r.op = jop(v[0])
+	peer := get(int(v[1]))
+	if peer == nil {
+		return r, 0, fail
+	}
+	r.key.peer = atm.Addr(peer)
+	if v = get(5); v == nil {
+		return r, 0, fail
+	}
+	r.key.id = binary.BigEndian.Uint32(v)
+	r.key.origin = v[4] != 0
+	if v = get(2); v == nil {
+		return r, 0, fail
+	}
+	s := get(int(binary.BigEndian.Uint16(v)))
+	if s == nil {
+		return r, 0, fail
+	}
+	r.service = string(s)
+	if v = get(8); v == nil {
+		return r, 0, fail
+	}
+	r.ip = memnet.IPAddr(binary.BigEndian.Uint32(v))
+	r.port = binary.BigEndian.Uint16(v[4:])
+	s = get(int(binary.BigEndian.Uint16(v[6:])))
+	if s == nil {
+		return r, 0, fail
+	}
+	r.qos = string(s)
+	if v = get(13); v == nil {
+		return r, 0, fail
+	}
+	r.cookie = binary.BigEndian.Uint16(v)
+	r.vci = atm.VCI(binary.BigEndian.Uint16(v[2:]))
+	r.deadline = time.Duration(binary.BigEndian.Uint64(v[4:]))
+	if v[12] != 0 {
+		r.vc = vcs[r.vci]
+	}
+	return r, 2 + plen, nil
+}
+
 // journal is the bounded write-ahead log.
 type journal struct {
-	recs []jrec
-	cap  int
+	buf      []byte // durable log: encoded records back-to-back
+	n        int    // records in buf
+	pending  []byte // current dispatch's batch, not yet appended
+	pendingN int
+	spare    []byte // compaction double-buffer (swap keeps it alloc-free)
+	cap      int
+	// vcs maps granted VCIs to their circuit handles (see file comment).
+	vcs map[atm.VCI]*VCHandle
 	// generation counts recoveries; it seeds the reliability epoch so
 	// peers can tell a new incarnation's messages from stale ones.
 	generation uint32
 	// lastCallID persists the allocator so a recovered sighost never
 	// reuses a call ID that a peer may still hold state for.
 	lastCallID uint32
+	svcScratch []string // sorted-services scratch for compaction
 
-	appends     *obs.Counter // sighost.journal.appends
+	appends     *obs.Counter // sighost.journal.appends (records)
+	batches     *obs.Counter // sighost.journal.batches (one per flush)
 	compactions *obs.Counter // sighost.journal.compactions
+	truncated   *obs.Counter // sighost.journal.truncated (replay cut short)
 }
 
 // EnableJournal attaches a write-ahead journal with the given record
@@ -74,56 +209,122 @@ func (sh *Sighost) EnableJournal(bound int) {
 	}
 	sh.jr = &journal{
 		cap:         bound,
+		vcs:         make(map[atm.VCI]*VCHandle),
 		appends:     sh.Obs.Counter("sighost.journal.appends"),
+		batches:     sh.Obs.Counter("sighost.journal.batches"),
 		compactions: sh.Obs.Counter("sighost.journal.compactions"),
+		truncated:   sh.Obs.Counter("sighost.journal.truncated"),
 	}
 }
 
-// jlog appends one record, compacting first if the log hit its bound.
+// jlog encodes one record into the current dispatch's batch. Every
+// jlog call sits AFTER the state mutation it describes, so live state
+// always subsumes the batch — which is what lets jflush compact
+// instead of appending when the log is full.
 func (sh *Sighost) jlog(r jrec) {
 	j := sh.jr
 	if j == nil {
 		return
 	}
-	if len(j.recs) >= j.cap {
-		sh.compactJournal()
+	if r.vc != nil {
+		j.vcs[r.vci] = r.vc
 	}
-	j.recs = append(j.recs, r)
-	j.appends.Inc()
+	j.pending = appendJrec(j.pending, &r)
+	j.pendingN++
 	if r.op == jOpen && r.key.origin && r.key.id > j.lastCallID {
 		j.lastCallID = r.key.id
 	}
 }
 
+// jflush makes the current batch durable in one append, compacting
+// instead when the log would exceed its bound. Called at the end of
+// every dispatch (handler or timer/dial callback); no-op when nothing
+// was logged.
+func (sh *Sighost) jflush() {
+	j := sh.jr
+	if j == nil || j.pendingN == 0 {
+		return
+	}
+	j.appends.Add(uint64(j.pendingN))
+	j.batches.Inc()
+	if j.n+j.pendingN > j.cap {
+		sh.compactJournal() // rewrite subsumes (and discards) the batch
+		return
+	}
+	j.buf = append(j.buf, j.pending...)
+	j.n += j.pendingN
+	j.pending = j.pending[:0]
+	j.pendingN = 0
+}
+
 // compactJournal rewrites the log from live state: one export per
-// registered service, and per live call an open plus its grant/bound
-// progress. Ended calls vanish.
+// registered service (sorted, so the byte log is deterministic), and
+// per live call an open plus its grant/bound progress. Ended calls
+// vanish, and any pending batch is discarded — live state already
+// reflects it (see jlog).
 func (sh *Sighost) compactJournal() {
 	j := sh.jr
 	j.compactions.Inc()
-	out := make([]jrec, 0, len(sh.services)+2*len(sh.calls))
-	for _, svc := range sh.services {
-		out = append(out, jrec{op: jExport, service: svc.name, ip: svc.ip, port: svc.port})
+	out := j.spare[:0]
+	n := 0
+	clear(j.vcs)
+	svcs := j.svcScratch[:0]
+	for name := range sh.services {
+		svcs = append(svcs, name)
 	}
-	for _, c := range sh.calls {
-		out = append(out, jrec{
+	sort.Strings(svcs)
+	j.svcScratch = svcs[:0]
+	for _, name := range svcs {
+		svc := sh.services[name]
+		out = appendJrec(out, &jrec{op: jExport, service: svc.name, ip: svc.ip, port: svc.port})
+		n++
+	}
+	for c := sh.allHead; c != nil; c = c.allNext {
+		out = appendJrec(out, &jrec{
 			op: jOpen, key: c.key, service: c.service, qos: c.qosStr,
 			ip: c.endIP, port: c.endPort, cookie: c.cookie,
 		})
+		n++
 		if c.localVCI == 0 {
 			continue
 		}
+		if c.vc != nil {
+			j.vcs[c.localVCI] = c.vc
+		}
 		if bw, waiting := sh.waitBind[c.localVCI]; waiting && bw.c == c {
-			out = append(out, jrec{
+			out = appendJrec(out, &jrec{
 				op: jGrant, key: c.key, vci: c.localVCI, cookie: c.cookie,
 				deadline: bw.deadline, vc: c.vc,
 			})
+			n++
 		} else if sh.vciMap[c.localVCI] == c {
-			out = append(out, jrec{op: jGrant, key: c.key, vci: c.localVCI, cookie: c.cookie, vc: c.vc})
-			out = append(out, jrec{op: jBound, key: c.key, vci: c.localVCI})
+			out = appendJrec(out, &jrec{op: jGrant, key: c.key, vci: c.localVCI, cookie: c.cookie, vc: c.vc})
+			out = appendJrec(out, &jrec{op: jBound, key: c.key, vci: c.localVCI})
+			n += 2
 		}
 	}
-	j.recs = out
+	j.spare = j.buf
+	j.buf = out
+	j.n = n
+	j.pending = j.pending[:0]
+	j.pendingN = 0
+}
+
+// records decodes the durable log back into record structs — the
+// journal's introspection/test view. Unflushed batch records are not
+// included (they are not durable yet).
+func (j *journal) records() []jrec {
+	var out []jrec
+	b := j.buf
+	for len(b) > 0 {
+		r, n, err := decodeJrec(b, j.vcs)
+		if err != nil {
+			break
+		}
+		out = append(out, r)
+		b = b[n:]
+	}
+	return out
 }
 
 // Down reports whether the sighost is crashed (dropping all input).
@@ -133,11 +334,13 @@ func (sh *Sighost) Down() bool { return sh.down }
 // all five lists, the cookie table, and the reliability state vanish.
 // While down, every handler drops its input (the peers' retransmissions
 // are what carry calls across the outage). The journal survives — it
-// models persistent storage.
+// models persistent storage; any batch still pending is flushed first,
+// since its records were logged before the "write" that killed us.
 func (sh *Sighost) Crash() {
 	if sh.down {
 		return
 	}
+	sh.jflush()
 	sh.down = true
 	sh.Obs.Counter("sighost.crashes").Inc()
 	if sh.traceOn() {
@@ -152,6 +355,9 @@ func (sh *Sighost) Crash() {
 				if pm.cancel != nil {
 					pm.cancel()
 				}
+				// Orphan rather than pool (map order is nondeterministic);
+				// a straggling timer finds no host and returns.
+				pm.sh, pm.lk = nil, nil
 			}
 			if lk.kaCancel != nil {
 				lk.kaCancel()
@@ -160,12 +366,18 @@ func (sh *Sighost) Crash() {
 		sh.rel.links = make(map[atm.Addr]*peerLink)
 	}
 	sh.services = make(map[string]*serviceEntry)
-	sh.outgoing = make(map[uint16]*outRequest)
-	sh.incoming = make(map[uint16]*inRequest)
+	sh.outgoing = make(map[uint16]*call)
+	sh.incoming = make(map[uint16]*call)
 	sh.waitBind = make(map[atm.VCI]*bindWait)
 	sh.vciMap = make(map[atm.VCI]*call)
 	sh.cookies = make(map[atm.VCI]uint16)
 	sh.calls = make(map[callKey]*call)
+	// The intrusive indexes die with the lists. The wiped structs are
+	// NOT returned to the pools: in-flight callbacks may still hold
+	// them, and their gen was never bumped.
+	sh.allHead, sh.allTail = nil, nil
+	sh.byPeer = make(map[atm.Addr]*peerCalls)
+	sh.byOwner = make(map[ownerKey]*call)
 }
 
 // Recover restarts a crashed sighost: bump the incarnation, replay the
@@ -189,16 +401,24 @@ func (sh *Sighost) Recover() {
 		sh.nextCallID = sh.jr.lastCallID
 	}
 
-	// Fold the log into per-call final state.
+	// Fold the log into per-call final state. Replay stops at the first
+	// unreadable record: everything before the torn tail still recovers.
 	type replay struct {
-		open  jrec
-		grant *jrec
-		bound bool
+		open     jrec
+		grant    jrec
+		hasGrant bool
+		bound    bool
 	}
 	live := make(map[callKey]*replay)
 	order := make([]callKey, 0, 16)
-	for i := range sh.jr.recs {
-		r := &sh.jr.recs[i]
+	b := sh.jr.buf
+	for len(b) > 0 {
+		r, n, err := decodeJrec(b, sh.jr.vcs)
+		if err != nil {
+			sh.jr.truncated.Inc()
+			break
+		}
+		b = b[n:]
 		switch r.op {
 		case jExport:
 			sh.services[r.service] = &serviceEntry{name: r.service, ip: r.ip, port: r.port}
@@ -208,10 +428,11 @@ func (sh *Sighost) Recover() {
 			if _, dup := live[r.key]; !dup {
 				order = append(order, r.key)
 			}
-			live[r.key] = &replay{open: *r}
+			live[r.key] = &replay{open: r}
 		case jGrant:
 			if st, ok := live[r.key]; ok {
 				st.grant = r
+				st.hasGrant = true
 			}
 		case jBound:
 			if st, ok := live[r.key]; ok {
@@ -229,14 +450,18 @@ func (sh *Sighost) Recover() {
 		if !ok {
 			continue
 		}
-		c := &call{
-			key: key, service: st.open.service, qosStr: st.open.qos,
-			endIP: st.open.ip, endPort: st.open.port, cookie: st.open.cookie,
-			reqAt: now,
-		}
-		sh.calls[key] = c
+		delete(live, key) // a corrupt log may repeat keys; build each once
+		c := sh.newCall()
+		c.key = key
+		c.service = st.open.service
+		c.qosStr = st.open.qos
+		c.endIP = st.open.ip
+		c.endPort = st.open.port
+		c.cookie = st.open.cookie
+		c.reqAt = now
+		sh.linkCall(c)
 		switch {
-		case st.bound:
+		case st.bound && st.hasGrant:
 			// Fully established and bound: restore VCI_mapping + cookie.
 			c.state = callEstablished
 			c.localVCI = st.grant.vci
@@ -244,7 +469,7 @@ func (sh *Sighost) Recover() {
 			sh.vciMap[c.localVCI] = c
 			sh.cookies[c.localVCI] = st.grant.cookie
 			sh.Obs.Counter("sighost.recovered.bound").Inc()
-		case st.grant != nil:
+		case st.hasGrant:
 			// Granted but unbound: restore wait_for_bind with whatever
 			// allowance the call had left. An already-expired deadline
 			// tears down immediately — the timer fired during the outage.

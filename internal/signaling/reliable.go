@@ -47,21 +47,60 @@ func DefaultRelConfig() RelConfig {
 	}
 }
 
-// pendingMsg is one unacknowledged reliable message.
+// pendingMsg is one unacknowledged reliable message. The wire encoding
+// is produced exactly once, at first send, and cached in raw: every
+// retransmission replays the same frame. Structs are pooled; the
+// cancel-before-free discipline (every drop path cancels the timer
+// first, except the fire path itself) keeps stale timers off recycled
+// structs, and the unacked identity check backstops it.
 type pendingMsg struct {
 	m        sigmsg.Msg
-	attempts int // retransmissions so far
+	raw      []byte // cached wire encoding; survives pool recycling
+	attempts int    // retransmissions so far
 	cancel   CancelFunc
+
+	sh *Sighost
+	lk *peerLink
+
+	// Per-call chain within lk.byCall. Only call-establishment kinds are
+	// chained; RELEASE outlives its call and keeps retrying on its own.
+	chained      bool
+	cnext, cprev *pendingMsg
+
+	next *pendingMsg // pool link
+	fire func()      // pre-bound retransmit callback
+}
+
+// callPend keys a per-call chain of pending messages within one link:
+// the call's ID plus which side of it we are.
+type callPend struct {
+	id     uint32
+	origin bool
+}
+
+// pmChainKey maps a reliable message kind to the owning call's key view
+// (mirroring retryExhausted). ok=false for kinds not tied to a live
+// call, which are never chained and never canceled.
+func pmChainKey(m sigmsg.Msg) (callPend, bool) {
+	switch m.Kind {
+	case sigmsg.KindSetup, sigmsg.KindConnectDone:
+		return callPend{id: m.CallID, origin: true}, true
+	case sigmsg.KindSetupAck, sigmsg.KindSetupRej:
+		return callPend{id: m.CallID, origin: false}, true
+	}
+	return callPend{}, false
 }
 
 // peerLink is the per-neighbor reliability state.
 type peerLink struct {
 	addr atm.Addr
 
-	// Transmit side.
+	// Transmit side. byCall chains each call's pending establishment
+	// messages so teardown cancellation is O(own), not O(all unacked).
 	epoch   uint32
 	nextSeq uint32
 	unacked map[uint32]*pendingMsg
+	byCall  map[callPend]*pendingMsg
 
 	// Receive side: floor is the highest sequence below which everything
 	// was delivered; seen holds delivered sequences above it.
@@ -78,8 +117,9 @@ type peerLink struct {
 
 // reliability is the per-sighost reliable-channel state.
 type reliability struct {
-	cfg   RelConfig
-	links map[atm.Addr]*peerLink
+	cfg    RelConfig
+	links  map[atm.Addr]*peerLink
+	pmPool *pendingMsg
 
 	retransmits *obs.Counter // sighost.rel.retransmits
 	acks        *obs.Counter // sighost.rel.acks
@@ -88,6 +128,45 @@ type reliability struct {
 	exhausted   *obs.Counter // sighost.rel.exhausted
 	keepalives  *obs.Counter // sighost.rel.keepalives
 	peerDeaths  *obs.Counter // sighost.rel.peer_deaths
+	encodes     *obs.Counter // sighost.rel.encodes
+}
+
+// newPending pops a pooled struct (keeping its raw buffer) or builds a
+// fresh one with its fire callback pre-bound.
+func (r *reliability) newPending() *pendingMsg {
+	pm := r.pmPool
+	if pm != nil {
+		r.pmPool = pm.next
+		pm.next = nil
+		return pm
+	}
+	pm = &pendingMsg{}
+	pm.fire = func() { pm.fireNow() }
+	return pm
+}
+
+// dropPending removes pm from its link's tables and recycles it. Callers
+// must cancel pm's timer first (or be inside its fire path).
+func (r *reliability) dropPending(lk *peerLink, pm *pendingMsg) {
+	delete(lk.unacked, pm.m.Seq)
+	if pm.chained {
+		k, _ := pmChainKey(pm.m)
+		if pm.cprev != nil {
+			pm.cprev.cnext = pm.cnext
+		} else if pm.cnext == nil {
+			delete(lk.byCall, k)
+		} else {
+			lk.byCall[k] = pm.cnext
+		}
+		if pm.cnext != nil {
+			pm.cnext.cprev = pm.cprev
+		}
+		pm.chained, pm.cnext, pm.cprev = false, nil, nil
+	}
+	pm.sh, pm.lk, pm.cancel = nil, nil, nil
+	pm.attempts = 0
+	pm.next = r.pmPool
+	r.pmPool = pm
 }
 
 // EnableReliability turns the reliable peer channel on. Must be called
@@ -107,6 +186,7 @@ func (sh *Sighost) EnableReliability(cfg RelConfig) {
 		exhausted:   sh.Obs.Counter("sighost.rel.exhausted"),
 		keepalives:  sh.Obs.Counter("sighost.rel.keepalives"),
 		peerDeaths:  sh.Obs.Counter("sighost.rel.peer_deaths"),
+		encodes:     sh.Obs.Counter("sighost.rel.encodes"),
 	}
 }
 
@@ -118,6 +198,7 @@ func (r *reliability) link(sh *Sighost, peer atm.Addr) *peerLink {
 			addr:    peer,
 			epoch:   sh.epochGen + 1,
 			unacked: make(map[uint32]*pendingMsg),
+			byCall:  make(map[callPend]*pendingMsg),
 			seen:    make(map[uint32]bool),
 		}
 		r.links[peer] = lk
@@ -128,16 +209,29 @@ func (r *reliability) link(sh *Sighost, peer atm.Addr) *peerLink {
 // relSend transmits one peer message reliably: number it, remember it,
 // and arm the retransmission timer.
 func (sh *Sighost) relSend(dst atm.Addr, m sigmsg.Msg) error {
-	lk := sh.rel.link(sh, dst)
+	r := sh.rel
+	lk := r.link(sh, dst)
 	lk.nextSeq++
 	m.Seq = lk.nextSeq
 	m.Epoch = lk.epoch
-	pm := &pendingMsg{m: m}
+	pm := r.newPending()
+	pm.sh, pm.lk, pm.m = sh, lk, m
+	// Encode exactly once; every retransmission replays the cached frame.
+	pm.raw = m.AppendTo(pm.raw[:0])
+	r.encodes.Inc()
 	lk.unacked[m.Seq] = pm
+	if k, ok := pmChainKey(m); ok {
+		pm.chained = true
+		if head := lk.byCall[k]; head != nil {
+			head.cprev = pm
+			pm.cnext = head
+		}
+		lk.byCall[k] = pm
+	}
 	sh.emitMsg(EvPeerTx, string(dst), m)
-	if err := sh.env.SendPeer(dst, m); err != nil {
+	if err := sh.env.SendPeerRaw(dst, m, pm.raw); err != nil {
 		// No signaling path at all (no PVC): retrying cannot help.
-		delete(lk.unacked, m.Seq)
+		r.dropPending(lk, pm)
 		return err
 	}
 	sh.armRetransmit(lk, pm)
@@ -152,27 +246,37 @@ func (sh *Sighost) armRetransmit(lk *peerLink, pm *pendingMsg) {
 	if shift > sh.rel.cfg.MaxBackoffShift {
 		shift = sh.rel.cfg.MaxBackoffShift
 	}
-	pm.cancel = sh.env.After(sh.rel.cfg.RTO<<shift, func() {
-		if cur, live := lk.unacked[pm.m.Seq]; !live || cur != pm {
-			return // acked (or link reset) while the timer was in flight
-		}
-		if pm.attempts >= sh.rel.cfg.MaxRetries {
-			delete(lk.unacked, pm.m.Seq)
-			sh.rel.exhausted.Inc()
-			if sh.traceOn() {
-				sh.emit(obs.Event{Kind: EvRelExhaust, Peer: string(lk.addr), CallID: pm.m.CallID, Data: pm.m})
-			}
-			sh.retryExhausted(lk.addr, pm.m)
-			return
-		}
-		pm.attempts++
-		sh.rel.retransmits.Inc()
+	pm.cancel = sh.env.After(sh.rel.cfg.RTO<<shift, pm.fire)
+}
+
+// fireNow runs one retransmit deadline: give up when the budget is
+// spent, otherwise replay the cached frame and re-arm.
+func (pm *pendingMsg) fireNow() {
+	sh, lk := pm.sh, pm.lk
+	if sh == nil || lk == nil {
+		return // dropped while the timer was in flight
+	}
+	defer sh.jflush() // timer fires are dispatches of their own
+	if cur, live := lk.unacked[pm.m.Seq]; !live || cur != pm {
+		return // acked (or link reset) while the timer was in flight
+	}
+	if pm.attempts >= sh.rel.cfg.MaxRetries {
+		addr, m := lk.addr, pm.m
+		sh.rel.dropPending(lk, pm) // recycles pm: only the locals are safe now
+		sh.rel.exhausted.Inc()
 		if sh.traceOn() {
-			sh.emit(obs.Event{Kind: EvRelRetx, Peer: string(lk.addr), CallID: pm.m.CallID, Data: pm.m})
+			sh.emit(obs.Event{Kind: EvRelExhaust, Peer: string(addr), CallID: m.CallID, Data: m})
 		}
-		_ = sh.env.SendPeer(lk.addr, pm.m)
-		sh.armRetransmit(lk, pm)
-	})
+		sh.retryExhausted(addr, m)
+		return
+	}
+	pm.attempts++
+	sh.rel.retransmits.Inc()
+	if sh.traceOn() {
+		sh.emit(obs.Event{Kind: EvRelRetx, Peer: string(lk.addr), CallID: pm.m.CallID, Data: pm.m})
+	}
+	_ = sh.env.SendPeerRaw(lk.addr, pm.m, pm.raw)
+	sh.armRetransmit(lk, pm)
 }
 
 // retryExhausted gives up on a message: the call it belongs to cannot
@@ -205,23 +309,15 @@ func (sh *Sighost) cancelCallRetransmits(c *call) {
 	if lk == nil {
 		return
 	}
-	for seq, pm := range lk.unacked {
-		if pm.m.CallID != c.key.id {
-			continue
+	// The per-call chain holds exactly this call's pending establishment
+	// messages: cancellation is O(own), not O(all unacked). RELEASE is
+	// never chained, so a teardown's own farewell keeps retrying.
+	k := callPend{id: c.key.id, origin: c.key.origin}
+	for pm := lk.byCall[k]; pm != nil; pm = lk.byCall[k] {
+		if pm.cancel != nil {
+			pm.cancel()
 		}
-		var ours bool
-		switch pm.m.Kind {
-		case sigmsg.KindSetup, sigmsg.KindConnectDone:
-			ours = c.key.origin
-		case sigmsg.KindSetupAck, sigmsg.KindSetupRej:
-			ours = !c.key.origin
-		}
-		if ours {
-			if pm.cancel != nil {
-				pm.cancel()
-			}
-			delete(lk.unacked, seq)
-		}
+		sh.rel.dropPending(lk, pm)
 	}
 }
 
@@ -239,7 +335,7 @@ func (sh *Sighost) relRecv(from atm.Addr, m sigmsg.Msg) bool {
 				if pm.cancel != nil {
 					pm.cancel()
 				}
-				delete(lk.unacked, m.Seq)
+				sh.rel.dropPending(lk, pm)
 			}
 		}
 		return false
@@ -285,16 +381,13 @@ func (sh *Sighost) relRecv(from atm.Addr, m sigmsg.Msg) bool {
 
 // linkActive reports whether the peer link carries live state worth
 // probing: calls through the peer or unacknowledged messages to it.
+// O(1) via the per-peer call index.
 func (sh *Sighost) linkActive(lk *peerLink) bool {
 	if len(lk.unacked) > 0 {
 		return true
 	}
-	for key := range sh.calls {
-		if key.peer == lk.addr {
-			return true
-		}
-	}
-	return false
+	pc := sh.byPeer[lk.addr]
+	return pc != nil && pc.n > 0
 }
 
 // ensureKeepalive arms the probe chain if keepalives are configured and
@@ -333,6 +426,7 @@ func (sh *Sighost) armKeepalive(lk *peerLink) {
 // and cascades into per-call teardown, exactly as §7 prescribes for
 // endpoint death — applied here to the signaling entity itself.
 func (sh *Sighost) peerDead(lk *peerLink) {
+	defer sh.jflush() // the cascade's records land in one batch
 	sh.rel.peerDeaths.Inc()
 	if sh.traceOn() {
 		sh.emit(obs.Event{Kind: EvPeerDead, Peer: string(lk.addr)})
@@ -341,11 +435,18 @@ func (sh *Sighost) peerDead(lk *peerLink) {
 		if pm.cancel != nil {
 			pm.cancel()
 		}
+		pm.sh, pm.lk = nil, nil
 	}
+	// Discard rather than pool: feeding the pool in map-iteration order
+	// would make subsequent struct reuse nondeterministic.
 	lk.unacked = make(map[uint32]*pendingMsg)
-	var doomed []*call
-	for key, c := range sh.calls {
-		if key.peer == lk.addr {
+	lk.byCall = make(map[callPend]*pendingMsg)
+	// The per-peer chain holds exactly this neighbor's calls in creation
+	// order: the cascade is O(affected) and deterministic, where the old
+	// full-table map walk was neither.
+	doomed := sh.scratch[:0]
+	if pc := sh.byPeer[lk.addr]; pc != nil {
+		for c := pc.head; c != nil; c = c.peerNext {
 			doomed = append(doomed, c)
 		}
 	}
@@ -356,4 +457,5 @@ func (sh *Sighost) peerDead(lk *peerLink) {
 		}
 		sh.teardown(c, "peer signaling entity dead", false)
 	}
+	sh.scratch = doomed[:0]
 }

@@ -141,6 +141,16 @@ func (e *fakeEnv) SendPeer(dst atm.Addr, m sigmsg.Msg) error {
 	return nil
 }
 
+// SendPeerRaw checks the cached frame is a faithful encoding of m, then
+// delivers through the normal path so every existing assertion on sent
+// records covers retransmissions too.
+func (e *fakeEnv) SendPeerRaw(dst atm.Addr, m sigmsg.Msg, raw []byte) error {
+	if dec, err := sigmsg.Decode(raw); err != nil || dec != m {
+		e.w.t.Fatalf("SendPeerRaw: cached frame mismatch: %+v vs %+v (err %v)", dec, m, err)
+	}
+	return e.SendPeer(dst, m)
+}
+
 func (e *fakeEnv) Dial(ip memnet.IPAddr, port uint16, cb func(Conn, error)) {
 	c := &fakeConn{}
 	e.conns = append(e.conns, c)
@@ -632,17 +642,49 @@ func TestJournalCompaction(t *testing.T) {
 		shA.HandleKernel(envA.ip, kern.KMsg{Kind: kern.MsgClose, VCI: cv})
 		w.pump()
 	}
-	if len(shA.jr.recs) > 16 {
-		t.Errorf("journal grew past its bound: %d records", len(shA.jr.recs))
+	if shA.jr.n > 16 {
+		t.Errorf("journal grew past its bound: %d records", shA.jr.n)
 	}
-	if shA.Obs.Snapshot().Count("sighost.journal.compactions") == 0 {
+	snap := shA.Obs.Snapshot()
+	if snap.Count("sighost.journal.compactions") == 0 {
 		t.Error("journal never compacted")
+	}
+	// Records land batched, at most one durable append per dispatch.
+	if a, b := snap.Count("sighost.journal.appends"), snap.Count("sighost.journal.batches"); b == 0 || b > a {
+		t.Errorf("appends=%d batches=%d: batching not in effect", a, b)
 	}
 	// After 20 clean calls the compacted log holds only the export.
 	shA.compactJournal()
-	for _, r := range shA.jr.recs {
+	for _, r := range shA.jr.records() {
 		if r.op != jExport {
 			t.Errorf("dead call record op=%d survived compaction", r.op)
 		}
+	}
+}
+
+// TestRetransmitEncodeOnce drops every frame and asserts the codec runs
+// exactly once per distinct reliable message, no matter how many times
+// the retry machinery resends each one.
+func TestRetransmitEncodeOnce(t *testing.T) {
+	rel := RelConfig{RTO: 100 * time.Millisecond, MaxBackoffShift: 2, MaxRetries: 3}
+	w, shA, _, envA, _ := pair(t, time.Minute, &rel, false)
+	w.drop = true // every peer message vanishes, so everything retries
+
+	shA.HandleApp(&fakeConn{}, envA.ip, sigmsg.Msg{Kind: sigmsg.KindConnectReq, Dest: "b.rt", Service: "echo", NotifyPort: 7000})
+	w.advance(10 * time.Second)
+
+	distinct := make(map[uint32]bool)
+	total := 0
+	for _, s := range envA.sent {
+		if s.m.Seq != 0 { // sequenced = went through the reliable path
+			distinct[s.m.Seq] = true
+			total++
+		}
+	}
+	if total <= len(distinct) {
+		t.Fatalf("scenario produced no retransmissions (%d sends, %d distinct)", total, len(distinct))
+	}
+	if got := shA.Obs.Snapshot().Count("sighost.rel.encodes"); got != uint64(len(distinct)) {
+		t.Errorf("encodes = %d, want %d (one per distinct message across %d sends)", got, len(distinct), total)
 	}
 }

@@ -140,7 +140,9 @@ func (c *RealClient) rpcOnce(m sigmsg.Msg, attempt int) (sigmsg.Msg, error) {
 		return sigmsg.Msg{}, err
 	}
 	defer conn.Close()
-	if err := WriteFrame(conn, m.Encode()); err != nil {
+	// Stack scratch keeps the encode off the heap for typical messages.
+	var sbuf [128]byte
+	if err := WriteFrame(conn, m.AppendTo(sbuf[:0])); err != nil {
 		return sigmsg.Msg{}, err
 	}
 	conn.SetReadDeadline(time.Now().Add(c.replyTimeout()))
@@ -210,7 +212,9 @@ func AwaitServiceRequest(l net.Listener) (*RealRequest, error) {
 // Accept accepts the call and returns the granted VCI and QoS.
 func (r *RealRequest) Accept(modifiedQoS string) (atm.VCI, string, error) {
 	defer r.conn.Close()
-	if err := WriteFrame(r.conn, sigmsg.Msg{Kind: sigmsg.KindAcceptConn, Cookie: r.Cookie, QoS: modifiedQoS}.Encode()); err != nil {
+	accept := sigmsg.Msg{Kind: sigmsg.KindAcceptConn, Cookie: r.Cookie, QoS: modifiedQoS}
+	var sbuf [128]byte
+	if err := WriteFrame(r.conn, accept.AppendTo(sbuf[:0])); err != nil {
 		return 0, "", err
 	}
 	wait := r.ReplyTimeout
@@ -236,7 +240,9 @@ func (r *RealRequest) Accept(modifiedQoS string) (atm.VCI, string, error) {
 // Reject declines the call.
 func (r *RealRequest) Reject(reason string) error {
 	defer r.conn.Close()
-	return WriteFrame(r.conn, sigmsg.Msg{Kind: sigmsg.KindRejectConn, Cookie: r.Cookie, Reason: reason}.Encode())
+	reject := sigmsg.Msg{Kind: sigmsg.KindRejectConn, Cookie: r.Cookie, Reason: reason}
+	var sbuf [128]byte
+	return WriteFrame(r.conn, reject.AppendTo(sbuf[:0]))
 }
 
 // RealConnection is an established client-side circuit.

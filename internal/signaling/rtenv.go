@@ -35,8 +35,7 @@ type RealHost struct {
 	started time.Time
 
 	mu     sync.Mutex // guards vcis and closed
-	vcis   map[atm.VCI]bool
-	next   atm.VCI
+	vcis   *atm.VCIAlloc
 	book   *qos.Book
 	closed bool
 
@@ -95,8 +94,7 @@ func StartReal(addr atm.Addr, listenAddr string) (*RealHost, error) {
 		inbox:   make(chan func(), 256),
 		quit:    make(chan struct{}),
 		started: time.Now(),
-		vcis:    make(map[atm.VCI]bool),
-		next:    32,
+		vcis:    atm.NewVCIAlloc(32),
 		book:    qos.NewBook(622_000), // one OC-12's worth of local capacity
 
 		DialTimeout:  5 * time.Second,
@@ -179,16 +177,18 @@ func (h *RealHost) serveConn(conn net.Conn) {
 		defer h.wg.Done()
 		defer conn.Close()
 		c := &realConn{c: conn}
+		var dec sigmsg.Decoder
+		var m sigmsg.Msg
 		for {
 			raw, err := ReadFrame(conn)
 			if err != nil {
 				return
 			}
-			m, err := sigmsg.Decode(raw)
-			if err != nil {
+			if err := dec.DecodeInto(&m, raw); err != nil {
 				continue
 			}
-			h.post(func() { h.SH.HandleApp(c, from, m) })
+			msg := m
+			h.post(func() { h.SH.HandleApp(c, from, msg) })
 		}
 	}()
 }
@@ -207,16 +207,20 @@ func ipOf(a net.Addr) memnet.IPAddr {
 	return memnet.IP4(v4[0], v4[1], v4[2], v4[3])
 }
 
-// realConn adapts a net.Conn to the signaling Conn interface.
+// realConn adapts a net.Conn to the signaling Conn interface. The
+// encode buffer is reused under the send mutex; WriteFrame finishes
+// with it before Send returns.
 type realConn struct {
-	c  net.Conn
-	mu sync.Mutex
+	c   net.Conn
+	mu  sync.Mutex
+	buf []byte
 }
 
 func (c *realConn) Send(m sigmsg.Msg) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return WriteFrame(c.c, m.Encode())
+	c.buf = m.AppendTo(c.buf[:0])
+	return WriteFrame(c.c, c.buf)
 }
 
 func (c *realConn) Close() { c.c.Close() }
@@ -245,6 +249,12 @@ func (e *realEnv) SendPeer(dst atm.Addr, m sigmsg.Msg) error {
 	}
 	e.h.post(func() { e.h.SH.HandlePeer(dst, m) })
 	return nil
+}
+
+// SendPeerRaw falls back to SendPeer: loopback delivery carries the
+// decoded message, so the cached frame is unused here.
+func (e *realEnv) SendPeerRaw(dst atm.Addr, m sigmsg.Msg, raw []byte) error {
+	return e.SendPeer(dst, m)
 }
 
 // Dial connects to an application's notify port over TCP, retrying
@@ -281,16 +291,18 @@ func (e *realEnv) Dial(ip memnet.IPAddr, port uint16, cb func(Conn, error)) {
 		}
 		c := &realConn{c: conn}
 		h.post(func() { cb(c, nil) })
+		var dec sigmsg.Decoder
+		var m sigmsg.Msg
 		for {
 			raw, err := ReadFrame(conn)
 			if err != nil {
 				return
 			}
-			m, derr := sigmsg.Decode(raw)
-			if derr != nil {
+			if derr := dec.DecodeInto(&m, raw); derr != nil {
 				continue
 			}
-			h.post(func() { h.SH.HandleApp(c, ip, m) })
+			msg := m
+			h.post(func() { h.SH.HandleApp(c, ip, msg) })
 		}
 	}()
 }
@@ -305,25 +317,17 @@ func (e *realEnv) SetupVC(dst atm.Addr, q qos.QoS) (*VCHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < int(atm.MaxVCI); i++ {
-		v := h.next
-		h.next++
-		if h.next > atm.MaxVCI {
-			h.next = 32
-		}
-		if !h.vcis[v] {
-			h.vcis[v] = true
-			return &VCHandle{
-				SrcVCI: v,
-				DstVCI: v,
-				Release: func() {
-					h.mu.Lock()
-					delete(h.vcis, v)
-					h.book.Release(key)
-					h.mu.Unlock()
-				},
-			}, nil
-		}
+	if v := h.vcis.Alloc(); v != 0 {
+		return &VCHandle{
+			SrcVCI: v,
+			DstVCI: v,
+			Release: func() {
+				h.mu.Lock()
+				h.vcis.Free(v)
+				h.book.Release(key)
+				h.mu.Unlock()
+			},
+		}, nil
 	}
 	h.book.Release(key)
 	return nil, errors.New("signaling: VCI pool exhausted")

@@ -66,6 +66,12 @@ type Env interface {
 	// SendPeer delivers a message to the signaling entity at dst over
 	// the signaling PVC mesh. dst may equal Addr (local call loopback).
 	SendPeer(dst atm.Addr, m sigmsg.Msg) error
+	// SendPeerRaw delivers an already-encoded frame: raw is m's wire
+	// encoding, cached by the reliability layer so retransmissions never
+	// re-encode. m is consulted only for loopback delivery and trace
+	// identity. raw is owned by the caller again once the call returns;
+	// implementations that defer the send must copy it.
+	SendPeerRaw(dst atm.Addr, m sigmsg.Msg, raw []byte) error
 	// Dial opens an IPC connection to an application's notify port,
 	// delivering the result asynchronously in actor context. Messages
 	// arriving on the resulting Conn are fed to HandleApp.
@@ -179,29 +185,79 @@ type call struct {
 	tcPeer   trace.Context
 	tcAccept trace.Context
 	tcBind   trace.Context
+
+	// gen counts incarnations of this (pooled) struct. Asynchronous
+	// callbacks capture the pointer AND the gen at launch; a mismatch at
+	// delivery means the struct was recycled for a different call.
+	gen uint32
+
+	// Intrusive list links — the indexed call state. allNext/allPrev
+	// thread every live call in creation order (deterministic journal
+	// compaction); peerNext/peerPrev thread the calls sharing a peer
+	// signaling entity (keepalive death sweep, link liveness);
+	// ownNext/ownPrev thread outstanding origin requests by requesting
+	// process (the §7.2 exit cascade). Freed structs reuse allNext as
+	// the pool link.
+	allNext, allPrev   *call
+	peerNext, peerPrev *call
+	ownNext, ownPrev   *call
+	ownLinked          bool
 }
 
-// outRequest is an outgoing_requests entry (client requests awaiting a
-// reply from a server), keyed by the client cookie.
-type outRequest struct {
-	c *call
+// ownerKey identifies the process behind outstanding origin requests:
+// kernelExit walks exactly this process's chain instead of scanning the
+// whole outgoing_requests table.
+type ownerKey struct {
+	ip  memnet.IPAddr
+	pid uint32
 }
 
-// inRequest is an incoming_requests entry (calls awaiting acceptance or
-// rejection by the server), keyed by the server cookie.
-type inRequest struct {
-	c *call
+// peerCalls heads the per-peer chain of live calls, in creation order.
+type peerCalls struct {
+	head, tail *call
+	n          int
 }
 
 // bindWait is a wait_for_bind entry: a VCI handed to an application
 // that has not yet bound or connected, guarded by the per-VCI timer.
 // deadline is the timer's absolute expiry; crash-recovery re-arms the
-// timer with only the remaining allowance.
+// timer with only the remaining allowance. Entries are pooled; fire is
+// bound once per struct so re-arming allocates nothing.
 type bindWait struct {
+	sh       *Sighost
 	c        *call
+	gen      uint32 // c.gen at arm time
+	vci      atm.VCI
 	cancel   CancelFunc
 	deadline time.Duration
+	next     *bindWait // pool link
+	fire     func()
 }
+
+// dialCtx carries one outstanding Env.Dial across its asynchronous
+// callback without a per-dial closure allocation: the cb func is bound
+// once per (pooled) struct. Payload fields the callback must be able to
+// read after the call is gone (the VCI hand-off, failure notices) are
+// copied in by value.
+type dialCtx struct {
+	sh     *Sighost
+	kind   uint8
+	c      *call
+	gen    uint32
+	cookie uint16
+	vci    atm.VCI
+	qosStr string
+	reason string
+	tc     trace.Context
+	next   *dialCtx // pool link
+	cb     func(Conn, error)
+}
+
+const (
+	dcServer    uint8 = iota + 1 // peerSetup's dial to the server's notify port
+	dcClientVCI                  // peerSetupAck's VCI hand-off to the client
+	dcNotify                     // notifyClientFailure's CONN_FAILED delivery
+)
 
 // Sighost is the signaling entity.
 type Sighost struct {
@@ -210,8 +266,8 @@ type Sighost struct {
 
 	// The five lists of §7.3.
 	services map[string]*serviceEntry // service_list
-	outgoing map[uint16]*outRequest   // outgoing_requests
-	incoming map[uint16]*inRequest    // incoming_requests
+	outgoing map[uint16]*call         // outgoing_requests
+	incoming map[uint16]*call         // incoming_requests
 	waitBind map[atm.VCI]*bindWait    // wait_for_bind
 	vciMap   map[atm.VCI]*call        // VCI_mapping
 
@@ -220,6 +276,17 @@ type Sighost struct {
 
 	calls map[callKey]*call
 	pvcs  map[atm.VCI]bool
+
+	// Indexed call state: heads of the intrusive lists threading calls
+	// (see the link fields on call), plus the object pools that make the
+	// steady-state setup→bind→teardown cycle allocation-free.
+	allHead, allTail *call
+	byPeer           map[atm.Addr]*peerCalls
+	byOwner          map[ownerKey]*call
+	callPool         *call
+	bwPool           *bindWait
+	dcPool           *dialCtx
+	scratch          []*call // reusable cascade collection buffer
 
 	nextCallID uint32
 
@@ -318,13 +385,15 @@ func NewWithObs(env Env, cm CostModel, reg *obs.Registry) *Sighost {
 		env:      env,
 		cm:       cm,
 		services: make(map[string]*serviceEntry),
-		outgoing: make(map[uint16]*outRequest),
-		incoming: make(map[uint16]*inRequest),
+		outgoing: make(map[uint16]*call),
+		incoming: make(map[uint16]*call),
 		waitBind: make(map[atm.VCI]*bindWait),
 		vciMap:   make(map[atm.VCI]*call),
 		cookies:  make(map[atm.VCI]uint16),
 		calls:    make(map[callKey]*call),
 		pvcs:     make(map[atm.VCI]bool),
+		byPeer:   make(map[atm.Addr]*peerCalls),
+		byOwner:  make(map[ownerKey]*call),
 		Obs:      reg,
 		tr:       reg.Tracer("sighost"),
 	}
@@ -449,6 +518,217 @@ func (sh *Sighost) newCookie() uint16 {
 	}
 }
 
+// newCall takes a call struct from the pool (or allocates the pool's
+// first). The incarnation counter survives recycling so stale async
+// callbacks can detect reuse.
+func (sh *Sighost) newCall() *call {
+	if c := sh.callPool; c != nil {
+		sh.callPool = c.allNext
+		gen := c.gen
+		*c = call{}
+		c.gen = gen
+		return c
+	}
+	return &call{gen: 1}
+}
+
+// releaseCall returns a fully unlinked call to the pool. The gen bump
+// invalidates every outstanding callback that captured this struct.
+func (sh *Sighost) releaseCall(c *call) {
+	c.gen++
+	c.vc = nil
+	c.serverConn = nil
+	c.allNext = sh.callPool
+	sh.callPool = c
+}
+
+// linkCall registers a new call in the calls table and threads it on the
+// all-calls and per-peer lists.
+func (sh *Sighost) linkCall(c *call) {
+	sh.calls[c.key] = c
+	c.allPrev = sh.allTail
+	if sh.allTail != nil {
+		sh.allTail.allNext = c
+	} else {
+		sh.allHead = c
+	}
+	sh.allTail = c
+	pc := sh.byPeer[c.key.peer]
+	if pc == nil {
+		pc = &peerCalls{}
+		sh.byPeer[c.key.peer] = pc
+	}
+	c.peerPrev = pc.tail
+	if pc.tail != nil {
+		pc.tail.peerNext = c
+	} else {
+		pc.head = c
+	}
+	pc.tail = c
+	pc.n++
+}
+
+// unlinkCall removes a call from the calls table and both lists. Safe to
+// call twice (the table check makes the second a no-op).
+func (sh *Sighost) unlinkCall(c *call) {
+	if sh.calls[c.key] != c {
+		return
+	}
+	delete(sh.calls, c.key)
+	if c.allPrev != nil {
+		c.allPrev.allNext = c.allNext
+	} else {
+		sh.allHead = c.allNext
+	}
+	if c.allNext != nil {
+		c.allNext.allPrev = c.allPrev
+	} else {
+		sh.allTail = c.allPrev
+	}
+	c.allNext, c.allPrev = nil, nil
+	pc := sh.byPeer[c.key.peer]
+	if c.peerPrev != nil {
+		c.peerPrev.peerNext = c.peerNext
+	} else {
+		pc.head = c.peerNext
+	}
+	if c.peerNext != nil {
+		c.peerNext.peerPrev = c.peerPrev
+	} else {
+		pc.tail = c.peerPrev
+	}
+	c.peerNext, c.peerPrev = nil, nil
+	pc.n--
+}
+
+// linkOwner threads an outstanding origin request on its process's
+// chain; mirrors membership in the outgoing_requests table.
+func (sh *Sighost) linkOwner(c *call) {
+	if c.ownerPID == 0 {
+		return
+	}
+	k := ownerKey{ip: c.endIP, pid: c.ownerPID}
+	if head := sh.byOwner[k]; head != nil {
+		head.ownPrev = c
+		c.ownNext = head
+	}
+	sh.byOwner[k] = c
+	c.ownLinked = true
+}
+
+func (sh *Sighost) unlinkOwner(c *call) {
+	if !c.ownLinked {
+		return
+	}
+	c.ownLinked = false
+	if c.ownPrev != nil {
+		c.ownPrev.ownNext = c.ownNext
+	} else {
+		k := ownerKey{ip: c.endIP, pid: c.ownerPID}
+		if c.ownNext != nil {
+			sh.byOwner[k] = c.ownNext
+		} else {
+			delete(sh.byOwner, k)
+		}
+	}
+	if c.ownNext != nil {
+		c.ownNext.ownPrev = c.ownPrev
+	}
+	c.ownNext, c.ownPrev = nil, nil
+}
+
+// dropOutgoing removes c from outgoing_requests (and its owner chain) if
+// it is still there. The identity check guards against a later call that
+// was handed the same cookie after c left the table.
+func (sh *Sighost) dropOutgoing(c *call) {
+	if sh.outgoing[c.cookie] == c {
+		delete(sh.outgoing, c.cookie)
+		sh.unlinkOwner(c)
+	}
+}
+
+// dropIncomingEntry removes c from incoming_requests if still there.
+func (sh *Sighost) dropIncomingEntry(c *call) {
+	if sh.incoming[c.cookie] == c {
+		delete(sh.incoming, c.cookie)
+	}
+}
+
+// newDialCtx takes a dial context from the pool; its cb closure is bound
+// exactly once, on first allocation.
+func (sh *Sighost) newDialCtx() *dialCtx {
+	dc := sh.dcPool
+	if dc == nil {
+		dc = &dialCtx{sh: sh}
+		dc.cb = func(conn Conn, err error) { dc.run(conn, err) }
+	} else {
+		sh.dcPool = dc.next
+	}
+	return dc
+}
+
+// run dispatches one completed dial. It copies its state out and
+// recycles the struct FIRST: the handlers below may tear calls down and
+// launch new dials, and with a synchronous Env.Dial those re-enter the
+// pool (and possibly this very struct) before run returns.
+func (dc *dialCtx) run(conn Conn, err error) {
+	sh := dc.sh
+	defer sh.jflush() // dial completions are dispatches of their own
+	kind, c, gen := dc.kind, dc.c, dc.gen
+	cookie, vci, qosStr, reason, tc := dc.cookie, dc.vci, dc.qosStr, dc.reason, dc.tc
+	dc.c, dc.qosStr, dc.reason = nil, "", ""
+	dc.next = sh.dcPool
+	sh.dcPool = dc
+
+	switch kind {
+	case dcServer:
+		// The call may have been released (or its struct recycled) while
+		// the dial was in flight.
+		cur, live := sh.calls[c.key]
+		if !live || cur != c || c.gen != gen || c.state != callWaitServer {
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		if err != nil {
+			sh.sendPeer(c.key.peer, sigmsg.Msg{
+				Kind: sigmsg.KindSetupRej, CallID: c.key.id, Reason: "server unreachable",
+				TraceID: c.tcPeer.Trace, SpanID: c.tcPeer.Span,
+			})
+			sh.TraceC.EndSpan(c.tcAccept)
+			sh.dropIncoming(c)
+			return
+		}
+		c.serverConn = conn
+		sh.sendApp(conn, sigmsg.Msg{
+			Kind: sigmsg.KindIncomingConn, Service: c.service, Cookie: c.cookie,
+			QoS: c.qosStr, Comment: c.comment,
+		})
+	case dcClientVCI:
+		if err != nil {
+			// Client vanished before establishment completed: tear the
+			// call down end to end.
+			if cur, live := sh.calls[c.key]; live && cur == c && c.gen == gen {
+				sh.ct.callsFailed.Inc()
+				sh.teardown(c, "client unreachable", true)
+			}
+			return
+		}
+		sh.sendApp(conn, sigmsg.Msg{
+			Kind: sigmsg.KindVCIForConn, Cookie: cookie, VCI: vci, QoS: qosStr,
+			TraceID: tc.Trace, SpanID: tc.Span,
+		})
+		conn.Close()
+	case dcNotify:
+		if err != nil {
+			return
+		}
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindConnFailed, Cookie: cookie, Reason: reason})
+		conn.Close()
+	}
+}
+
 // sendApp replies to an application, charging the kernel-to-application
 // context switch.
 func (sh *Sighost) sendApp(conn Conn, m sigmsg.Msg) {
@@ -460,6 +740,7 @@ func (sh *Sighost) sendApp(conn Conn, m sigmsg.Msg) {
 // HandleApp processes one message from an application IPC connection.
 // from is the application machine's IP address (getpeername).
 func (sh *Sighost) HandleApp(conn Conn, from memnet.IPAddr, m sigmsg.Msg) {
+	defer sh.jflush() // one durable append per dispatch
 	if sh.down {
 		sh.Obs.Counter("sighost.dropped_while_down").Inc()
 		return
@@ -519,20 +800,20 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 	sh.ct.callsRequested.Inc()
 	sh.nextCallID++
 	cookie := sh.newCookie()
-	c := &call{
-		key:      callKey{peer: m.Dest, id: sh.nextCallID, origin: true},
-		state:    callSetupSent,
-		service:  m.Service,
-		qosStr:   m.QoS,
-		comment:  m.Comment,
-		endIP:    from,
-		endPort:  m.NotifyPort,
-		ownerPID: m.PID,
-		cookie:   cookie,
-		reqAt:    sh.env.Now(),
-	}
-	sh.calls[c.key] = c
-	sh.outgoing[cookie] = &outRequest{c: c}
+	c := sh.newCall()
+	c.key = callKey{peer: m.Dest, id: sh.nextCallID, origin: true}
+	c.state = callSetupSent
+	c.service = m.Service
+	c.qosStr = m.QoS
+	c.comment = m.Comment
+	c.endIP = from
+	c.endPort = m.NotifyPort
+	c.ownerPID = m.PID
+	c.cookie = cookie
+	c.reqAt = sh.env.Now()
+	sh.linkCall(c)
+	sh.outgoing[cookie] = c
+	sh.linkOwner(c)
 	sh.jlog(jrec{
 		op: jOpen, key: c.key, service: c.service, qos: c.qosStr,
 		ip: c.endIP, port: c.endPort, cookie: cookie,
@@ -569,11 +850,12 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 		// No signaling path to the destination: fail the call now.
 		sh.ct.callsFailed.Inc()
 		sh.notifyClientFailure(c, "destination unreachable: "+err.Error())
-		delete(sh.outgoing, cookie)
-		delete(sh.calls, c.key)
+		sh.dropOutgoing(c)
+		sh.unlinkCall(c)
 		sh.jlog(jrec{op: jEnd, key: c.key})
 		c.state = callReleased
 		sh.TraceC.FinishTrace(c.tcRoot, trace.StatusFailed)
+		sh.releaseCall(c)
 		return
 	}
 	c.setupSentAt = sh.env.Now()
@@ -581,31 +863,34 @@ func (sh *Sighost) handleConnectReq(conn Conn, from memnet.IPAddr, m sigmsg.Msg)
 }
 
 func (sh *Sighost) handleCancelReq(conn Conn, m sigmsg.Msg) {
-	req, ok := sh.outgoing[m.Cookie]
+	c, ok := sh.outgoing[m.Cookie]
 	if !ok {
 		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unknown request cookie"})
 		return
 	}
 	sh.ct.callsCanceled.Inc()
-	sh.teardown(req.c, "canceled by client", true)
+	sh.teardown(c, "canceled by client", true)
 	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindCancelReq, Cookie: m.Cookie})
 }
 
 // handleAcceptConn completes the server's half of Figure 3.
 func (sh *Sighost) handleAcceptConn(conn Conn, m sigmsg.Msg) {
-	req, ok := sh.incoming[m.Cookie]
+	c, ok := sh.incoming[m.Cookie]
 	if !ok {
 		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unknown incoming cookie"})
 		return
 	}
-	c := req.c
 	// Negotiation: the server may modify the QoS, but the result never
 	// exceeds the client's request. Unparseable descriptors pass
 	// through opaque, preserving the "uninterpreted string" contract.
+	// An offer identical to the request negotiates to itself, so the
+	// common accept-as-is path skips the parse (and the String alloc).
 	granted := m.QoS
-	if reqQ, err1 := qos.Parse(c.qosStr); err1 == nil {
-		if offQ, err2 := qos.Parse(m.QoS); err2 == nil {
-			granted = qos.Negotiate(reqQ, offQ).String()
+	if m.QoS != c.qosStr {
+		if reqQ, err1 := qos.Parse(c.qosStr); err1 == nil {
+			if offQ, err2 := qos.Parse(m.QoS); err2 == nil {
+				granted = qos.Negotiate(reqQ, offQ).String()
+			}
 		}
 	}
 	c.qosStr = granted
@@ -617,12 +902,11 @@ func (sh *Sighost) handleAcceptConn(conn Conn, m sigmsg.Msg) {
 }
 
 func (sh *Sighost) handleRejectConn(conn Conn, m sigmsg.Msg) {
-	req, ok := sh.incoming[m.Cookie]
+	c, ok := sh.incoming[m.Cookie]
 	if !ok {
 		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unknown incoming cookie"})
 		return
 	}
-	c := req.c
 	reason := m.Reason
 	if reason == "" {
 		reason = "rejected by server"
@@ -638,14 +922,15 @@ func (sh *Sighost) handleRejectConn(conn Conn, m sigmsg.Msg) {
 
 // dropIncoming removes destination-side establishment state.
 func (sh *Sighost) dropIncoming(c *call) {
-	delete(sh.incoming, c.cookie)
-	delete(sh.calls, c.key)
+	sh.dropIncomingEntry(c)
+	sh.unlinkCall(c)
 	sh.jlog(jrec{op: jEnd, key: c.key})
 	if c.serverConn != nil {
 		c.serverConn.Close()
 		c.serverConn = nil
 	}
 	c.state = callReleased
+	sh.releaseCall(c)
 }
 
 func (sh *Sighost) sendPeer(dst atm.Addr, m sigmsg.Msg) error {
@@ -665,6 +950,7 @@ func (sh *Sighost) sendPeer(dst atm.Addr, m sigmsg.Msg) error {
 
 // HandlePeer processes one message from the signaling entity at from.
 func (sh *Sighost) HandlePeer(from atm.Addr, m sigmsg.Msg) {
+	defer sh.jflush() // one durable append per dispatch
 	if sh.down {
 		sh.Obs.Counter("sighost.dropped_while_down").Inc()
 		return
@@ -712,49 +998,28 @@ func (sh *Sighost) peerSetup(from atm.Addr, m sigmsg.Msg) {
 		sh.env.Charge(sh.cm.CallLogging)
 	}
 	cookie := sh.newCookie()
-	c := &call{
-		key:     callKey{peer: from, id: m.CallID, origin: false},
-		state:   callWaitServer,
-		service: m.Service,
-		qosStr:  m.QoS,
-		comment: m.Comment,
-		endIP:   svc.ip,
-		endPort: svc.port,
-		cookie:  cookie,
-		reqAt:   sh.env.Now(),
-	}
+	c := sh.newCall()
+	c.key = callKey{peer: from, id: m.CallID, origin: false}
+	c.state = callWaitServer
+	c.service = m.Service
+	c.qosStr = m.QoS
+	c.comment = m.Comment
+	c.endIP = svc.ip
+	c.endPort = svc.port
+	c.cookie = cookie
+	c.reqAt = sh.env.Now()
 	c.tcPeer = wire
 	c.tcAccept = sh.TraceC.StartSpanAt(wire, "sighost", "dest.accept", c.reqAt)
-	sh.calls[c.key] = c
-	sh.incoming[cookie] = &inRequest{c: c}
+	sh.linkCall(c)
+	sh.incoming[cookie] = c
 	sh.jlog(jrec{
 		op: jOpen, key: c.key, service: c.service, qos: c.qosStr,
 		ip: c.endIP, port: c.endPort, cookie: cookie,
 	})
-	sh.env.Dial(svc.ip, svc.port, func(conn Conn, err error) {
-		// The call may have been released while the dial was in flight.
-		cur, live := sh.calls[c.key]
-		if !live || cur != c || c.state != callWaitServer {
-			if err == nil {
-				conn.Close()
-			}
-			return
-		}
-		if err != nil {
-			sh.sendPeer(from, sigmsg.Msg{
-				Kind: sigmsg.KindSetupRej, CallID: m.CallID, Reason: "server unreachable",
-				TraceID: c.tcPeer.Trace, SpanID: c.tcPeer.Span,
-			})
-			sh.TraceC.EndSpan(c.tcAccept)
-			sh.dropIncoming(c)
-			return
-		}
-		c.serverConn = conn
-		sh.sendApp(conn, sigmsg.Msg{
-			Kind: sigmsg.KindIncomingConn, Service: m.Service, Cookie: cookie,
-			QoS: m.QoS, Comment: m.Comment,
-		})
-	})
+	dc := sh.newDialCtx()
+	dc.kind = dcServer
+	dc.c, dc.gen = c, c.gen
+	sh.env.Dial(svc.ip, svc.port, dc.cb)
 }
 
 // peerSetupAck is the origin side after the server accepted: program
@@ -781,10 +1046,12 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 		sh.ct.callsFailed.Inc()
 		sh.sendPeer(from, sigmsg.Msg{Kind: sigmsg.KindRelease, CallID: m.CallID, Reason: "admission failed", FromOrigin: true})
 		sh.notifyClientFailure(c, "network admission failed: "+err.Error())
-		delete(sh.outgoing, c.cookie)
-		delete(sh.calls, c.key)
+		sh.dropOutgoing(c)
+		sh.unlinkCall(c)
 		sh.jlog(jrec{op: jEnd, key: c.key})
+		c.state = callReleased
 		sh.TraceC.FinishTrace(c.tcRoot, trace.StatusFailed)
+		sh.releaseCall(c)
 		return
 	}
 	sh.env.Charge(vc.Cost)
@@ -800,26 +1067,15 @@ func (sh *Sighost) peerSetupAck(from atm.Addr, m sigmsg.Msg) {
 		Kind: sigmsg.KindConnectDone, CallID: m.CallID, VCI: vc.DstVCI, QoS: c.qosStr,
 		TraceID: c.tcRoot.Trace, SpanID: c.tcRoot.Span,
 	})
-	// Hand the VCI to the client on its notify port.
-	cookie := c.cookie
-	sh.env.Dial(c.endIP, c.endPort, func(conn Conn, err error) {
-		if err != nil {
-			// Client vanished before establishment completed: tear the
-			// call down end to end.
-			if cur, live := sh.calls[c.key]; live && cur == c {
-				sh.ct.callsFailed.Inc()
-				sh.teardown(c, "client unreachable", true)
-			}
-			return
-		}
-		sh.sendApp(conn, sigmsg.Msg{
-			Kind: sigmsg.KindVCIForConn, Cookie: cookie, VCI: c.localVCI, QoS: c.qosStr,
-			TraceID: c.tcRoot.Trace, SpanID: c.tcRoot.Span,
-		})
-		conn.Close()
-	})
+	// Hand the VCI to the client on its notify port. The payload rides
+	// the dial context by value so delivery needs nothing from the call.
+	dc := sh.newDialCtx()
+	dc.kind = dcClientVCI
+	dc.c, dc.gen = c, c.gen
+	dc.cookie, dc.vci, dc.qosStr, dc.tc = c.cookie, c.localVCI, c.qosStr, c.tcRoot
+	sh.env.Dial(c.endIP, c.endPort, dc.cb)
 	c.state = callEstablished
-	delete(sh.outgoing, c.cookie)
+	sh.dropOutgoing(c)
 	sh.ct.callsEstablished.Inc()
 	c.estAt = sh.env.Now()
 	sh.h.setupProgram.Observe(c.estAt - c.ackAt)
@@ -836,12 +1092,13 @@ func (sh *Sighost) peerSetupRej(from atm.Addr, m sigmsg.Msg) {
 	}
 	sh.ct.callsFailed.Inc()
 	sh.notifyClientFailure(c, m.Reason)
-	delete(sh.outgoing, c.cookie)
-	delete(sh.calls, c.key)
+	sh.dropOutgoing(c)
+	sh.unlinkCall(c)
 	sh.jlog(jrec{op: jEnd, key: c.key})
 	c.state = callReleased
 	sh.TraceC.EndSpan(c.tcPeer)
 	sh.TraceC.FinishTrace(c.tcRoot, trace.StatusReject)
+	sh.releaseCall(c)
 }
 
 // notifyClientFailure delivers CONN_FAILED to the client's notify port
@@ -851,14 +1108,10 @@ func (sh *Sighost) notifyClientFailure(c *call, reason string) {
 		return
 	}
 	c.notified = true
-	cookie := c.cookie
-	sh.env.Dial(c.endIP, c.endPort, func(conn Conn, err error) {
-		if err != nil {
-			return
-		}
-		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindConnFailed, Cookie: cookie, Reason: reason})
-		conn.Close()
-	})
+	dc := sh.newDialCtx()
+	dc.kind = dcNotify
+	dc.cookie, dc.reason = c.cookie, reason
+	sh.env.Dial(c.endIP, c.endPort, dc.cb)
 }
 
 // peerConnectDone is the destination side when the circuit is
@@ -877,7 +1130,7 @@ func (sh *Sighost) peerConnectDone(from atm.Addr, m sigmsg.Msg) {
 	c.tcRoot = trace.Context{Trace: m.TraceID, Span: m.SpanID}
 	doneAt := sh.env.Now()
 	sh.grantVCI(c, m.VCI)
-	delete(sh.incoming, c.cookie)
+	sh.dropIncomingEntry(c)
 	if c.serverConn != nil {
 		sh.sendApp(c.serverConn, sigmsg.Msg{
 			Kind: sigmsg.KindVCIForConn, Cookie: c.cookie, VCI: m.VCI, QoS: m.QoS,
@@ -918,27 +1171,53 @@ func (sh *Sighost) grantVCI(c *call, vci atm.VCI) {
 
 // armBindTimer installs the wait_for_bind entry with an explicit
 // allowance: the full BindTimeout on grant, or whatever remained of the
-// original deadline when crash-recovery re-arms it.
+// original deadline when crash-recovery re-arms it. Entries come from a
+// pool; the fire closure is bound once per struct.
 func (sh *Sighost) armBindTimer(c *call, vci atm.VCI, wait time.Duration, deadline time.Duration) {
-	cancel := sh.env.After(wait, func() {
-		if bw, ok := sh.waitBind[vci]; ok && bw.c == c {
-			sh.ct.bindTimeouts.Inc()
-			// Fire lag: how far past its nominal deadline the timer ran
-			// (always 0 in the sim; real daemons see scheduler jitter).
-			sh.h.bindTimerLag.Observe(sh.env.Now() - deadline)
-			if sh.traceOn() {
-				sh.emit(obs.Event{Kind: EvBindTime, VCI: uint32(vci), CallID: c.key.id})
-			}
-			sh.teardown(c, "bind timeout", true)
-		}
-	})
-	sh.waitBind[vci] = &bindWait{c: c, cancel: cancel, deadline: deadline}
+	bw := sh.bwPool
+	if bw == nil {
+		bw = &bindWait{sh: sh}
+		bw.fire = func() { bw.fireNow() }
+	} else {
+		sh.bwPool = bw.next
+	}
+	bw.c, bw.gen, bw.vci, bw.deadline, bw.next = c, c.gen, vci, deadline, nil
+	bw.cancel = sh.env.After(wait, bw.fire)
+	sh.waitBind[vci] = bw
+}
+
+// fireNow is the wait_for_bind timeout. All state is copied out before
+// teardown runs: teardown recycles both this entry and the call.
+func (bw *bindWait) fireNow() {
+	sh := bw.sh
+	defer sh.jflush() // timer fires are dispatches of their own
+	if cur, ok := sh.waitBind[bw.vci]; !ok || cur != bw || bw.c.gen != bw.gen {
+		return
+	}
+	c, vci, deadline := bw.c, bw.vci, bw.deadline
+	sh.ct.bindTimeouts.Inc()
+	// Fire lag: how far past its nominal deadline the timer ran
+	// (always 0 in the sim; real daemons see scheduler jitter).
+	sh.h.bindTimerLag.Observe(sh.env.Now() - deadline)
+	if sh.traceOn() {
+		sh.emit(obs.Event{Kind: EvBindTime, VCI: uint32(vci), CallID: c.key.id})
+	}
+	sh.teardown(c, "bind timeout", true)
+}
+
+// freeBindWait recycles a wait_for_bind entry whose timer has fired or
+// been canceled.
+func (sh *Sighost) freeBindWait(bw *bindWait) {
+	bw.c, bw.cancel = nil, nil
+	bw.next = sh.bwPool
+	sh.bwPool = bw
 }
 
 // HandleKernel processes one pseudo-device (or anand-relayed) message.
 // from is the machine whose kernel produced it: the router itself, or
 // an IP-connected host.
 func (sh *Sighost) HandleKernel(from memnet.IPAddr, k kern.KMsg) {
+	defer sh.jflush() // one durable append per dispatch
 	if sh.down {
 		sh.Obs.Counter("sighost.dropped_while_down").Inc()
 		return
@@ -995,38 +1274,41 @@ func (sh *Sighost) kernelBindConnect(from memnet.IPAddr, k kern.KMsg) {
 	if waiting {
 		bw.cancel()
 		delete(sh.waitBind, k.VCI)
-		sh.vciMap[k.VCI] = bw.c
-		sh.jlog(jrec{op: jBound, key: bw.c.key, vci: k.VCI})
-		if bw.c.estAt > 0 {
-			sh.h.bindLatency.Observe(sh.env.Now() - bw.c.estAt)
+		c := bw.c
+		sh.freeBindWait(bw)
+		sh.vciMap[k.VCI] = c
+		sh.jlog(jrec{op: jBound, key: c.key, vci: k.VCI})
+		if c.estAt > 0 {
+			sh.h.bindLatency.Observe(sh.env.Now() - c.estAt)
 		}
 		if sh.traceOn() {
-			sh.emit(obs.Event{Kind: EvBindOK, VCI: uint32(k.VCI), CallID: bw.c.key.id})
+			sh.emit(obs.Event{Kind: EvBindOK, VCI: uint32(k.VCI), CallID: c.key.id})
 		}
 		// The kernel indication rode the pseudo-device (or anand relay)
 		// from its post time k.At; record it inside the wait, then close
 		// the wait_for_bind span.
-		if bw.c.tcBind.Sampled() {
+		if c.tcBind.Sampled() {
 			if k.At > 0 {
-				sh.TraceC.Record(bw.c.tcBind, "kern", k.Kind.String(), k.At, sh.env.Now())
+				sh.TraceC.Record(c.tcBind, "kern", k.Kind.String(), k.At, sh.env.Now())
 			}
-			sh.TraceC.EndSpan(bw.c.tcBind)
+			sh.TraceC.EndSpan(c.tcBind)
 		}
 	}
 }
 
-// kernelExit cancels the dead process's outstanding requests.
+// kernelExit cancels the dead process's outstanding requests. The owner
+// chain holds exactly this process's entries, in creation order, so the
+// sweep is O(affected) — and deterministic — instead of a walk of the
+// whole outgoing_requests table.
 func (sh *Sighost) kernelExit(from memnet.IPAddr, k kern.KMsg) {
-	var doomed []*call
-	for _, req := range sh.outgoing {
-		c := req.c
-		if c.ownerPID != 0 && c.ownerPID == k.PID && c.endIP == from {
-			doomed = append(doomed, c)
-		}
+	doomed := sh.scratch[:0]
+	for c := sh.byOwner[ownerKey{ip: from, pid: k.PID}]; c != nil; c = c.ownNext {
+		doomed = append(doomed, c)
 	}
 	for _, c := range doomed {
 		sh.teardown(c, "client terminated", true)
 	}
+	sh.scratch = doomed[:0]
 }
 
 // kernelClose tears down the call whose endpoint closed its socket.
@@ -1074,6 +1356,7 @@ func (sh *Sighost) teardown(c *call, reason string, notifyPeer bool) {
 	if bw, ok := sh.waitBind[c.localVCI]; ok && bw.c == c {
 		bw.cancel()
 		delete(sh.waitBind, c.localVCI)
+		sh.freeBindWait(bw)
 	}
 	if sh.vciMap[c.localVCI] == c {
 		delete(sh.vciMap, c.localVCI)
@@ -1088,9 +1371,9 @@ func (sh *Sighost) teardown(c *call, reason string, notifyPeer bool) {
 		c.serverConn.Close()
 		c.serverConn = nil
 	}
-	delete(sh.outgoing, c.cookie)
-	delete(sh.incoming, c.cookie)
-	delete(sh.calls, c.key)
+	sh.dropOutgoing(c)
+	sh.dropIncomingEntry(c)
+	sh.unlinkCall(c)
 	sh.jlog(jrec{op: jEnd, key: c.key})
 	if c.vc != nil {
 		c.vc.Release()
@@ -1111,6 +1394,7 @@ func (sh *Sighost) teardown(c *call, reason string, notifyPeer bool) {
 	if c.key.origin {
 		sh.TraceC.FinishTrace(c.tcRoot, statusForReason(reason))
 	}
+	sh.releaseCall(c)
 }
 
 // statusForReason maps a teardown reason onto the trace's terminal

@@ -148,17 +148,21 @@ func StartSim(stack *core.Stack, fab *xswitch.Fabric) *SimHost {
 // the actor.
 func (h *SimHost) pumpConn(conn *memnet.Stream, from memnet.IPAddr) {
 	h.Stack.M.E.Go(h.Stack.M.Name+"/sighost-conn", func(p *sim.Proc) {
+		// One decoder per pump: interned strings and no per-message
+		// garbage on the application RPC path.
+		var dec sigmsg.Decoder
+		var m sigmsg.Msg
 		for {
 			b, ok := conn.Recv(p)
 			if !ok {
 				return
 			}
-			m, err := sigmsg.Decode(b)
-			if err != nil {
+			if err := dec.DecodeInto(&m, b); err != nil {
 				continue
 			}
-			c := simConn{s: conn}
-			h.inbox.Put(func() { h.SH.HandleApp(c, from, m) })
+			c := simConn{h: h, s: conn}
+			msg := m
+			h.inbox.Put(func() { h.SH.HandleApp(c, from, msg) })
 		}
 	})
 }
@@ -203,13 +207,14 @@ func connectOneWay(a, b *SimHost) error {
 		if err := s.Bind(vc.DstVCI, 0); err != nil {
 			return
 		}
+		var dec sigmsg.Decoder
+		var m sigmsg.Msg
 		for {
 			raw, err := s.Recv()
 			if err != nil {
 				return
 			}
-			m, err := sigmsg.Decode(raw)
-			if err != nil {
+			if err := dec.DecodeInto(&m, raw); err != nil {
 				continue
 			}
 			msg := m
@@ -219,15 +224,34 @@ func connectOneWay(a, b *SimHost) error {
 	return nil
 }
 
-// simConn adapts a memnet stream to the signaling Conn interface.
-type simConn struct{ s *memnet.Stream }
+// simConn adapts a memnet stream to the signaling Conn interface. Send
+// runs in actor context, so it may borrow the env's scratch buffer
+// (Stream.Send copies the frame before returning).
+type simConn struct {
+	h *SimHost
+	s *memnet.Stream
+}
 
-func (c simConn) Send(m sigmsg.Msg) error { return c.s.Send(m.Encode()) }
-func (c simConn) Close()                  { c.s.Close() }
+func (c simConn) Send(m sigmsg.Msg) error {
+	if c.h != nil {
+		return c.s.Send(c.h.env.enc(&m))
+	}
+	return c.s.Send(m.Encode())
+}
+func (c simConn) Close() { c.s.Close() }
 
 // simEnv implements Env on the simulation.
 type simEnv struct {
 	h *SimHost
+	// txBuf is the encode scratch for actor-context sends; every
+	// consumer copies the frame synchronously, so one buffer serves all.
+	txBuf []byte
+}
+
+// enc encodes m into the reusable scratch buffer.
+func (e *simEnv) enc(m *sigmsg.Msg) []byte {
+	e.txBuf = m.AppendTo(e.txBuf[:0])
+	return e.txBuf
 }
 
 func (e *simEnv) Addr() atm.Addr         { return e.h.Stack.Addr }
@@ -278,15 +302,50 @@ func (e *simEnv) SendPeer(dst atm.Addr, m sigmsg.Msg) error {
 			return nil // swallowed by the wire; reliability must repair it
 		}
 		if v.ExtraDelay > 0 {
+			// Deferred send: the scratch buffer would be overwritten by
+			// then, so this copy must be private.
 			raw := m.Encode()
 			e.h.Stack.M.E.Schedule(v.ExtraDelay, func() { _ = sock.SendTraced(raw, tc) })
 			return nil
 		}
 		if v.Dup {
-			_ = sock.SendTraced(m.Encode(), tc)
+			_ = sock.SendTraced(e.enc(&m), tc)
 		}
 	}
-	return sock.SendTraced(m.Encode(), tc)
+	return sock.SendTraced(e.enc(&m), tc)
+}
+
+// SendPeerRaw sends a cached frame without re-encoding. It draws exactly
+// the same fault-plane verdict sequence as SendPeer, so switching the
+// retransmit path to cached frames leaves chaos runs bit-identical.
+func (e *simEnv) SendPeerRaw(dst atm.Addr, m sigmsg.Msg, raw []byte) error {
+	if dst == e.h.Stack.Addr {
+		h := e.h
+		h.inbox.Put(func() { h.SH.HandlePeer(dst, m) })
+		return nil
+	}
+	sock, ok := e.h.peers[dst]
+	if !ok {
+		return fmt.Errorf("signaling: no PVC to %s", dst)
+	}
+	tc := trace.Context{Trace: m.TraceID, Span: m.SpanID}
+	if fp := e.h.Faults; fp != nil {
+		v := fp.SigMsg(tc)
+		if v.Drop {
+			return nil // swallowed by the wire; reliability must repair it
+		}
+		if v.ExtraDelay > 0 {
+			// The caller may overwrite raw once we return; the deferred
+			// send needs its own copy.
+			cp := append([]byte(nil), raw...)
+			e.h.Stack.M.E.Schedule(v.ExtraDelay, func() { _ = sock.SendTraced(cp, tc) })
+			return nil
+		}
+		if v.Dup {
+			_ = sock.SendTraced(raw, tc)
+		}
+	}
+	return sock.SendTraced(raw, tc)
 }
 
 func (e *simEnv) Dial(ip memnet.IPAddr, port uint16, cb func(Conn, error)) {
@@ -297,19 +356,20 @@ func (e *simEnv) Dial(ip memnet.IPAddr, port uint16, cb func(Conn, error)) {
 			h.inbox.Put(func() { cb(nil, err) })
 			return
 		}
-		h.inbox.Put(func() { cb(simConn{s: conn}, nil) })
+		h.inbox.Put(func() { cb(simConn{h: h, s: conn}, nil) })
 		// Keep pumping replies (ACCEPT_CONN etc.) into the actor.
+		var dec sigmsg.Decoder
+		var m sigmsg.Msg
 		for {
 			b, ok := conn.Recv(p)
 			if !ok {
 				return
 			}
-			m, derr := sigmsg.Decode(b)
-			if derr != nil {
+			if derr := dec.DecodeInto(&m, b); derr != nil {
 				continue
 			}
 			msg := m
-			h.inbox.Put(func() { h.SH.HandleApp(simConn{s: conn}, ip, msg) })
+			h.inbox.Put(func() { h.SH.HandleApp(simConn{h: h, s: conn}, ip, msg) })
 		}
 	})
 }

@@ -183,7 +183,10 @@ func (l *Lib) rpcOnce(p *kern.Proc, m sigmsg.Msg, attempt int) (sigmsg.Msg, erro
 		return sigmsg.Msg{}, fmt.Errorf("%w: %v", ErrSignaling, err)
 	}
 	defer ks.Close()
-	if err := ks.Send(m.Encode()); err != nil {
+	// Stack scratch: typical signaling messages fit, so the encode does
+	// not touch the heap (Send copies the frame before returning).
+	var sbuf [128]byte
+	if err := ks.Send(m.AppendTo(sbuf[:0])); err != nil {
 		return sigmsg.Msg{}, fmt.Errorf("%w: %v", ErrSignaling, err)
 	}
 	raw, ok, timedOut := ks.RecvTimeout(l.to.RPC)
@@ -287,7 +290,9 @@ func (l *Lib) AwaitServiceRequest(p *kern.Proc, kl *kern.KListener) (*ServiceReq
 func (r *ServiceRequest) Accept(modifiedQoS string) (vci atm.VCI, grantedQoS string, err error) {
 	defer r.conn.Close()
 	r.p.ContextSwitches(1)
-	if err := r.conn.Send(sigmsg.Msg{Kind: sigmsg.KindAcceptConn, Cookie: r.Cookie, QoS: modifiedQoS}.Encode()); err != nil {
+	accept := sigmsg.Msg{Kind: sigmsg.KindAcceptConn, Cookie: r.Cookie, QoS: modifiedQoS}
+	var sbuf [128]byte
+	if err := r.conn.Send(accept.AppendTo(sbuf[:0])); err != nil {
 		return 0, "", fmt.Errorf("%w: %v", ErrSignaling, err)
 	}
 	wait := r.rpcTO
@@ -313,7 +318,9 @@ func (r *ServiceRequest) Accept(modifiedQoS string) (vci atm.VCI, grantedQoS str
 func (r *ServiceRequest) Reject(reason string) error {
 	defer r.conn.Close()
 	r.p.ContextSwitches(1)
-	return r.conn.Send(sigmsg.Msg{Kind: sigmsg.KindRejectConn, Cookie: r.Cookie, Reason: reason}.Encode())
+	reject := sigmsg.Msg{Kind: sigmsg.KindRejectConn, Cookie: r.Cookie, Reason: reason}
+	var sbuf [128]byte
+	return r.conn.Send(reject.AppendTo(sbuf[:0]))
 }
 
 // Connection is an established client-side circuit.

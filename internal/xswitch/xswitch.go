@@ -123,12 +123,11 @@ type trunk struct {
 	delivFn  func()
 
 	// VCI allocation on this trunk. pair is the reverse trunk of the
-	// duplex link; VCIs are reserved on both directions together so that
-	// a machine's send and receive VCIs never collide numerically in
-	// its VCI-indexed protocol control block table.
-	pair    *trunk
-	usedVCI map[atm.VCI]bool
-	nextVCI atm.VCI
+	// duplex link; the allocator is shared between both directions so
+	// that a machine's send and receive VCIs never collide numerically
+	// in its VCI-indexed protocol control block table.
+	pair  *trunk
+	alloc *atm.VCIAlloc
 
 	// Counters for experiments.
 	Sent         uint64
@@ -175,8 +174,6 @@ func newTrunk(f *Fabric, from, to node, cfg LinkConfig) *trunk {
 		cfg:       cfg,
 		book:      qos.NewBook(cfg.RateBps / 1000), // book in kb/s
 		slots:     make([]trainSlot, cfg.TrainBurst),
-		usedVCI:   make(map[atm.VCI]bool),
-		nextVCI:   32, // low VCIs reserved for PVCs and management
 		classVCIs: make(map[atm.VCI]qos.Class),
 	}
 	if cfg.RateBps > 0 {
@@ -191,30 +188,22 @@ func newTrunk(f *Fabric, from, to node, cfg LinkConfig) *trunk {
 }
 
 // allocVCI reserves an unused VCI on this trunk (and its reverse
-// direction, when paired).
+// direction: the free-list allocator is shared across the duplex pair).
 func (t *trunk) allocVCI() (atm.VCI, error) {
-	for i := 0; i < int(atm.MaxVCI); i++ {
-		v := t.nextVCI
-		t.nextVCI++
-		if t.nextVCI > atm.MaxVCI {
-			t.nextVCI = 32
-		}
-		if v >= 32 && !t.usedVCI[v] && (t.pair == nil || !t.pair.usedVCI[v]) {
-			t.usedVCI[v] = true
-			if t.pair != nil {
-				t.pair.usedVCI[v] = true
-			}
-			return v, nil
-		}
+	if t.alloc == nil { // trunk wired up without pairing (tests)
+		t.alloc = atm.NewVCIAlloc(32)
 	}
-	return 0, ErrNoVCI
+	v := t.alloc.Alloc()
+	if v == 0 {
+		return 0, ErrNoVCI
+	}
+	return v, nil
 }
 
 func (t *trunk) freeVCI(v atm.VCI) {
-	delete(t.usedVCI, v)
 	delete(t.classVCIs, v)
-	if t.pair != nil {
-		delete(t.pair.usedVCI, v)
+	if t.alloc != nil {
+		t.alloc.Free(v)
 	}
 }
 
@@ -513,6 +502,8 @@ func (f *Fabric) ConnectSwitches(a, b *Switch, cfg LinkConfig) {
 	ab := newTrunk(f, a, b, cfg)
 	ba := newTrunk(f, b, a, cfg)
 	ab.pair, ba.pair = ba, ab
+	ab.alloc = atm.NewVCIAlloc(32)
+	ba.alloc = ab.alloc
 	a.trunks = append(a.trunks, ab)
 	b.trunks = append(b.trunks, ba)
 }
@@ -574,6 +565,8 @@ func (f *Fabric) Attach(addr atm.Addr, sink CellSink, sw *Switch, cfg LinkConfig
 	up := newTrunk(f, ep, sw, cfg)
 	down := newTrunk(f, sw, ep, cfg)
 	up.pair, down.pair = down, up
+	up.alloc = atm.NewVCIAlloc(32)
+	down.alloc = up.alloc
 	ep.uplink = up
 	ep.downlink = down
 	sw.trunks = append(sw.trunks, down)
