@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchcheck bench bench-telemetry tracegate chaosgate sigbench
+.PHONY: ci build vet test race benchcheck bench bench-telemetry tracegate chaosgate obsgate sigbench
 
-ci: vet build test race benchcheck tracegate chaosgate sigbench
+ci: vet build test race benchcheck tracegate chaosgate obsgate sigbench
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,17 @@ tracegate:
 chaosgate:
 	$(GO) test -run '^$$' -bench BenchmarkFaultsOverhead/disabled -benchtime 2000000x ./internal/faults/
 	$(GO) run ./cmd/chaosgen > /tmp/chaosgate-a.txt && $(GO) run ./cmd/chaosgen > /tmp/chaosgate-b.txt && cmp /tmp/chaosgate-a.txt /tmp/chaosgate-b.txt
+
+# The continuous-telemetry gate: a disabled scrape hook (nil Peak
+# pointer) must stay under 5 ns (asserted inside the benchmark) so the
+# hooks compiled into the switch hot path cannot skew clean-path
+# numbers, then the E4 storm's time-series export is run twice and
+# byte-diffed, guarding the claim that the scraped series are part of
+# the deterministic replay. (Steady-state zero allocation is
+# TestTickSteadyStateDoesNotAllocate in `make test`.)
+obsgate:
+	$(GO) test -run '^$$' -bench BenchmarkTSeriesOverhead/disabled -benchtime 2000000x ./internal/obs/tseries/
+	$(GO) run ./cmd/obsgen > /tmp/obsgate-a.json && $(GO) run ./cmd/obsgen > /tmp/obsgate-b.json && cmp /tmp/obsgate-a.json /tmp/obsgate-b.json
 
 # The telemetry cost gate: a disabled trace call site must stay under
 # 5 ns (asserted inside the benchmark), and the signaling throughput

@@ -267,10 +267,11 @@ func runDiff(oldPath, newPath, benchRE, metricRE string, gatePct float64) int {
 	}
 
 	oldIdx := index(oldRep)
+	newIdx := index(newRep)
 	compared, regressed := 0, 0
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	for _, nb := range index2Sorted(index(newRep)) {
+	for _, nb := range index2Sorted(newIdx) {
 		if !benchPat.MatchString(nb.Name) {
 			continue
 		}
@@ -308,6 +309,17 @@ func runDiff(oldPath, newPath, benchRE, metricRE string, gatePct float64) int {
 			}
 			fmt.Fprintf(w, "%-44s %-18s %14.4g -> %-14.4g %+7.2f%%%s\n",
 				nb.Name, u, om.Min, nm.Min, delta, mark)
+		}
+	}
+	// Benchmarks only the old report has would otherwise vanish from the
+	// diff silently — a deleted (or renamed) benchmark looks exactly like
+	// a clean comparison. Call them out.
+	for _, ob := range index2Sorted(oldIdx) {
+		if !benchPat.MatchString(ob.Name) {
+			continue
+		}
+		if _, ok := newIdx[ob.Package+"\x00"+ob.Name]; !ok {
+			fmt.Fprintf(w, "%-44s (removed benchmark, present only in old report)\n", ob.Name)
 		}
 	}
 	if compared == 0 {

@@ -1,0 +1,140 @@
+// Command obsgen runs the E4 call storm on the simulated testbed with
+// continuous telemetry armed and prints the time-series export. Three
+// uses:
+//
+//	go run ./cmd/obsgen                  # full export as JSON
+//	go run ./cmd/obsgen -health          # watermark rule states + events
+//	go run ./cmd/obsgen -table          # utilization/queue-depth vs time table
+//
+// The simulation is deterministic, so the same seed always prints the
+// same bytes — `make obsgate` runs it twice and diffs, guarding the
+// reproducibility claim the telemetry layer makes (the same guard
+// tracegate gives the trace layer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xunet/internal/kern"
+	"xunet/internal/obs/tseries"
+	"xunet/internal/testbed"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	calls := flag.Int("calls", 100, "storm call count (the paper's hundred)")
+	frames := flag.Int("frames", 20, "data frames per call")
+	frameBytes := flag.Int("frame-bytes", 1400, "data frame size (a ~30-cell AAL5 frame)")
+	runFor := flag.Duration("run", 40*time.Second, "sim time to run (covers the storm's full lifecycle)")
+	interval := flag.Duration("interval", 25*time.Millisecond, "scrape tick interval")
+	capacity := flag.Int("capacity", 2048, "points retained per series")
+	health := flag.Bool("health", false, "print watermark rule states and health events instead of the export")
+	table := flag.Bool("table", false, "print a utilization/queue-depth table for the busiest trunk")
+	tableEvery := flag.Int("table-every", 40, "aggregate the table over this many ticks per row (40 x 25ms = 1s)")
+	flag.Parse()
+
+	n, ra, rb, err := testbed.NewTestbed(testbed.Options{
+		Seed:          *seed,
+		DeviceBuffers: kern.FixedDeviceBuffers,
+		FDTableSize:   kern.FixedFDTableSize,
+		TSeries:       &tseries.Config{Interval: *interval, Capacity: *capacity},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	testbed.StartEchoServer(rb, "storm", 6000)
+	n.StartTSeries(*runFor)
+	n.E.RunUntil(time.Second)
+	// E4: a hundred calls as fast as possible, each held one second —
+	// here with padded multi-cell frames so the trunks carry real load
+	// (a 1400-byte frame bursts ~30 cells at host-interface rate into
+	// the 45 Mb/s DS3).
+	testbed.CallStorm(ra, "ucb.rt", "storm", testbed.StormConfig{
+		Count: *calls, Hold: time.Second, FramesPerCall: *frames, FrameBytes: *frameBytes,
+	})
+	n.E.RunUntil(*runFor)
+	ex := n.TS.Export()
+	n.E.Shutdown()
+
+	switch {
+	case *health:
+		fmt.Print(n.TS.HealthText())
+	case *table:
+		printTable(ex, *tableEvery)
+	default:
+		fmt.Println(n.TS.JSON())
+	}
+}
+
+// printTable renders the busiest trunk's utilization and queue-depth
+// series — the EXPERIMENTS.md load table. Each row aggregates `every`
+// ticks: cells summed, utilization averaged over the window, queue
+// depth at window end, high-water maxed across the window.
+func printTable(ex tseries.Export, every int) {
+	if every < 1 {
+		every = 1
+	}
+	// Busiest = most cells carried over the run.
+	var trunk string
+	var best int64
+	for _, s := range ex.Series {
+		if !strings.HasPrefix(s.Name, "fabric.trunk.") || !strings.HasSuffix(s.Name, ".cells") {
+			continue
+		}
+		var total int64
+		for _, p := range s.Points {
+			total += p.V
+		}
+		if total > best {
+			best, trunk = total, strings.TrimSuffix(strings.TrimPrefix(s.Name, "fabric.trunk."), ".cells")
+		}
+	}
+	if trunk == "" {
+		fmt.Println("no trunk series in export")
+		return
+	}
+	find := func(name string) []tseries.Point {
+		for _, s := range ex.Series {
+			if s.Name == name {
+				return s.Points
+			}
+		}
+		return nil
+	}
+	cells := find("fabric.trunk." + trunk + ".cells")
+	util := find("fabric.trunk." + trunk + ".util_bp")
+	depth := find("fabric.trunk." + trunk + ".qdepth")
+	fmt.Printf("trunk %s (interval %v, %d ticks, %d ticks/row)\n", trunk, ex.Interval, ex.Ticks, every)
+	fmt.Printf("%-10s %10s %10s %8s %8s\n", "t", "cells", "util", "qdepth", "q_hiwat")
+	for i := 0; i < len(cells); i += every {
+		end := i + every
+		if end > len(cells) {
+			end = len(cells)
+		}
+		var cellSum, utilSum, qh int64
+		for j := i; j < end; j++ {
+			cellSum += cells[j].V
+			if j < len(util) {
+				utilSum += util[j].V
+			}
+			if j < len(depth) && depth[j].Aux > qh {
+				qh = depth[j].Aux
+			}
+		}
+		var qv int64
+		if end-1 < len(depth) {
+			qv = depth[end-1].V
+		}
+		fmt.Printf("%-10v %10d %9.2f%% %8d %8d\n",
+			cells[end-1].At, cellSum, float64(utilSum)/float64(end-i)/100, qv, qh)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsgen:", err)
+	os.Exit(1)
+}

@@ -14,16 +14,26 @@
 // events) can be scraped in-band with cmd/xunetstat:
 //
 //	xunetstat -sighost 127.0.0.1:3177
+//
+// With -metrics, the daemon also serves the registry — including Go
+// runtime health (heap, goroutines, GC pauses) — in the OpenMetrics
+// text format, and arms the wall-clock time-series scrape behind the
+// MGMT tseries/health queries:
+//
+//	sighost -metrics 127.0.0.1:9177
+//	curl http://127.0.0.1:9177/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"xunet/internal/atm"
+	"xunet/internal/obs/tseries"
 	"xunet/internal/signaling"
 )
 
@@ -31,6 +41,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:3177", "TCP address to serve the signaling RPC protocol on")
 	addrStr := flag.String("atm-addr", "mh.rt", "this signaling entity's ATM address")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
+	metrics := flag.String("metrics", "", "HTTP address for the OpenMetrics endpoint (empty disables)")
+	scrape := flag.Duration("scrape", time.Second, "time-series scrape interval (with -metrics)")
 	flag.Parse()
 
 	h, err := signaling.StartReal(atm.Addr(*addrStr), *listen)
@@ -40,6 +52,23 @@ func main() {
 	}
 	defer h.Close()
 	fmt.Printf("sighost: signaling entity %q serving on %s\n", *addrStr, h.ListenAddr())
+
+	if *metrics != "" {
+		h.EnableTSeries(tseries.Config{Interval: *scrape})
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			fmt.Fprint(w, h.OpenMetrics())
+		})
+		srv := &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "sighost: metrics:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("sighost: OpenMetrics on http://%s/metrics (scrape %v)\n", *metrics, *scrape)
+	}
 
 	if *statsEvery > 0 {
 		go func() {

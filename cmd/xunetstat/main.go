@@ -21,6 +21,13 @@
 //
 //	xunetstat faults              # fault config + injection counters
 //	xunetstat faults -json        # the same as one JSON object
+//
+// Two more query continuous telemetry (daemons started with -metrics):
+//
+//	xunetstat tseries             # latest sample of every scraped series
+//	xunetstat tseries -json       # full export: point history, rules, events
+//	xunetstat health              # watermark rule states + health events
+//	xunetstat health -json        # the same as one JSON object
 package main
 
 import (
@@ -98,7 +105,7 @@ func runSubcommand(c *signaling.RealClient, args []string) {
 		rest = append(rest, a)
 	}
 	if len(rest) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: xunetstat [flags] [trace <callid> | flight | faults]")
+		fmt.Fprintln(os.Stderr, "usage: xunetstat [flags] [trace <callid> | flight | faults | tseries | health]")
 		os.Exit(2)
 	}
 	switch rest[0] {
@@ -144,8 +151,30 @@ func runSubcommand(c *signaling.RealClient, args []string) {
 			os.Exit(1)
 		}
 		fmt.Println(body)
+	case "tseries":
+		what := signaling.MgmtTSeries
+		if asJSON {
+			what = signaling.MgmtTSeriesJSON
+		}
+		body, err := c.Query(what)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xunetstat:", err)
+			os.Exit(1)
+		}
+		fmt.Println(body)
+	case "health":
+		what := signaling.MgmtHealth
+		if asJSON {
+			what = signaling.MgmtHealthJSON
+		}
+		body, err := c.Query(what)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xunetstat:", err)
+			os.Exit(1)
+		}
+		fmt.Println(body)
 	default:
-		fmt.Fprintln(os.Stderr, "xunetstat: unknown subcommand", rest[0], "(want trace, flight or faults)")
+		fmt.Fprintln(os.Stderr, "xunetstat: unknown subcommand", rest[0], "(want trace, flight, faults, tseries or health)")
 		os.Exit(2)
 	}
 }

@@ -15,11 +15,13 @@ package memnet
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"xunet/internal/cost"
 	"xunet/internal/faults"
 	"xunet/internal/mbuf"
+	"xunet/internal/obs/tseries"
 	"xunet/internal/sim"
 	"xunet/internal/trace"
 )
@@ -173,6 +175,43 @@ func (n *Network) MustAddNode(name string, addr IPAddr) *Node {
 
 // Node looks up a machine by address.
 func (n *Network) Node(addr IPAddr) *Node { return n.nodes[addr] }
+
+// RegisterTSeries tracks every link's load signals in st: packet and
+// drop rates plus occupancy — how far the transmit queue's busy horizon
+// extends past the current instant, in nanoseconds. Nodes and their
+// neighbors enumerate in sorted order so registration (and the export)
+// is deterministic.
+func (n *Network) RegisterTSeries(st *tseries.Store) {
+	if st == nil {
+		return
+	}
+	addrs := make([]IPAddr, 0, len(n.nodes))
+	for a := range n.nodes {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		nd := n.nodes[a]
+		peers := make([]*Node, 0, len(nd.links))
+		for p := range nd.links {
+			peers = append(peers, p)
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i].Addr < peers[j].Addr })
+		for _, p := range peers {
+			l := nd.links[p]
+			prefix := "ip.link." + nd.Name + ">" + p.Name + "."
+			st.TrackRateFunc(prefix+"pkts", func() uint64 { return l.Sent }, 0, 0)
+			st.TrackRateFunc(prefix+"drops", func() uint64 { return l.Dropped }, 0, 0)
+			st.TrackGaugeFunc(prefix+"busy_ns", func() (int64, int64) {
+				busy := int64(l.busyUntil - n.Engine.Now())
+				if busy < 0 {
+					busy = 0
+				}
+				return busy, busy
+			})
+		}
+	}
+}
 
 // Connect joins two nodes with a duplex link, both directions using cfg.
 func (n *Network) Connect(a, b *Node, cfg LinkConfig) {

@@ -122,6 +122,16 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile of the live histogram without building a
+// snapshot, so periodic scrapers (obs/tseries) stay allocation-free.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	var counts [HistBuckets]uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	return quantile(counts, h.count.Load(), time.Duration(h.max.Load()), q)
+}
+
 // Registry holds a machine's (or fabric's) named metrics plus its event ring.
 type Registry struct {
 	mu       sync.Mutex
@@ -191,6 +201,73 @@ func (r *Registry) Func(name string, fn func() uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.funcs[name] = fn
+}
+
+// MetricCount returns how many metrics (counters, gauges, histograms, funcs)
+// are registered. Scrapers compare it across ticks to detect lazily
+// registered metrics cheaply, rescanning only on growth.
+func (r *Registry) MetricCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counters) + len(r.gauges) + len(r.hists) + len(r.funcs)
+}
+
+// Visit enumerates every registered metric in sorted-name order, one callback
+// per kind (nil callbacks skip that kind). The callbacks run outside the
+// registry lock and receive the live metric handles, letting scrapers resolve
+// sources once instead of re-snapshotting.
+func (r *Registry) Visit(counter func(string, *Counter), gauge func(string, *Gauge), hist func(string, *Histogram), fn func(string, func() uint64)) {
+	r.mu.Lock()
+	cnames := sortedKeys(r.counters)
+	gnames := sortedKeys(r.gauges)
+	hnames := sortedKeys(r.hists)
+	fnames := sortedKeys(r.funcs)
+	counters := make([]*Counter, len(cnames))
+	for i, n := range cnames {
+		counters[i] = r.counters[n]
+	}
+	gauges := make([]*Gauge, len(gnames))
+	for i, n := range gnames {
+		gauges[i] = r.gauges[n]
+	}
+	hists := make([]*Histogram, len(hnames))
+	for i, n := range hnames {
+		hists[i] = r.hists[n]
+	}
+	funcs := make([]func() uint64, len(fnames))
+	for i, n := range fnames {
+		funcs[i] = r.funcs[n]
+	}
+	r.mu.Unlock()
+	if counter != nil {
+		for i, n := range cnames {
+			counter(n, counters[i])
+		}
+	}
+	if gauge != nil {
+		for i, n := range gnames {
+			gauge(n, gauges[i])
+		}
+	}
+	if hist != nil {
+		for i, n := range hnames {
+			hist(n, hists[i])
+		}
+	}
+	if fn != nil {
+		for i, n := range fnames {
+			fn(n, funcs[i])
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Snapshot renders every metric into a plain, marshalable value. Counters and

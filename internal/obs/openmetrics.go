@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpenMetrics renders the snapshot in the OpenMetrics text exposition format,
+// for the real-mode daemon's /metrics endpoint. Dotted metric names become
+// underscore-separated ("sighost.calls.established" ->
+// "sighost_calls_established"); counters get a _total suffix; histogram
+// buckets are emitted cumulatively with le in seconds, Prometheus-style.
+func (s Snapshot) OpenMetrics() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		n := omName(c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s_total %d\n", n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := omName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n%s_max %d\n", n, n, g.Value, n, g.Max)
+	}
+	for _, h := range s.Hists {
+		n := omName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for _, bk := range h.Buckets {
+			cum += bk.N
+			fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", n, bk.Le.Seconds(), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", n, h.Sum.Seconds(), n, h.Count)
+	}
+	b.WriteString("# EOF\n")
+	return b.String()
+}
+
+// omName maps a dotted registry name to an OpenMetrics-safe identifier.
+func omName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

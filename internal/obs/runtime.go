@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeSampler mirrors Go runtime health into a registry: heap in use and
+// goroutine count as gauges, GC pauses as a histogram. It exists for the
+// real-mode daemon, where the process competes with the workload for the
+// machine; the sim tier never registers one (runtime state is not part of the
+// simulated world and would break determinism).
+type RuntimeSampler struct {
+	heap       *Gauge
+	goroutines *Gauge
+	gcPause    *Histogram
+	lastGC     uint32 // NumGC at the previous sample; new pauses are behind it
+}
+
+// NewRuntimeSampler registers go.heap_inuse_bytes, go.goroutines and
+// go.gc_pause in r and returns the sampler. Call Sample on every scrape tick.
+func NewRuntimeSampler(r *Registry) *RuntimeSampler {
+	return &RuntimeSampler{
+		heap:       r.Gauge("go.heap_inuse_bytes"),
+		goroutines: r.Gauge("go.goroutines"),
+		gcPause:    r.Histogram("go.gc_pause"),
+	}
+}
+
+// Sample reads the runtime and updates the registered metrics. GC pauses are
+// drained incrementally from the PauseNs ring: only cycles completed since the
+// previous Sample are observed, each exactly once (up to the ring's 256-entry
+// history).
+func (rs *RuntimeSampler) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs.heap.Set(int64(ms.HeapInuse))
+	rs.goroutines.Set(int64(runtime.NumGoroutine()))
+	newCycles := ms.NumGC - rs.lastGC
+	if newCycles > uint32(len(ms.PauseNs)) {
+		newCycles = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < newCycles; i++ {
+		// PauseNs[(NumGC+255)%256] is the most recent pause.
+		pause := ms.PauseNs[(ms.NumGC-i+255)%256]
+		rs.gcPause.Observe(time.Duration(pause))
+	}
+	rs.lastGC = ms.NumGC
+}

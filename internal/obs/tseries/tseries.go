@@ -1,0 +1,694 @@
+// Package tseries is the continuous-telemetry layer over the obs
+// registry: a time-series store that scrapes counters (as per-tick
+// deltas), gauges (level plus high-water) and histograms (count delta
+// plus P99) into fixed-capacity point rings, one tick at a time. Ticks
+// are driven externally — sim-time events in the testbed, a wall-clock
+// ticker in the real-mode daemon — so the store itself never touches a
+// clock and same-seed runs export byte-identical series.
+//
+// Declarative watermark rules (queue depth over N for M ticks,
+// retransmit-rate spikes, flight-dump bursts) evaluate after every
+// scrape and emit health events on state edges; consumers wire
+// OnHealthEvent to publish them into an obs ring or trigger the flight
+// recorder.
+//
+// The steady state allocates nothing: rings are pre-sized, sources are
+// resolved once, and registry rescans run only when a registry has
+// grown. Hot paths feed the store through Peak, whose disabled (nil)
+// form costs one pointer check — gated under 5 ns by
+// BenchmarkTSeriesOverhead, like the trace and faults planes.
+package tseries
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xunet/internal/obs"
+)
+
+// Config sizes a store.
+type Config struct {
+	// Interval is the nominal tick period. The store does not schedule
+	// ticks itself; the value scales rate-style series (utilization) and
+	// is recorded in exports.
+	Interval time.Duration
+	// Capacity is how many points each series retains (ring; oldest
+	// overwritten).
+	Capacity int
+	// EventCapacity bounds the health-event ring (default 256).
+	EventCapacity int
+}
+
+// DefaultInterval and DefaultCapacity apply when Config leaves them zero.
+const (
+	DefaultInterval      = 10 * time.Millisecond
+	DefaultCapacity      = 512
+	DefaultEventCapacity = 256
+)
+
+// Kind classifies how a series samples its source.
+type Kind uint8
+
+const (
+	// KindCounter samples a monotonic total: V is the delta since the
+	// previous tick (scaled by num/den when set), Aux the raw total.
+	KindCounter Kind = iota
+	// KindGauge samples a level: V is the instantaneous value, Aux the
+	// high-water mark.
+	KindGauge
+	// KindHist samples a histogram: V is the observation-count delta,
+	// Aux the current P99 in nanoseconds.
+	KindHist
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHist:
+		return "hist"
+	}
+	return "?"
+}
+
+// Point is one scraped sample.
+type Point struct {
+	At  time.Duration `json:"at_ns"`
+	V   int64         `json:"v"`
+	Aux int64         `json:"aux"`
+}
+
+// series is one tracked source with its fixed-capacity point ring.
+type series struct {
+	name string
+	kind Kind
+
+	counterFn func() uint64          // KindCounter
+	gaugeFn   func() (int64, int64)  // KindGauge: (value, high-water)
+	hist      *obs.Histogram         // KindHist
+	last      uint64                 // previous counter/hist-count sample
+	num, den  int64                  // counter delta scaling (0 den = none)
+
+	ring []Point
+	n    int // points stored (<= len(ring))
+	head int // oldest point index once the ring has wrapped
+}
+
+func (s *series) push(p Point) {
+	if s.n < len(s.ring) {
+		s.ring[s.n] = p
+		s.n++
+		return
+	}
+	s.ring[s.head] = p
+	s.head++
+	if s.head == len(s.ring) {
+		s.head = 0
+	}
+}
+
+// latest returns the newest point (zero Point before the first tick).
+func (s *series) latest() Point {
+	if s.n == 0 {
+		return Point{}
+	}
+	i := s.head + s.n - 1
+	if i >= len(s.ring) {
+		i -= len(s.ring)
+	}
+	return s.ring[i]
+}
+
+func (s *series) sample(at time.Duration) {
+	var p Point
+	p.At = at
+	switch s.kind {
+	case KindCounter:
+		cur := s.counterFn()
+		var d int64
+		// Sources backed by plain fields may be rolled back a little
+		// (xswitch cell-train truncation); clamp instead of wrapping.
+		if cur >= s.last {
+			d = int64(cur - s.last)
+		}
+		s.last = cur
+		if s.den > 0 {
+			d = d * s.num / s.den
+		}
+		p.V, p.Aux = d, int64(cur)
+	case KindGauge:
+		p.V, p.Aux = s.gaugeFn()
+	case KindHist:
+		cur := s.hist.Count()
+		var d int64
+		if cur >= s.last {
+			d = int64(cur - s.last)
+		}
+		s.last = cur
+		p.V, p.Aux = d, int64(s.hist.Quantile(0.99))
+	}
+	s.push(p)
+}
+
+// regSource is one registry under periodic rescan: when the registry
+// has grown since the last scan (lazy metric registration), the new
+// metrics are adopted as series.
+type regSource struct {
+	prefix   string
+	reg      *obs.Registry
+	lastSize int
+}
+
+// Rule is a declarative watermark: fire when a series' sampled value
+// stays past the threshold for ForTicks consecutive ticks; clear on the
+// first tick back inside. Series may contain one '*' wildcard, matching
+// every series whose name fits the prefix/suffix around it — each match
+// tracks its own independent fire/clear state.
+type Rule struct {
+	Name   string `json:"name"`
+	Series string `json:"series"`
+	// Threshold compares against the point's V (or Aux when OnAux):
+	// fire condition is value >= Threshold, or <= when Below.
+	Threshold int64 `json:"threshold"`
+	Below     bool  `json:"below,omitempty"`
+	// OnAux watches the auxiliary component (gauge high-water, counter
+	// raw total, histogram P99) instead of V.
+	OnAux bool `json:"on_aux,omitempty"`
+	// ForTicks is how many consecutive out-of-band ticks arm the rule
+	// (minimum 1).
+	ForTicks int `json:"for_ticks"`
+}
+
+type ruleState struct {
+	streak int
+	firing bool
+}
+
+type rule struct {
+	def    Rule
+	states map[int]*ruleState // series index -> state
+}
+
+func (r *rule) matches(name string) bool {
+	p := r.def.Series
+	i := strings.IndexByte(p, '*')
+	if i < 0 {
+		return name == p
+	}
+	return len(name) >= len(p)-1 && strings.HasPrefix(name, p[:i]) && strings.HasSuffix(name, p[i+1:])
+}
+
+// HealthEvent is one watermark edge: a rule starting to fire over a
+// series, or clearing.
+type HealthEvent struct {
+	At     time.Duration `json:"at_ns"`
+	Tick   uint64        `json:"tick"`
+	Rule   string        `json:"rule"`
+	Series string        `json:"series"`
+	Value  int64         `json:"value"`
+	State  string        `json:"state"` // "fire" | "clear"
+}
+
+// String renders one event line.
+func (ev HealthEvent) String() string {
+	return fmt.Sprintf("[%v] %s %s %s value=%d", ev.At, ev.State, ev.Rule, ev.Series, ev.Value)
+}
+
+// Store holds every tracked series, the watermark rules, and the health
+// event ring. All methods are mutex-guarded and nil-safe, so a disabled
+// deployment passes a nil *Store around freely.
+type Store struct {
+	mu       sync.Mutex
+	interval time.Duration
+	capacity int
+
+	series []*series
+	byName map[string]bool
+	regs   []regSource
+
+	rules   []*rule
+	events  []HealthEvent
+	evN     int
+	evHead  int
+	onEvent func(HealthEvent)
+
+	ticks  uint64
+	lastAt time.Duration
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.EventCapacity <= 0 {
+		cfg.EventCapacity = DefaultEventCapacity
+	}
+	return &Store{
+		interval: cfg.Interval,
+		capacity: cfg.Capacity,
+		byName:   make(map[string]bool),
+		events:   make([]HealthEvent, cfg.EventCapacity),
+	}
+}
+
+// Enabled reports whether scraping is armed at all; safe on nil.
+func (st *Store) Enabled() bool { return st != nil }
+
+// Interval reports the nominal tick period.
+func (st *Store) Interval() time.Duration {
+	if st == nil {
+		return 0
+	}
+	return st.interval
+}
+
+// add registers s unless the name is already tracked (first wins).
+func (st *Store) add(s *series) {
+	if st.byName[s.name] {
+		return
+	}
+	s.ring = make([]Point, st.capacity)
+	// Prime the counter baseline so the first tick reports a true
+	// delta rather than the accumulated history.
+	switch s.kind {
+	case KindCounter:
+		s.last = s.counterFn()
+	case KindHist:
+		s.last = s.hist.Count()
+	}
+	st.byName[s.name] = true
+	st.series = append(st.series, s)
+}
+
+// TrackCounter tracks a counter's per-tick delta.
+func (st *Store) TrackCounter(name string, c *obs.Counter) {
+	st.TrackRateFunc(name, c.Value, 0, 0)
+}
+
+// TrackRateFunc tracks a monotonic total read through fn. When den > 0
+// each delta is scaled by num/den — utilization series scale cell
+// deltas by serialization-time/interval this way.
+func (st *Store) TrackRateFunc(name string, fn func() uint64, num, den int64) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.add(&series{name: name, kind: KindCounter, counterFn: fn, num: num, den: den})
+}
+
+// TrackGauge tracks a gauge's level and high-water mark.
+func (st *Store) TrackGauge(name string, g *obs.Gauge) {
+	st.TrackGaugeFunc(name, func() (int64, int64) { return g.Value(), g.Max() })
+}
+
+// TrackGaugeFunc tracks a level read through fn, which returns
+// (value, high-water). fn runs at tick time under the store lock.
+func (st *Store) TrackGaugeFunc(name string, fn func() (int64, int64)) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.add(&series{name: name, kind: KindGauge, gaugeFn: fn})
+}
+
+// TrackHistogram tracks a histogram's observation rate and P99.
+func (st *Store) TrackHistogram(name string, h *obs.Histogram) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.add(&series{name: name, kind: KindHist, hist: h})
+}
+
+// TrackRegistry adopts every metric in reg, each series named
+// prefix+metric. The registry is rescanned on ticks where it has grown,
+// so lazily registered metrics (journal counters, per-peer backlogs)
+// join the store when they appear.
+func (st *Store) TrackRegistry(prefix string, reg *obs.Registry) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rs := regSource{prefix: prefix, reg: reg}
+	st.scanRegistry(&rs)
+	st.regs = append(st.regs, rs)
+}
+
+// scanRegistry adopts reg's current metrics (idempotent per name).
+func (st *Store) scanRegistry(rs *regSource) {
+	rs.lastSize = rs.reg.MetricCount()
+	rs.reg.Visit(
+		func(name string, c *obs.Counter) {
+			st.add(&series{name: rs.prefix + name, kind: KindCounter, counterFn: c.Value})
+		},
+		func(name string, g *obs.Gauge) {
+			st.add(&series{name: rs.prefix + name, kind: KindGauge, gaugeFn: func() (int64, int64) { return g.Value(), g.Max() }})
+		},
+		func(name string, h *obs.Histogram) {
+			st.add(&series{name: rs.prefix + name, kind: KindHist, hist: h})
+		},
+		func(name string, fn func() uint64) {
+			st.add(&series{name: rs.prefix + name, kind: KindCounter, counterFn: fn})
+		},
+	)
+}
+
+// AddRule installs a watermark rule.
+func (st *Store) AddRule(r Rule) {
+	if st == nil {
+		return
+	}
+	if r.ForTicks < 1 {
+		r.ForTicks = 1
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.rules = append(st.rules, &rule{def: r, states: make(map[int]*ruleState)})
+}
+
+// OnHealthEvent installs the edge callback, invoked under the store
+// lock at tick time — keep it light (publish to a ring, trigger a
+// flight dump).
+func (st *Store) OnHealthEvent(fn func(HealthEvent)) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.onEvent = fn
+}
+
+// Tick scrapes every series at the given timestamp and evaluates the
+// watermark rules. Call it from whatever owns time: a sim event or a
+// wall-clock ticker. Safe (a no-op) on nil.
+func (st *Store) Tick(now time.Duration) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.ticks++
+	st.lastAt = now
+	for i := range st.regs {
+		rs := &st.regs[i]
+		if rs.reg.MetricCount() != rs.lastSize {
+			st.scanRegistry(rs)
+		}
+	}
+	for _, s := range st.series {
+		s.sample(now)
+	}
+	st.evalRules(now)
+}
+
+func (st *Store) evalRules(now time.Duration) {
+	for _, r := range st.rules {
+		for i, s := range st.series {
+			if !r.matches(s.name) {
+				continue
+			}
+			state := r.states[i]
+			if state == nil {
+				state = &ruleState{}
+				r.states[i] = state
+			}
+			p := s.latest()
+			v := p.V
+			if r.def.OnAux {
+				v = p.Aux
+			}
+			out := v >= r.def.Threshold
+			if r.def.Below {
+				out = v <= r.def.Threshold
+			}
+			if out {
+				state.streak++
+			} else {
+				state.streak = 0
+			}
+			switch {
+			case !state.firing && state.streak >= r.def.ForTicks:
+				state.firing = true
+				st.emit(HealthEvent{At: now, Tick: st.ticks, Rule: r.def.Name, Series: s.name, Value: v, State: "fire"})
+			case state.firing && !out:
+				state.firing = false
+				st.emit(HealthEvent{At: now, Tick: st.ticks, Rule: r.def.Name, Series: s.name, Value: v, State: "clear"})
+			}
+		}
+	}
+}
+
+// emit appends ev to the bounded event ring and invokes the callback.
+func (st *Store) emit(ev HealthEvent) {
+	if st.evN < len(st.events) {
+		st.events[st.evN] = ev
+		st.evN++
+	} else {
+		st.events[st.evHead] = ev
+		st.evHead++
+		if st.evHead == len(st.events) {
+			st.evHead = 0
+		}
+	}
+	if st.onEvent != nil {
+		st.onEvent(ev)
+	}
+}
+
+// Ticks reports how many scrapes have run.
+func (st *Store) Ticks() uint64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ticks
+}
+
+// Events returns the retained health events, oldest first.
+func (st *Store) Events() []HealthEvent {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.eventsLocked()
+}
+
+func (st *Store) eventsLocked() []HealthEvent {
+	out := make([]HealthEvent, 0, st.evN)
+	for i := 0; i < st.evN; i++ {
+		j := st.evHead + i
+		if j >= len(st.events) {
+			j -= len(st.events)
+		}
+		out = append(out, st.events[j])
+	}
+	return out
+}
+
+// SeriesSnap is one exported series, points oldest first.
+type SeriesSnap struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points,omitempty"`
+}
+
+// RuleSnap is one watermark rule's state over one matched series.
+type RuleSnap struct {
+	Rule   string `json:"rule"`
+	Series string `json:"series"`
+	Firing bool   `json:"firing"`
+	Streak int    `json:"streak"`
+}
+
+// Export is the store's full, deterministic dump: series sorted by
+// name, rule states sorted by (rule, series), events oldest first.
+type Export struct {
+	Interval time.Duration `json:"interval_ns"`
+	Ticks    uint64        `json:"ticks"`
+	Series   []SeriesSnap  `json:"series,omitempty"`
+	Rules    []RuleSnap    `json:"rules,omitempty"`
+	Events   []HealthEvent `json:"events,omitempty"`
+}
+
+// Export snapshots everything.
+func (st *Store) Export() Export {
+	if st == nil {
+		return Export{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := Export{Interval: st.interval, Ticks: st.ticks}
+	for _, s := range st.series {
+		ss := SeriesSnap{Name: s.name, Kind: s.kind.String(), Points: make([]Point, 0, s.n)}
+		for i := 0; i < s.n; i++ {
+			j := s.head + i
+			if j >= len(s.ring) {
+				j -= len(s.ring)
+			}
+			ss.Points = append(ss.Points, s.ring[j])
+		}
+		out.Series = append(out.Series, ss)
+	}
+	sort.Slice(out.Series, func(i, j int) bool { return out.Series[i].Name < out.Series[j].Name })
+	out.Rules = st.ruleSnapsLocked()
+	out.Events = st.eventsLocked()
+	return out
+}
+
+func (st *Store) ruleSnapsLocked() []RuleSnap {
+	var out []RuleSnap
+	for _, r := range st.rules {
+		for i, state := range r.states {
+			out = append(out, RuleSnap{Rule: r.def.Name, Series: st.series[i].name, Firing: state.firing, Streak: state.streak})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Series < out[j].Series
+	})
+	return out
+}
+
+// JSON renders the full export as compact JSON (byte-identical across
+// same-seed runs).
+func (st *Store) JSON() string {
+	b, err := json.Marshal(st.Export())
+	if err != nil {
+		return "{}" // unreachable: Export is plain data
+	}
+	return string(b)
+}
+
+// Text renders one line per series — the latest sample plus how many
+// points are retained — sorted by name.
+func (st *Store) Text() string {
+	if st == nil {
+		return "time-series collection disabled\n"
+	}
+	st.mu.Lock()
+	names := make([]string, 0, len(st.series))
+	byName := make(map[string]*series, len(st.series))
+	for _, s := range st.series {
+		names = append(names, s.name)
+		byName[s.name] = s
+	}
+	ticks, at := st.ticks, st.lastAt
+	type row struct {
+		name string
+		kind Kind
+		p    Point
+		n    int
+	}
+	rows := make([]row, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		s := byName[name]
+		rows = append(rows, row{name: name, kind: s.kind, p: s.latest(), n: s.n})
+	}
+	st.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "tseries: %d series, %d ticks, last at %v\n", len(rows), ticks, at)
+	for _, r := range rows {
+		switch r.kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "%s rate=%d total=%d points=%d\n", r.name, r.p.V, r.p.Aux, r.n)
+		case KindGauge:
+			fmt.Fprintf(&b, "%s value=%d hi=%d points=%d\n", r.name, r.p.V, r.p.Aux, r.n)
+		case KindHist:
+			fmt.Fprintf(&b, "%s rate=%d p99=%v points=%d\n", r.name, r.p.V, time.Duration(r.p.Aux), r.n)
+		}
+	}
+	return b.String()
+}
+
+// HealthText renders the rule states and recent events.
+func (st *Store) HealthText() string {
+	if st == nil {
+		return "time-series collection disabled\n"
+	}
+	st.mu.Lock()
+	snaps := st.ruleSnapsLocked()
+	events := st.eventsLocked()
+	st.mu.Unlock()
+	var b strings.Builder
+	for _, s := range snaps {
+		state := "ok"
+		if s.Firing {
+			state = "FIRING"
+		}
+		fmt.Fprintf(&b, "%s %s %s streak=%d\n", s.Rule, s.Series, state, s.Streak)
+	}
+	if len(events) > 0 {
+		b.WriteString("EVENTS (oldest first)\n")
+		for _, ev := range events {
+			b.WriteString("  " + ev.String() + "\n")
+		}
+	}
+	if b.Len() == 0 {
+		return "no watermark rules installed\n"
+	}
+	return b.String()
+}
+
+// HealthJSON renders rule states plus events as one JSON object.
+func (st *Store) HealthJSON() string {
+	if st == nil {
+		return "{}"
+	}
+	st.mu.Lock()
+	out := struct {
+		Rules  []RuleSnap    `json:"rules,omitempty"`
+		Events []HealthEvent `json:"events,omitempty"`
+	}{st.ruleSnapsLocked(), st.eventsLocked()}
+	st.mu.Unlock()
+	b, err := json.Marshal(out)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Peak is a hot-path high-water accumulator: instrumented call sites
+// note a level (queue depth after an enqueue) and the tick scrape takes
+// and resets the maximum, so saturation between ticks survives into the
+// series. A nil Peak — the disabled deployment — costs one pointer
+// check per call site (gated under 5 ns by BenchmarkTSeriesOverhead).
+// Not atomic: the writers and the scraper must share a thread (the sim
+// engine), exactly like the plain counters on trunks and links.
+type Peak struct{ v int64 }
+
+// Note raises the pending high-water mark. Safe on nil.
+func (p *Peak) Note(v int64) {
+	if p != nil && v > p.v {
+		p.v = v
+	}
+}
+
+// Take returns the high-water mark since the previous Take and resets it.
+func (p *Peak) Take() int64 {
+	if p == nil {
+		return 0
+	}
+	v := p.v
+	p.v = 0
+	return v
+}

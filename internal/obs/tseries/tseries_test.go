@@ -1,0 +1,253 @@
+package tseries
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xunet/internal/obs"
+)
+
+func tick(st *Store, i int) { st.Tick(time.Duration(i) * 10 * time.Millisecond) }
+
+func TestCounterDeltasAndBaseline(t *testing.T) {
+	st := New(Config{Capacity: 8})
+	c := &obs.Counter{}
+	c.Add(100) // pre-arm history must not appear as a delta
+	st.TrackCounter("c", c)
+	c.Add(3)
+	tick(st, 1)
+	c.Add(5)
+	tick(st, 2)
+	ex := st.Export()
+	if len(ex.Series) != 1 || ex.Series[0].Name != "c" {
+		t.Fatalf("series = %+v", ex.Series)
+	}
+	pts := ex.Series[0].Points
+	if len(pts) != 2 || pts[0].V != 3 || pts[0].Aux != 103 || pts[1].V != 5 || pts[1].Aux != 108 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestCounterRollbackClamps(t *testing.T) {
+	st := New(Config{Capacity: 8})
+	v := uint64(10)
+	st.TrackRateFunc("c", func() uint64 { return v }, 0, 0)
+	v = 7 // rolled back (xswitch truncate decrements Sent)
+	tick(st, 1)
+	v = 9
+	tick(st, 2)
+	pts := st.Export().Series[0].Points
+	if pts[0].V != 0 {
+		t.Fatalf("rollback delta = %d, want 0 (clamped)", pts[0].V)
+	}
+	if pts[1].V != 2 {
+		t.Fatalf("post-rollback delta = %d, want 2", pts[1].V)
+	}
+}
+
+func TestRateScaling(t *testing.T) {
+	st := New(Config{Capacity: 8})
+	v := uint64(0)
+	// e.g. utilization in basis points: delta cells x 2831ns x 10000 / 10ms
+	st.TrackRateFunc("util", func() uint64 { return v }, 2831*10000, int64(10*time.Millisecond))
+	v = 1000
+	tick(st, 1)
+	pts := st.Export().Series[0].Points
+	want := int64(1000) * 2831 * 10000 / int64(10*time.Millisecond)
+	if pts[0].V != want {
+		t.Fatalf("scaled delta = %d, want %d", pts[0].V, want)
+	}
+}
+
+func TestGaugeAndHistSampling(t *testing.T) {
+	st := New(Config{Capacity: 8})
+	g := &obs.Gauge{}
+	h := &obs.Histogram{}
+	st.TrackGauge("g", g)
+	st.TrackHistogram("h", h)
+	g.Set(7)
+	g.Set(2)
+	h.Observe(4 * time.Millisecond)
+	tick(st, 1)
+	ex := st.Export()
+	var gp, hp Point
+	for _, s := range ex.Series {
+		switch s.Name {
+		case "g":
+			gp = s.Points[0]
+		case "h":
+			hp = s.Points[0]
+		}
+	}
+	if gp.V != 2 || gp.Aux != 7 {
+		t.Fatalf("gauge point = %+v, want value=2 hi=7", gp)
+	}
+	if hp.V != 1 || hp.Aux <= 0 {
+		t.Fatalf("hist point = %+v, want count delta 1 and positive p99", hp)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	st := New(Config{Capacity: 4})
+	v := uint64(0)
+	st.TrackRateFunc("c", func() uint64 { return v }, 0, 0)
+	for i := 1; i <= 10; i++ {
+		v += uint64(i)
+		tick(st, i)
+	}
+	pts := st.Export().Series[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("retained %d points, want 4", len(pts))
+	}
+	// Oldest-first: deltas 7,8,9,10 from ticks 7..10.
+	for i, want := range []int64{7, 8, 9, 10} {
+		if pts[i].V != want {
+			t.Fatalf("pts[%d].V = %d, want %d (%+v)", i, pts[i].V, want, pts)
+		}
+	}
+}
+
+func TestTrackRegistryRescansOnGrowth(t *testing.T) {
+	st := New(Config{Capacity: 8})
+	reg := obs.NewRegistry()
+	reg.Counter("a").Add(1)
+	st.TrackRegistry("m.", reg)
+	tick(st, 1)
+	reg.Counter("b").Add(5) // lazily registered after arm
+	tick(st, 2)
+	ex := st.Export()
+	names := make(map[string]int)
+	for _, s := range ex.Series {
+		names[s.Name] = len(s.Points)
+	}
+	if names["m.a"] != 2 {
+		t.Fatalf("m.a points = %d, want 2 (%v)", names["m.a"], names)
+	}
+	if names["m.b"] != 1 {
+		t.Fatalf("m.b points = %d, want 1 (adopted at tick 2) (%v)", names["m.b"], names)
+	}
+}
+
+func TestWatermarkRuleEdges(t *testing.T) {
+	st := New(Config{Capacity: 8})
+	depth := int64(0)
+	st.TrackGaugeFunc("q.depth", func() (int64, int64) { return depth, depth })
+	st.AddRule(Rule{Name: "deep", Series: "q.*", Threshold: 5, ForTicks: 2})
+	var events []HealthEvent
+	st.OnHealthEvent(func(ev HealthEvent) { events = append(events, ev) })
+
+	depth = 6
+	tick(st, 1) // streak 1: no fire yet
+	tick(st, 2) // streak 2: fire
+	tick(st, 3) // still firing: no re-fire
+	depth = 1
+	tick(st, 4) // clear
+	depth = 9
+	tick(st, 5)
+	tick(st, 6) // fire again
+
+	if len(events) != 3 {
+		t.Fatalf("events = %+v, want fire/clear/fire", events)
+	}
+	if events[0].State != "fire" || events[0].Tick != 2 || events[0].Series != "q.depth" {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	if events[1].State != "clear" || events[1].Tick != 4 {
+		t.Fatalf("second event = %+v", events[1])
+	}
+	if events[2].State != "fire" || events[2].Tick != 6 {
+		t.Fatalf("third event = %+v", events[2])
+	}
+	if got := st.Events(); len(got) != 3 {
+		t.Fatalf("ring retained %d events, want 3", len(got))
+	}
+	health := st.HealthText()
+	if !strings.Contains(health, "FIRING") || !strings.Contains(health, "deep") {
+		t.Fatalf("health text missing firing rule:\n%s", health)
+	}
+}
+
+func TestRuleBelowAndAux(t *testing.T) {
+	st := New(Config{Capacity: 8})
+	val, hi := int64(10), int64(10)
+	st.TrackGaugeFunc("g", func() (int64, int64) { return val, hi })
+	st.AddRule(Rule{Name: "starved", Series: "g", Threshold: 2, Below: true, ForTicks: 1})
+	st.AddRule(Rule{Name: "hiwater", Series: "g", Threshold: 50, OnAux: true, ForTicks: 1})
+	val = 1
+	hi = 60
+	tick(st, 1)
+	events := st.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %+v, want both rules firing", events)
+	}
+}
+
+func TestNilStoreIsSafe(t *testing.T) {
+	var st *Store
+	if st.Enabled() {
+		t.Fatal("nil store reports enabled")
+	}
+	st.TrackCounter("c", &obs.Counter{})
+	st.AddRule(Rule{Name: "r", Series: "c"})
+	st.Tick(time.Second)
+	if st.JSON() == "" || st.Text() == "" || st.HealthText() == "" || st.HealthJSON() == "" {
+		t.Fatal("nil store rendered empty output")
+	}
+	var p *Peak
+	p.Note(5)
+	if p.Take() != 0 {
+		t.Fatal("nil peak returned nonzero")
+	}
+}
+
+func TestPeak(t *testing.T) {
+	var p Peak
+	p.Note(3)
+	p.Note(9)
+	p.Note(4)
+	if got := p.Take(); got != 9 {
+		t.Fatalf("Take = %d, want 9", got)
+	}
+	if got := p.Take(); got != 0 {
+		t.Fatalf("second Take = %d, want 0 after reset", got)
+	}
+}
+
+func TestExportDeterminism(t *testing.T) {
+	build := func() string {
+		st := New(Config{Capacity: 8})
+		reg := obs.NewRegistry()
+		reg.Counter("z").Add(2)
+		reg.Counter("a").Add(1)
+		reg.Gauge("g").Set(4)
+		reg.Histogram("h").Observe(time.Millisecond)
+		st.TrackRegistry("r.", reg)
+		st.AddRule(Rule{Name: "rule", Series: "r.g", Threshold: 1, ForTicks: 1})
+		tick(st, 1)
+		tick(st, 2)
+		return st.JSON()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("same-input exports differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestTickSteadyStateDoesNotAllocate(t *testing.T) {
+	st := New(Config{Capacity: 64})
+	reg := obs.NewRegistry()
+	reg.Counter("c").Add(1)
+	reg.Gauge("g").Set(2)
+	reg.Histogram("h").Observe(time.Millisecond)
+	st.TrackRegistry("r.", reg)
+	st.AddRule(Rule{Name: "rule", Series: "r.g", Threshold: 1, ForTicks: 1})
+	st.Tick(0) // adopt + first fire; rule state maps populate here
+	now := time.Duration(0)
+	avg := testing.AllocsPerRun(100, func() {
+		now += 10 * time.Millisecond
+		st.Tick(now)
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state Tick allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -215,6 +215,12 @@ func (sh *Sighost) EnableJournal(bound int) {
 		compactions: sh.Obs.Counter("sighost.journal.compactions"),
 		truncated:   sh.Obs.Counter("sighost.journal.truncated"),
 	}
+	// Occupancy as read-through metrics, for the time-series scrape:
+	// durable log size and the in-flight batch depth.
+	jr := sh.jr
+	sh.Obs.Func("sighost.journal.bytes", func() uint64 { return uint64(len(jr.buf)) })
+	sh.Obs.Func("sighost.journal.records", func() uint64 { return uint64(jr.n) })
+	sh.Obs.Func("sighost.journal.pending", func() uint64 { return uint64(jr.pendingN) })
 }
 
 // jlog encodes one record into the current dispatch's batch. Every

@@ -39,7 +39,21 @@ const (
 	MgmtFlightJSON    = "flight.json"
 	MgmtFaults        = "faults"
 	MgmtFaultsJSON    = "faults.json"
+	// The continuous-telemetry surface: "tseries" renders the scraped
+	// time-series store (latest samples per series; ".json" is the full
+	// export with point history), "health" the watermark-rule states and
+	// recent health events.
+	MgmtTSeries     = "tseries"
+	MgmtTSeriesJSON = "tseries.json"
+	MgmtHealth      = "health"
+	MgmtHealthJSON  = "health.json"
 )
+
+// MaxMgmtReply bounds a management reply body. Bodies past the bound
+// are refused with a clean error instead of being truncated silently or
+// blowing the transport's frame cap (1 MiB in rtenv). A var so tests
+// can lower it.
+var MaxMgmtReply = 512 << 10
 
 // MgmtTraceDefault is how many ring events a trace query returns when the
 // request does not override the count (via Msg.Cookie).
@@ -84,6 +98,10 @@ func (sh *Sighost) handleMgmtQuery(conn Conn, m sigmsg.Msg) {
 		}
 		body = string(out)
 	case MgmtCallTrace:
+		if m.CallID == 0 {
+			sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "calltrace requires a call ID"})
+			return
+		}
 		t, ok := sh.TraceC.ByCall(m.CallID)
 		if !ok {
 			body = fmt.Sprintf("no trace for call %d (tracing off, unsampled, or evicted)", m.CallID)
@@ -129,12 +147,41 @@ func (sh *Sighost) handleMgmtQuery(conn Conn, m sigmsg.Msg) {
 		} else {
 			body = "{}"
 		}
+	case MgmtTSeries:
+		if sh.TSeriesInfo != nil {
+			body = sh.TSeriesInfo()
+		} else {
+			body = "time-series collection disabled"
+		}
+	case MgmtTSeriesJSON:
+		if sh.TSeriesJSON != nil {
+			body = sh.TSeriesJSON()
+		} else {
+			body = "{}"
+		}
+	case MgmtHealth:
+		if sh.HealthInfo != nil {
+			body = sh.HealthInfo()
+		} else {
+			body = "time-series collection disabled"
+		}
+	case MgmtHealthJSON:
+		if sh.HealthJSON != nil {
+			body = sh.HealthJSON()
+		} else {
+			body = "{}"
+		}
 	case MgmtLists:
 		svc, out, in, wb, vm := sh.ListSizes()
 		body = fmt.Sprintf("service_list=%d outgoing_requests=%d incoming_requests=%d wait_for_bind=%d VCI_mapping=%d cookies=%d",
 			svc, out, in, wb, vm, len(sh.cookies))
 	default:
 		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unknown management query " + m.Service})
+		return
+	}
+	if len(body) > MaxMgmtReply {
+		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError,
+			Reason: fmt.Sprintf("management reply for %s too large (%d bytes > %d)", m.Service, len(body), MaxMgmtReply)})
 		return
 	}
 	sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindMgmtReply, Service: m.Service, Comment: body})

@@ -67,6 +67,71 @@ func TestRealManagementQueries(t *testing.T) {
 	}
 }
 
+// Error paths of the management surface: malformed arguments, queries
+// against disabled subsystems, and replies past the size bound must all
+// come back as clean SIG_ERRORs (or explicit "disabled" text), never as
+// hangs, truncation, or transport failures.
+func TestMgmtErrorPaths(t *testing.T) {
+	h := startReal(t)
+
+	// calltrace without a call ID is malformed: there is nothing to look
+	// up and "no trace for call 0" would mask the caller's bug.
+	reply, err := realQuery(t, h.ListenAddr(), signaling.MgmtCallTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != sigmsg.KindError || !strings.Contains(reply.Reason, "requires a call ID") {
+		t.Fatalf("calltrace without ID: kind=%v reason=%q", reply.Kind, reply.Reason)
+	}
+
+	// The tseries/health queries answer even when collection is off —
+	// with explicit disabled text, not an error and not silence.
+	for q, want := range map[string]string{
+		signaling.MgmtTSeries:     "time-series collection disabled",
+		signaling.MgmtHealth:      "time-series collection disabled",
+		signaling.MgmtTSeriesJSON: "{}",
+		signaling.MgmtHealthJSON:  "{}",
+	} {
+		reply, err := realQuery(t, h.ListenAddr(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if reply.Kind != sigmsg.KindMgmtReply || reply.Comment != want {
+			t.Fatalf("%s: kind=%v body=%q", q, reply.Kind, reply.Comment)
+		}
+	}
+}
+
+func TestMgmtOversizedReply(t *testing.T) {
+	// Lower the bound before the actor goroutine exists and restore it
+	// after Close has joined it (cleanups run LIFO), so the actor's reads
+	// of the package var are ordered against both writes.
+	old := signaling.MaxMgmtReply
+	signaling.MaxMgmtReply = 16
+	t.Cleanup(func() { signaling.MaxMgmtReply = old })
+	h := startReal(t)
+
+	// The stats view is far past 16 bytes; it must be refused whole, with
+	// the query name and sizes in the reason, rather than truncated or
+	// left to blow the transport's frame cap.
+	reply, err := realQuery(t, h.ListenAddr(), signaling.MgmtStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != sigmsg.KindError || !strings.Contains(reply.Reason, "too large") ||
+		!strings.Contains(reply.Reason, signaling.MgmtStats) {
+		t.Fatalf("oversized reply: kind=%v reason=%q", reply.Kind, reply.Reason)
+	}
+
+	// The daemon stays usable after refusing: a reply under the bound
+	// (the empty services view) still answers normally on the same
+	// listener.
+	reply, err = realQuery(t, h.ListenAddr(), signaling.MgmtServices)
+	if err != nil || reply.Kind != sigmsg.KindMgmtReply || reply.Comment != "" {
+		t.Fatalf("post-error query: kind=%v err=%v body=%q", reply.Kind, err, reply.Comment)
+	}
+}
+
 func TestRealServerReject(t *testing.T) {
 	h := startReal(t)
 	c := &signaling.RealClient{SighostAddr: h.ListenAddr()}

@@ -57,6 +57,7 @@ type pendingMsg struct {
 	m        sigmsg.Msg
 	raw      []byte // cached wire encoding; survives pool recycling
 	attempts int    // retransmissions so far
+	sentAt   time.Duration
 	cancel   CancelFunc
 
 	sh *Sighost
@@ -129,6 +130,7 @@ type reliability struct {
 	keepalives  *obs.Counter // sighost.rel.keepalives
 	peerDeaths  *obs.Counter // sighost.rel.peer_deaths
 	encodes     *obs.Counter // sighost.rel.encodes
+	ackRTT      *obs.Histogram // sighost.rel.ack_rtt
 }
 
 // newPending pops a pooled struct (keeping its raw buffer) or builds a
@@ -187,7 +189,19 @@ func (sh *Sighost) EnableReliability(cfg RelConfig) {
 		keepalives:  sh.Obs.Counter("sighost.rel.keepalives"),
 		peerDeaths:  sh.Obs.Counter("sighost.rel.peer_deaths"),
 		encodes:     sh.Obs.Counter("sighost.rel.encodes"),
+		ackRTT:      sh.Obs.Histogram("sighost.rel.ack_rtt"),
 	}
+}
+
+// PrimePeer pre-creates the reliability state for a known neighbor, so
+// its retransmit-backlog metric exists (at zero) from the start of the
+// run instead of materializing on first traffic. A no-op when
+// reliability is off.
+func (sh *Sighost) PrimePeer(peer atm.Addr) {
+	if sh.rel == nil {
+		return
+	}
+	sh.rel.link(sh, peer)
 }
 
 // link returns (creating if needed) the reliability state for peer.
@@ -202,6 +216,11 @@ func (r *reliability) link(sh *Sighost, peer atm.Addr) *peerLink {
 			seen:    make(map[uint32]bool),
 		}
 		r.links[peer] = lk
+		// Per-peer retransmit backlog as a read-through metric, sampled
+		// at snapshot/scrape time like the trunk cell counters.
+		sh.Obs.Func("sighost.rel.backlog."+string(peer), func() uint64 {
+			return uint64(len(lk.unacked))
+		})
 	}
 	return lk
 }
@@ -216,6 +235,7 @@ func (sh *Sighost) relSend(dst atm.Addr, m sigmsg.Msg) error {
 	m.Epoch = lk.epoch
 	pm := r.newPending()
 	pm.sh, pm.lk, pm.m = sh, lk, m
+	pm.sentAt = sh.env.Now()
 	// Encode exactly once; every retransmission replays the cached frame.
 	pm.raw = m.AppendTo(pm.raw[:0])
 	r.encodes.Inc()
@@ -334,6 +354,12 @@ func (sh *Sighost) relRecv(from atm.Addr, m sigmsg.Msg) bool {
 			if pm, ok := lk.unacked[m.Seq]; ok {
 				if pm.cancel != nil {
 					pm.cancel()
+				}
+				// Karn's rule: a retransmitted message's ack is ambiguous
+				// (it may answer any attempt), so only first-try acks
+				// contribute RTT samples.
+				if pm.attempts == 0 {
+					sh.rel.ackRTT.Observe(sh.env.Now() - pm.sentAt)
 				}
 				sh.rel.dropPending(lk, pm)
 			}

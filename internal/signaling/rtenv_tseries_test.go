@@ -1,0 +1,56 @@
+package signaling_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xunet/internal/obs/tseries"
+	"xunet/internal/sigmsg"
+	"xunet/internal/signaling"
+)
+
+// Wall-clock telemetry on the real daemon: the scrape must adopt the
+// Go runtime metrics, the MGMT queries must serve live content, and the
+// OpenMetrics endpoint must render the registry in exposition format.
+func TestRealTSeriesScrape(t *testing.T) {
+	h := startReal(t)
+	h.EnableTSeries(tseries.Config{Interval: 5 * time.Millisecond})
+
+	// Wait for a few scrape ticks to land (wall clock; poll, don't sleep
+	// a fixed amount — loaded CI machines stall tickers).
+	deadline := time.Now().Add(5 * time.Second)
+	var body string
+	for time.Now().Before(deadline) {
+		reply, err := realQuery(t, h.ListenAddr(), signaling.MgmtTSeries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Kind != sigmsg.KindMgmtReply {
+			t.Fatalf("tseries reply kind %v: %q", reply.Kind, reply.Reason)
+		}
+		body = reply.Comment
+		if strings.Contains(body, "go.goroutines") && !strings.Contains(body, "0 ticks") {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(body, "go.goroutines") || !strings.Contains(body, "go.heap_inuse_bytes") {
+		t.Fatalf("scrape never adopted runtime metrics:\n%.400s", body)
+	}
+
+	reply, err := realQuery(t, h.ListenAddr(), signaling.MgmtHealth)
+	if err != nil || reply.Kind != sigmsg.KindMgmtReply {
+		t.Fatalf("health query: kind=%v err=%v", reply.Kind, err)
+	}
+
+	om := h.OpenMetrics()
+	for _, want := range []string{"# TYPE go_goroutines gauge", "go_goroutines ", "# EOF"} {
+		if !strings.Contains(om, want) {
+			t.Errorf("OpenMetrics missing %q:\n%.400s", want, om)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimRight(om, "\n"), "# EOF") {
+		t.Error("OpenMetrics must end with # EOF")
+	}
+}

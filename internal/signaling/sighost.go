@@ -323,6 +323,15 @@ type Sighost struct {
 	// for the MGMT `faults` / `faults.json` queries.
 	FaultsInfo func() string
 	FaultsJSON func() string
+
+	// TSeriesInfo/TSeriesJSON and HealthInfo/HealthJSON, when set,
+	// render the time-series store and its watermark-rule state for the
+	// MGMT `tseries` / `health` queries (the testbed and the real-mode
+	// daemon wire these to their tseries.Store).
+	TSeriesInfo func() string
+	TSeriesJSON func() string
+	HealthInfo  func() string
+	HealthJSON  func() string
 }
 
 // sigCounters are the registry counters behind the legacy Stats fields,

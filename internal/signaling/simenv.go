@@ -173,7 +173,14 @@ func ConnectSighosts(a, b *SimHost) error {
 	if err := connectOneWay(a, b); err != nil {
 		return err
 	}
-	return connectOneWay(b, a)
+	if err := connectOneWay(b, a); err != nil {
+		return err
+	}
+	// With reliability armed, pre-create each side's peer link so its
+	// retransmit-backlog metric exists from the start of the run.
+	a.SH.PrimePeer(b.Stack.Addr)
+	b.SH.PrimePeer(a.Stack.Addr)
+	return nil
 }
 
 // connectOneWay builds the a-to-b signaling PVC.

@@ -20,6 +20,9 @@ type StormConfig struct {
 	Hold time.Duration
 	// FramesPerCall is data sent on each established circuit.
 	FramesPerCall int
+	// FrameBytes pads each data frame to this size (<= 0 keeps the tiny
+	// default frames); large frames are what actually load the trunks.
+	FrameBytes int
 	// BasePort is the first client notify port; each call uses
 	// BasePort+i.
 	BasePort uint16
@@ -77,7 +80,7 @@ func CallStorm(ep Endpoint, dest atm.Addr, service string, cfg StormConfig) *Sto
 				p.SP.Sleep(launch)
 			}
 			res.Launched++
-			r := OpenAndUse(ep, p, dest, service, port, cfg.QoS, cfg.FramesPerCall, func(p *kern.Proc) {
+			r := OpenAndUseFrames(ep, p, dest, service, port, cfg.QoS, cfg.FramesPerCall, cfg.FrameBytes, func(p *kern.Proc) {
 				if cfg.Hold > 0 {
 					p.SP.Sleep(cfg.Hold)
 				}

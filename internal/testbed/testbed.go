@@ -19,6 +19,7 @@ import (
 	"xunet/internal/kern"
 	"xunet/internal/memnet"
 	"xunet/internal/obs"
+	"xunet/internal/obs/tseries"
 	"xunet/internal/signaling"
 	"xunet/internal/sim"
 	"xunet/internal/trace"
@@ -55,6 +56,11 @@ type Options struct {
 	// Rel overrides the reliability tuning when faults are armed (zero
 	// value selects signaling.DefaultRelConfig()).
 	Rel signaling.RelConfig
+	// TSeries, when non-nil, arms continuous telemetry: every machine
+	// registry, trunk, and IP link is scraped into Net.TS on sim-time
+	// ticks once StartTSeries is called. Nil (the default) keeps every
+	// hot-path hook a single nil check and existing goldens untouched.
+	TSeries *tseries.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -103,8 +109,13 @@ type Net struct {
 	// auto-dumped for calls ending in REJECT, TIMEOUT, or DEATH — the
 	// E4 storm's failure modes leave their trails here.
 	FlightDumps []string
-	opts        Options
-	nextSite    int
+	// TS is the deployment's time-series store (nil unless
+	// Options.TSeries armed it); HealthEvents accumulates every
+	// watermark edge its rules emitted.
+	TS           *tseries.Store
+	HealthEvents []tseries.HealthEvent
+	opts         Options
+	nextSite     int
 }
 
 // New builds an empty deployment; add routers and hosts, then Run.
@@ -128,6 +139,13 @@ func New(opts Options) *Net {
 		n.FlightDumps = append(n.FlightDumps, tree)
 	})
 	n.Fabric.TraceC = n.TraceC
+	if opts.TSeries != nil {
+		n.TS = tseries.New(*opts.TSeries)
+		// The fabric registry's metric names already carry the fabric.
+		// prefix; machine registries get their router's address as prefix
+		// when AddRouter tracks them.
+		n.TS.TrackRegistry("", n.Fabric.Obs)
+	}
 	if opts.Faults != nil {
 		fc := *opts.Faults
 		if fc.Seed == 0 {
@@ -147,6 +165,61 @@ func New(opts Options) *Net {
 // running until the given sim-time cutoff (trunks always end up).
 func (n *Net) StartTrunkFlapping(until time.Duration) {
 	n.Fabric.StartFlapping(until)
+}
+
+// DefaultHealthRules are the watermark rules StartTSeries installs: a
+// trunk's between-tick queue high-water past QueueWatermarkCells, a
+// burst of signaling retransmissions in one tick, and a burst of
+// flight-recorder dumps in one tick.
+func DefaultHealthRules() []tseries.Rule {
+	return []tseries.Rule{
+		{Name: "trunk-queue-buildup", Series: "fabric.trunk.*.qdepth", Threshold: QueueWatermarkCells, OnAux: true, ForTicks: 1},
+		{Name: "retransmit-spike", Series: "*.sighost.rel.retransmits", Threshold: 3, ForTicks: 1},
+		{Name: "flight-dump-burst", Series: "*.trace.flight.dumps", Threshold: 3, ForTicks: 1},
+	}
+}
+
+// QueueWatermarkCells is the queue-depth high-water (in cells) at which
+// the trunk-queue-buildup rule fires. A DS3 trunk serializes a cell in
+// ~9.4µs, so 16 queued cells is ~150µs of standing delay — congestion
+// onset, well before the 2048-cell overflow point.
+const QueueWatermarkCells = 16
+
+// StartTSeries begins the scrape tick chain: every store interval, the
+// deployment's metrics are sampled and the watermark rules evaluated,
+// until the given sim-time cutoff (self-rescheduling events would
+// otherwise keep Run from draining). It registers the trunk and IP-link
+// sources, installs DefaultHealthRules, and wires rule fires to publish
+// a health event on the fabric's obs ring and dump the flight
+// recorder's recent traces. No-op unless Options.TSeries armed the
+// store. Call it after the topology is assembled, before Run.
+func (n *Net) StartTSeries(until time.Duration) {
+	if n.TS == nil {
+		return
+	}
+	n.Fabric.RegisterTSeries(n.TS)
+	n.IPNet.RegisterTSeries(n.TS)
+	for _, r := range DefaultHealthRules() {
+		n.TS.AddRule(r)
+	}
+	n.TS.OnHealthEvent(func(ev tseries.HealthEvent) {
+		n.HealthEvents = append(n.HealthEvents, ev)
+		n.Fabric.Obs.Ring().Publish(obs.Event{
+			At: ev.At, Comp: "health", Kind: ev.State, Peer: ev.Series, Text: ev.String(),
+		})
+		if ev.State == "fire" {
+			n.TraceC.DumpRecent(4, ev.Rule)
+		}
+	})
+	interval := n.TS.Interval()
+	var tick func()
+	tick = func() {
+		n.TS.Tick(n.E.Now())
+		if n.E.Now()+interval <= until {
+			n.E.Schedule(interval, tick)
+		}
+	}
+	n.E.Schedule(interval, tick)
 }
 
 // AddRouter creates a router attached to sw and starts its signaling
@@ -183,6 +256,17 @@ func (n *Net) AddRouter(addr atm.Addr, sw *xswitch.Switch) (*Router, error) {
 		fp := n.Faults
 		r.Sig.SH.FaultsInfo = func() string { return fp.Obs.Snapshot().Text() }
 		r.Sig.SH.FaultsJSON = func() string { return fp.Obs.Snapshot().JSON() }
+	}
+	if n.TS != nil {
+		// Machine metrics join the scrape under the router's address
+		// (lazily registered ones — journal, per-peer backlogs — are
+		// adopted by the store's growth rescan), and the MGMT tseries/
+		// health queries answer from the shared store.
+		n.TS.TrackRegistry(string(addr)+".", stack.M.Obs)
+		r.Sig.SH.TSeriesInfo = n.TS.Text
+		r.Sig.SH.TSeriesJSON = n.TS.JSON
+		r.Sig.SH.HealthInfo = n.TS.HealthText
+		r.Sig.SH.HealthJSON = n.TS.HealthJSON
 	}
 	r.Lib = ulib.New(stack, ip.Addr)
 	for _, other := range n.Routers {
@@ -352,6 +436,15 @@ type CallResult struct {
 // OpenAndUse performs the Figure 6 client flow on ep: open a
 // connection, connect a socket with the cookie, send frames, close.
 func OpenAndUse(ep Endpoint, p *kern.Proc, dest atm.Addr, service string, notifyPort uint16, qosStr string, frames int, hold func(*kern.Proc)) CallResult {
+	return OpenAndUseFrames(ep, p, dest, service, notifyPort, qosStr, frames, 0, hold)
+}
+
+// OpenAndUseFrames is OpenAndUse with each data frame padded to
+// frameBytes (<= 0 keeps the tiny default frames). Multi-cell frames
+// let load workloads actually exercise trunk queues: a 1400-byte frame
+// is ~30 cells arriving at host-interface rate and draining at trunk
+// rate.
+func OpenAndUseFrames(ep Endpoint, p *kern.Proc, dest atm.Addr, service string, notifyPort uint16, qosStr string, frames, frameBytes int, hold func(*kern.Proc)) CallResult {
 	stack, lib := ep.EndStack(), ep.EndLib()
 	start := p.SP.Now()
 	conn, err := lib.OpenConnection(p, dest, service, notifyPort, "testbed", qosStr)
@@ -375,7 +468,11 @@ func OpenAndUse(ep Endpoint, p *kern.Proc, dest atm.Addr, service string, notify
 		p.SP.Sleep(100 * time.Millisecond)
 	}
 	for i := 0; i < frames; i++ {
-		_ = sock.Send([]byte(fmt.Sprintf("frame %d", i)))
+		payload := []byte(fmt.Sprintf("frame %d", i))
+		if frameBytes > len(payload) {
+			payload = append(payload, make([]byte, frameBytes-len(payload))...)
+		}
+		_ = sock.Send(payload)
 	}
 	if hold != nil {
 		hold(p)

@@ -176,6 +176,33 @@ func (c *Collector) OnDump(fn func(t *Trace, tree string)) {
 	c.onDump = fn
 }
 
+// DumpRecent pushes the newest n completed traces through the OnDump
+// hook (regardless of status), tagging each with reason. Health
+// watermark rules use it to snapshot what the flight recorder was
+// holding when a rule fired. Returns how many traces were dumped.
+func (c *Collector) DumpRecent(n int, reason string) int {
+	if c == nil || n <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	dump := c.onDump
+	if dump == nil {
+		c.mu.Unlock()
+		return 0
+	}
+	start := len(c.flight) - n
+	if start < 0 {
+		start = 0
+	}
+	picked := append([]*Trace(nil), c.flight[start:]...)
+	c.dumps += uint64(len(picked))
+	c.mu.Unlock()
+	for _, t := range picked {
+		dump(t, "DUMP reason="+reason+"\n"+TextTree(t))
+	}
+	return len(picked)
+}
+
 // StartTrace begins a new trace for a call, applying the head-sampling
 // decision. The returned context is the root span; a zero context means
 // the call was not sampled (or the collector is disabled) and every

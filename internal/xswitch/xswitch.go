@@ -25,6 +25,7 @@ import (
 	"xunet/internal/atm"
 	"xunet/internal/faults"
 	"xunet/internal/obs"
+	"xunet/internal/obs/tseries"
 	"xunet/internal/qos"
 	"xunet/internal/sim"
 	"xunet/internal/trace"
@@ -141,6 +142,11 @@ type trunk struct {
 	// a flapped-out trunk that drops every cell.
 	geBad bool
 	down  bool
+
+	// qPeak, when time-series collection is armed, accumulates the
+	// between-tick queue-depth high-water mark (nil costs one pointer
+	// check in send; see the obsgate benchmark).
+	qPeak *tseries.Peak
 }
 
 // wrrWeights drain CBR most aggressively, then VBR, then best effort —
@@ -248,6 +254,7 @@ func (t *trunk) send(c atm.Cell) {
 		return
 	}
 	t.queues[cls].Push(c)
+	t.qPeak.Note(int64(t.queues[0].Len() + t.queues[1].Len() + t.queues[2].Len()))
 	if !t.draining {
 		t.drain()
 	}
@@ -777,6 +784,62 @@ func (s ClassCellStats) LossRate(c qos.Class) float64 {
 		return 0
 	}
 	return float64(s.Dropped[c]) / float64(total)
+}
+
+// RegisterTSeries tracks every trunk's congestion signals in st:
+// cells/drops (per-tick rates), utilization in basis points (cell delta
+// x serialization time / tick interval), and queue depth with the
+// between-tick high-water captured by the qPeak hook armed here.
+// Enumeration is sorted (switch names, then endpoint addresses) so
+// series registration order — and therefore the export — is
+// deterministic; switch trunk lists already include endpoint downlinks,
+// so only uplinks need the endpoint pass.
+func (f *Fabric) RegisterTSeries(st *tseries.Store) {
+	if st == nil {
+		return
+	}
+	names := make([]string, 0, len(f.switches))
+	for n := range f.switches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, t := range f.switches[n].trunks {
+			f.trackTrunk(st, t)
+		}
+	}
+	addrs := make([]string, 0, len(f.endpoints))
+	for a := range f.endpoints {
+		addrs = append(addrs, string(a))
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		f.trackTrunk(st, f.endpoints[atm.Addr(a)].uplink)
+	}
+}
+
+func (f *Fabric) trackTrunk(st *tseries.Store, t *trunk) {
+	prefix := "fabric.trunk." + t.from.name() + ">" + t.to.name() + "."
+	st.TrackRateFunc(prefix+"cells", func() uint64 { return t.Sent }, 0, 0)
+	st.TrackRateFunc(prefix+"drops", func() uint64 { return t.Dropped }, 0, 0)
+	if t.ser > 0 && st.Interval() > 0 {
+		// 10000 x (cells x ser) / interval = line utilization in basis
+		// points, an integer so exports stay byte-exact.
+		st.TrackRateFunc(prefix+"util_bp", func() uint64 { return t.Sent },
+			int64(t.ser)*10000, int64(st.Interval()))
+	}
+	if t.qPeak == nil {
+		t.qPeak = &tseries.Peak{}
+	}
+	peak := t.qPeak
+	st.TrackGaugeFunc(prefix+"qdepth", func() (int64, int64) {
+		depth := int64(t.queues[0].Len() + t.queues[1].Len() + t.queues[2].Len())
+		hi := peak.Take()
+		if depth > hi {
+			hi = depth
+		}
+		return depth, hi
+	})
 }
 
 // ClassStats sums per-class cell counts over every trunk.
