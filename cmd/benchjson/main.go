@@ -74,9 +74,16 @@ type Bench struct {
 // Report is the file layout. Benchmarks keep first-seen input order,
 // so diffs between PRs line up.
 type Report struct {
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS records the hardware parallelism the numbers were
+	// measured with. Parallel-engine metrics (the sharded storm's
+	// sim-calls/s series) are meaningless to diff across different
+	// parallelism, so -diff warns when the two reports disagree.
+	// omitempty keeps pre-PR7 reports parseable (they read back as 0 =
+	// unknown).
+	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
@@ -266,6 +273,12 @@ func runDiff(oldPath, newPath, benchRE, metricRE string, gatePct float64) int {
 		return 2
 	}
 
+	if oldRep.GOMAXPROCS != 0 && newRep.GOMAXPROCS != 0 && oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: warning: reports measured at different parallelism (GOMAXPROCS %d vs %d); wall-clock deltas reflect the hardware, not the code\n",
+			oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
+	}
+
 	oldIdx := index(oldRep)
 	newIdx := index(newRep)
 	compared, regressed := 0, 0
@@ -373,6 +386,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: aggregate(order, pkgOf, runs),
 	}
 	if len(rep.Benchmarks) == 0 {

@@ -6,6 +6,13 @@
 //	go run ./cmd/obsgen -health          # watermark rule states + events
 //	go run ./cmd/obsgen -table          # utilization/queue-depth vs time table
 //
+// With -shards N (N > 0) the storm runs on the sharded parallel engine
+// instead: N switch domains joined by lookahead-funding trunks, each on
+// its own shard, executed by -workers goroutines, and the export is the
+// deterministic merge of every domain's store. The bytes depend only on
+// the seed and topology, never on -workers — `make shardgate` diffs a
+// 1-worker run against a 4-worker run to prove it.
+//
 // The simulation is deterministic, so the same seed always prints the
 // same bytes — `make obsgate` runs it twice and diffs, guarding the
 // reproducibility claim the telemetry layer makes (the same guard
@@ -35,7 +42,17 @@ func main() {
 	health := flag.Bool("health", false, "print watermark rule states and health events instead of the export")
 	table := flag.Bool("table", false, "print a utilization/queue-depth table for the busiest trunk")
 	tableEvery := flag.Int("table-every", 40, "aggregate the table over this many ticks per row (40 x 25ms = 1s)")
+	shards := flag.Int("shards", 0, "run on the sharded engine with this many switch domains (0 = classic flat testbed)")
+	workers := flag.Int("workers", 1, "shard-window worker goroutines (sharded mode; never changes the bytes)")
+	sighosts := flag.Int("sighosts", 2, "sighost routers per domain (sharded mode)")
+	trunkDelay := flag.Duration("trunk-delay", 2*time.Millisecond, "inter-domain trunk propagation delay = conservative lookahead (sharded mode)")
 	flag.Parse()
+
+	if *shards > 0 {
+		runSharded(*seed, *shards, *workers, *sighosts, *trunkDelay, *calls, *frames, *frameBytes,
+			*runFor, *interval, *capacity, *health, *table, *tableEvery)
+		return
+	}
 
 	n, ra, rb, err := testbed.NewTestbed(testbed.Options{
 		Seed:          *seed,
@@ -67,6 +84,46 @@ func main() {
 		printTable(ex, *tableEvery)
 	default:
 		fmt.Println(n.TS.JSON())
+	}
+}
+
+// runSharded is the -shards path: the same E4 storm split across a
+// multi-domain ring on the parallel engine, with the per-domain stores
+// merged into one deterministic export.
+func runSharded(seed uint64, shards, workers, sighosts int, trunkDelay time.Duration,
+	calls, frames, frameBytes int, runFor, interval time.Duration, capacity int,
+	health, table bool, tableEvery int) {
+	cfg := testbed.StormConfig{
+		Count: calls, Hold: time.Second, FramesPerCall: frames, FrameBytes: frameBytes,
+		Domains: shards, SighostsPerDomain: sighosts, TrunkDelay: trunkDelay,
+		CrossFrames: frames,
+	}
+	sn, err := testbed.NewSharded(testbed.Options{
+		Seed:          seed,
+		DeviceBuffers: kern.FixedDeviceBuffers,
+		FDTableSize:   kern.FixedFDTableSize,
+		TSeries:       &tseries.Config{Interval: interval, Capacity: capacity},
+	}, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer sn.Close()
+	sn.G.SetWorkers(workers)
+	sn.StartTSeries(runFor)
+	sn.RunUntil(time.Second)
+	testbed.ShardedStorm(sn, cfg)
+	sn.RunUntil(runFor)
+	ex := sn.MergedExport()
+
+	switch {
+	case health:
+		for _, dom := range sn.Domains {
+			fmt.Printf("== domain %d\n%s", dom.Index, dom.TS.HealthText())
+		}
+	case table:
+		printTable(ex, tableEvery)
+	default:
+		fmt.Println(sn.MergedTSeriesJSON())
 	}
 }
 

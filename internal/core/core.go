@@ -64,7 +64,7 @@ func NewRouter(e *sim.Engine, cm sim.CostModel, cfg RouterConfig) (*Stack, error
 		m.FDTableSize = cfg.FDTableSize
 	}
 	m.InstallPseudoDev(cfg.DeviceBuffers)
-	ep, err := cfg.Fabric.Attach(cfg.Addr, nil, cfg.Switch, cfg.Attach)
+	ep, err := cfg.Fabric.AttachOn(cfg.Addr, nil, cfg.Switch, cfg.Attach, e)
 	if err != nil {
 		return nil, fmt.Errorf("core: attach %s: %w", cfg.Addr, err)
 	}

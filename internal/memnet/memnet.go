@@ -84,7 +84,7 @@ func FDDI() LinkConfig {
 // link is one direction of a connection between two nodes.
 type link struct {
 	net       *Network
-	to        *Node
+	from, to  *Node
 	cfg       LinkConfig
 	busyUntil time.Duration
 
@@ -116,6 +116,18 @@ type Node struct {
 	Addr IPAddr
 	net  *Network
 
+	// eng is the engine this node's events run on. Flat networks put
+	// every node on Network.Engine; a sharded testbed places each
+	// domain's nodes on that domain's shard (AddNodeOn), and Connect
+	// refuses links between engines — cross-shard traffic must ride the
+	// xswitch boundary trunks, whose delay funds the group lookahead.
+	eng *sim.Engine
+
+	// faults, when non-nil, overrides the network-wide fault plane for
+	// links this node originates; sharded testbeds give each domain its
+	// own seeded plane so fault draws stay deterministic per shard.
+	faults *faults.Plane
+
 	// Meter, when set, is charged the Table 1 IP costs for packets this
 	// node originates or receives.
 	Meter *cost.Meter
@@ -144,8 +156,16 @@ var (
 	ErrPortInUse = errors.New("memnet: port already bound")
 )
 
-// AddNode registers a machine with the given address.
+// AddNode registers a machine with the given address on the network's
+// default engine.
 func (n *Network) AddNode(name string, addr IPAddr) (*Node, error) {
+	return n.AddNodeOn(name, addr, n.Engine)
+}
+
+// AddNodeOn registers a machine whose events run on engine e — the
+// shard-placement entry point. e must be the network engine or a shard
+// of the same group.
+func (n *Network) AddNodeOn(name string, addr IPAddr, e *sim.Engine) (*Node, error) {
 	if _, dup := n.nodes[addr]; dup {
 		return nil, fmt.Errorf("%w: %v", ErrDupAddr, addr)
 	}
@@ -153,6 +173,7 @@ func (n *Network) AddNode(name string, addr IPAddr) (*Node, error) {
 		Name:     name,
 		Addr:     addr,
 		net:      n,
+		eng:      e,
 		links:    make(map[*Node]*link),
 		routes:   make(map[IPAddr]*Node),
 		protos:   make(map[uint8]ProtoHandler),
@@ -176,12 +197,36 @@ func (n *Network) MustAddNode(name string, addr IPAddr) *Node {
 // Node looks up a machine by address.
 func (n *Network) Node(addr IPAddr) *Node { return n.nodes[addr] }
 
+// Eng returns the engine this node's events run on.
+func (nd *Node) Eng() *sim.Engine { return nd.eng }
+
+// SetFaults overrides the network-wide fault plane for links this node
+// originates (nil restores the network-wide plane).
+func (nd *Node) SetFaults(fp *faults.Plane) { nd.faults = fp }
+
+// faultPlane resolves the plane charged for this node's transmissions.
+func (nd *Node) faultPlane() *faults.Plane {
+	if nd.faults != nil {
+		return nd.faults
+	}
+	return nd.net.Faults
+}
+
 // RegisterTSeries tracks every link's load signals in st: packet and
 // drop rates plus occupancy — how far the transmit queue's busy horizon
 // extends past the current instant, in nanoseconds. Nodes and their
 // neighbors enumerate in sorted order so registration (and the export)
 // is deterministic.
 func (n *Network) RegisterTSeries(st *tseries.Store) {
+	n.RegisterTSeriesOwned(st, nil)
+}
+
+// RegisterTSeriesOwned is RegisterTSeries restricted to links whose
+// originating node lives on engine own (nil means every node). Sharded
+// testbeds call this once per shard so each shard's store samples only
+// state its own engine mutates — the scrape itself then needs no
+// cross-shard reads.
+func (n *Network) RegisterTSeriesOwned(st *tseries.Store, own *sim.Engine) {
 	if st == nil {
 		return
 	}
@@ -192,6 +237,9 @@ func (n *Network) RegisterTSeries(st *tseries.Store) {
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, a := range addrs {
 		nd := n.nodes[a]
+		if own != nil && nd.eng != own {
+			continue
+		}
 		peers := make([]*Node, 0, len(nd.links))
 		for p := range nd.links {
 			peers = append(peers, p)
@@ -203,7 +251,7 @@ func (n *Network) RegisterTSeries(st *tseries.Store) {
 			st.TrackRateFunc(prefix+"pkts", func() uint64 { return l.Sent }, 0, 0)
 			st.TrackRateFunc(prefix+"drops", func() uint64 { return l.Dropped }, 0, 0)
 			st.TrackGaugeFunc(prefix+"busy_ns", func() (int64, int64) {
-				busy := int64(l.busyUntil - n.Engine.Now())
+				busy := int64(l.busyUntil - l.from.eng.Now())
 				if busy < 0 {
 					busy = 0
 				}
@@ -214,9 +262,15 @@ func (n *Network) RegisterTSeries(st *tseries.Store) {
 }
 
 // Connect joins two nodes with a duplex link, both directions using cfg.
+// Both nodes must live on the same engine: an IP link has no minimum
+// delay, so it cannot cross a shard boundary (only xswitch trunks, with
+// their lookahead-funding propagation delay, may).
 func (n *Network) Connect(a, b *Node, cfg LinkConfig) {
-	a.links[b] = &link{net: n, to: b, cfg: cfg}
-	b.links[a] = &link{net: n, to: a, cfg: cfg}
+	if a.eng != b.eng {
+		panic(fmt.Sprintf("memnet: Connect %s<->%s across shard engines", a.Name, b.Name))
+	}
+	a.links[b] = &link{net: n, from: a, to: b, cfg: cfg}
+	b.links[a] = &link{net: n, from: b, to: a, cfg: cfg}
 }
 
 // LinkTo exposes the outgoing link from a node to a neighbor, for
@@ -276,7 +330,7 @@ func (nd *Node) SendIP(pkt *Packet) error {
 // park before its SYN-ACK lands).
 func (nd *Node) route(pkt *Packet) error {
 	if pkt.Dst == nd.Addr {
-		nd.net.Engine.Schedule(0, func() { nd.deliverLocal(pkt) })
+		nd.eng.Schedule(0, func() { nd.deliverLocal(pkt) })
 		return nil
 	}
 	via := nd.routes[pkt.Dst]
@@ -299,7 +353,7 @@ func (nd *Node) route(pkt *Packet) error {
 // transmit models serialization, propagation, loss and reordering, then
 // schedules receive at the far end.
 func (l *link) transmit(pkt *Packet) {
-	e := l.net.Engine
+	e := l.from.eng
 	rng := e.Rand()
 	l.Sent++
 	if rng.Chance(l.cfg.LossProb) {
@@ -323,7 +377,7 @@ func (l *link) transmit(pkt *Packet) {
 	}
 	to := l.to
 	var dup *Packet
-	if fp := l.net.Faults; fp != nil {
+	if fp := l.from.faultPlane(); fp != nil {
 		v := fp.Packet(trace.Context{})
 		if v.Drop {
 			l.Dropped++

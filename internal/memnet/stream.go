@@ -151,7 +151,7 @@ func (nd *Node) ListenStream(port uint16) (*StreamListener, error) {
 	l := &StreamListener{
 		node:    nd,
 		port:    port,
-		backlog: sim.NewQueue[*Stream](nd.net.Engine),
+		backlog: sim.NewQueue[*Stream](nd.eng),
 	}
 	nd.streams.listeners[port] = l
 	return l, nil
@@ -225,7 +225,7 @@ func newStream(nd *Node, key connKey) *Stream {
 		recvNext:  1,
 		unacked:   make(map[uint32][]byte),
 		ooo:       make(map[uint32][]byte),
-		inbox:     sim.NewQueue[[]byte](nd.net.Engine),
+		inbox:     sim.NewQueue[[]byte](nd.eng),
 	}
 }
 
@@ -379,7 +379,7 @@ func (s *Stream) sendSegment(seg *segment) {
 
 func (s *Stream) armRetransmit() {
 	s.rtimer.Stop()
-	s.rtimer = s.node.net.Engine.Schedule(streamRTO, s.onRetransmit)
+	s.rtimer = s.node.eng.Schedule(streamRTO, s.onRetransmit)
 }
 
 func (s *Stream) onRetransmit() {

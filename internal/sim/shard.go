@@ -1,0 +1,401 @@
+package sim
+
+// Sharded parallel simulation. A ShardGroup partitions one virtual
+// world across several Engines ("shards"), each advancing its own event
+// heap, synchronized conservatively: the group moves in barrier windows
+// no wider than the lookahead, and a cross-shard event may only be
+// scheduled at least one lookahead in the future. Since nothing a shard
+// does inside the window [W, W+L) can affect another shard before W+L,
+// every shard can execute its window with no locks and no knowledge of
+// its neighbors' progress — the classic conservative-synchronization
+// argument, with the lookahead supplied by the physics of the topology
+// (trunk propagation delay; see DESIGN.md §14).
+//
+// Worker count is an execution detail, never a semantic one: each
+// shard's window is self-contained, and the barrier merge inserts
+// cross-shard records in a fixed (source-shard, send-order) sequence,
+// so a run's virtual history is byte-identical whether the windows
+// execute on one goroutine or eight. workers=1 is the golden reference.
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// maxDuration is the +infinity sentinel for horizon computations.
+const maxDuration = time.Duration(1<<63 - 1)
+
+// xrec is one cross-shard event record staged in an outbox: the
+// absolute virtual delivery time and the callback to run on the
+// destination shard. Callers keep the clean path allocation-free by
+// posting pooled, pre-bound closures (the PR 5 frame discipline);
+// the outbox slices themselves retain capacity across windows.
+type xrec struct {
+	at time.Duration
+	fn func()
+}
+
+// ShardGroup is a set of engines advancing one simulation in parallel.
+// Create with NewShardGroup; drive with RunUntil/Run; always Close when
+// done so shard process goroutines and window workers are joined.
+type ShardGroup struct {
+	shards    []*Engine
+	lookahead time.Duration
+	workers   int
+	now       time.Duration
+
+	// outbox[src][dst] stages records posted by shard src for shard dst
+	// during the current window. Each row has exactly one writer (the
+	// goroutine executing shard src's window), and the coordinator reads
+	// all rows only after every shard has passed the barrier.
+	outbox [][][]xrec
+
+	// Window worker pool (started lazily when workers > 1).
+	work      chan int
+	done      chan struct{}
+	wg        sync.WaitGroup
+	winLimit  time.Duration
+	winIncl   bool
+	poolSize  int
+	closed    bool
+}
+
+// NewShardGroup returns n engines synchronized at the given lookahead.
+// Shard 0 is seeded with the master seed itself (a 1-shard group is a
+// plain engine, byte-for-byte); other shards draw decorrelated streams
+// derived from it, so same-seed runs are identical regardless of worker
+// count. Lookahead must be positive when n > 1: it is the minimum
+// virtual delay of every cross-shard Post.
+func NewShardGroup(seed uint64, n int, lookahead time.Duration) *ShardGroup {
+	if n < 1 {
+		panic("sim: NewShardGroup with no shards")
+	}
+	if n > 1 && lookahead <= 0 {
+		panic("sim: NewShardGroup with non-positive lookahead")
+	}
+	g := &ShardGroup{
+		shards:    make([]*Engine, n),
+		lookahead: lookahead,
+		workers:   1,
+		outbox:    make([][][]xrec, n),
+	}
+	for i := range g.shards {
+		e := New(ShardSeed(seed, i))
+		e.group = g
+		e.shardID = i
+		g.shards[i] = e
+		g.outbox[i] = make([][]xrec, n)
+	}
+	return g
+}
+
+// ShardSeed derives shard i's RNG seed from the master seed. Shard 0
+// keeps the master itself (the 1-shard degenerate case matches a plain
+// engine exactly); higher shards get SplitMix64-scrambled streams.
+func ShardSeed(master uint64, shard int) uint64 {
+	if shard == 0 {
+		return master
+	}
+	z := master + uint64(shard)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Shards reports the number of shards.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns shard i's engine.
+func (g *ShardGroup) Shard(i int) *Engine { return g.shards[i] }
+
+// Lookahead returns the conservative-synchronization lookahead.
+func (g *ShardGroup) Lookahead() time.Duration { return g.lookahead }
+
+// Now returns the group's virtual time: the barrier horizon every shard
+// has advanced to.
+func (g *ShardGroup) Now() time.Duration { return g.now }
+
+// Workers reports the execution parallelism.
+func (g *ShardGroup) Workers() int { return g.workers }
+
+// SetWorkers sets how many goroutines execute shard windows. It bounds
+// to [1, Shards()] and must be called between runs, not during one.
+// Changing it never changes results — only wall-clock time.
+func (g *ShardGroup) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(g.shards) {
+		n = len(g.shards)
+	}
+	if g.poolSize > 0 && n != g.poolSize && n > 1 {
+		panic("sim: SetWorkers after the worker pool started")
+	}
+	g.workers = n
+}
+
+// Pending reports the total scheduled events across all shards (staged
+// cross-shard records are counted once merged).
+func (g *ShardGroup) Pending() int {
+	total := 0
+	for _, e := range g.shards {
+		total += e.Pending()
+	}
+	return total
+}
+
+// post stages a cross-shard record; called by Engine.Post.
+func (g *ShardGroup) post(src, dst int, at time.Duration, fn func()) {
+	g.outbox[src][dst] = append(g.outbox[src][dst], xrec{at: at, fn: fn})
+}
+
+// merge drains every outbox into the destination heaps. Sources merge
+// in index order and records within a row in send order, so equal-time
+// cross events tie-break deterministically — the heap's sequence
+// numbers are assigned right here, by one goroutine, in a fixed order.
+func (g *ShardGroup) merge() {
+	for dst, e := range g.shards {
+		for src := range g.shards {
+			row := g.outbox[src][dst]
+			if len(row) == 0 {
+				continue
+			}
+			for i := range row {
+				e.scheduleAbs(row[i].at, row[i].fn)
+				row[i].fn = nil // drop the closure ref; the slice is reused
+			}
+			g.outbox[src][dst] = row[:0]
+		}
+	}
+}
+
+// earliest returns the soonest scheduled event across all shards
+// (maxDuration when every heap is empty). Valid only at a barrier,
+// after merge, when the outboxes are empty.
+func (g *ShardGroup) earliest() time.Duration {
+	min := maxDuration
+	for _, e := range g.shards {
+		if len(e.events) > 0 && e.events[0].at < min {
+			min = e.events[0].at
+		}
+	}
+	return min
+}
+
+// windowAll executes one window on every shard: sequentially in shard
+// order when workers == 1 (the golden reference), otherwise fanned out
+// over the worker pool. Either way each shard's window is the same
+// single-threaded computation.
+func (g *ShardGroup) windowAll(limit time.Duration, inclusive bool) {
+	if g.workers <= 1 || len(g.shards) == 1 {
+		for _, e := range g.shards {
+			e.runWindow(limit, inclusive)
+		}
+		return
+	}
+	g.ensureWorkers()
+	g.winLimit, g.winIncl = limit, inclusive
+	for i := range g.shards {
+		g.work <- i
+	}
+	for range g.shards {
+		<-g.done
+	}
+}
+
+// ensureWorkers starts the persistent window workers.
+func (g *ShardGroup) ensureWorkers() {
+	if g.poolSize > 0 {
+		return
+	}
+	g.poolSize = g.workers
+	g.work = make(chan int, len(g.shards))
+	g.done = make(chan struct{}, len(g.shards))
+	g.wg.Add(g.poolSize)
+	for w := 0; w < g.poolSize; w++ {
+		go func() {
+			defer g.wg.Done()
+			for i := range g.work {
+				g.shards[i].runWindow(g.winLimit, g.winIncl)
+				g.done <- struct{}{}
+			}
+		}()
+	}
+}
+
+// RunUntil advances the whole group to virtual time t: conservative
+// windows of at most one lookahead (jumping over globally idle gaps),
+// a barrier merge after each, and a final inclusive pass so events
+// scheduled at exactly t execute, matching Engine.RunUntil semantics.
+func (g *ShardGroup) RunUntil(t time.Duration) {
+	if g.closed {
+		panic("sim: RunUntil on a closed ShardGroup")
+	}
+	g.merge() // adopt records posted while the group was idle
+	for g.now < t {
+		start := g.now
+		if e := g.earliest(); e > start {
+			// Nothing anywhere before e: jump the window forward. Safe
+			// because the outboxes are empty at a barrier, so no event
+			// can materialize before the earliest scheduled one.
+			start = e
+		}
+		if start > t {
+			start = t
+		}
+		limit := start + g.lookahead
+		if g.lookahead <= 0 || limit > t || limit < start {
+			limit = t
+		}
+		g.windowAll(limit, false)
+		g.merge()
+		g.now = limit
+	}
+	// Boundary pass: events at exactly t (including cross records that
+	// landed right on the horizon). Anything they post lands > t.
+	g.windowAll(t, true)
+	g.merge()
+}
+
+// RunFor advances the group by virtual duration d.
+func (g *ShardGroup) RunFor(d time.Duration) { g.RunUntil(g.now + d) }
+
+// Run processes windows until no shard has a scheduled event left.
+// Parked processes stay parked, as with Engine.Run.
+func (g *ShardGroup) Run() {
+	g.merge()
+	for {
+		next := g.earliest()
+		if next == maxDuration {
+			return
+		}
+		limit := next + g.lookahead
+		if g.lookahead <= 0 || limit < next {
+			limit = next
+		}
+		g.windowAll(limit, true)
+		g.merge()
+		if limit > g.now {
+			g.now = limit
+		}
+	}
+}
+
+// Parked sums parked processes across shards.
+func (g *ShardGroup) Parked() int {
+	total := 0
+	for _, e := range g.shards {
+		total += e.Parked()
+	}
+	return total
+}
+
+// Live sums live processes across shards.
+func (g *ShardGroup) Live() int {
+	total := 0
+	for _, e := range g.shards {
+		total += e.Live()
+	}
+	return total
+}
+
+// Close shuts the group down: the window worker pool is joined, every
+// shard's live processes are killed (their goroutines exit), and staged
+// cross-shard records are dropped. Idempotent. The PR 7 shutdown
+// contract: tests assert no goroutine leak after Close, replacing the
+// old rely-on-defer-drain discipline.
+func (g *ShardGroup) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	if g.work != nil {
+		close(g.work)
+		g.wg.Wait()
+		g.work = nil
+	}
+	for _, e := range g.shards {
+		e.Shutdown()
+	}
+	for src := range g.outbox {
+		for dst := range g.outbox[src] {
+			g.outbox[src][dst] = nil
+		}
+	}
+}
+
+// Post schedules fn on dst's shard after virtual delay d. Same-engine
+// posts degrade to Schedule. Cross-shard posts are the conservative
+// synchronization protocol's only channel, so d must be at least the
+// group lookahead — violating that would let a shard reach into a
+// window a neighbor may already be executing, and panics loudly instead
+// of corrupting the run.
+func (e *Engine) Post(dst *Engine, d time.Duration, fn func()) {
+	if dst == e || e.group == nil {
+		e.Schedule(d, fn)
+		return
+	}
+	g := e.group
+	if dst.group != g {
+		panic("sim: Post to an engine outside this shard group")
+	}
+	if d < g.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard Post delay %v below lookahead %v", d, g.lookahead))
+	}
+	g.post(e.shardID, dst.shardID, e.now+d, fn)
+}
+
+// ShardID reports which shard of its group this engine is (0 for a
+// plain engine).
+func (e *Engine) ShardID() int { return e.shardID }
+
+// Group returns the engine's shard group, nil for a plain engine.
+func (e *Engine) Group() *ShardGroup { return e.group }
+
+// scheduleAbs inserts an event at an absolute virtual time, reusing the
+// event free list. The time must not be in the shard's past (the merge
+// barrier guarantees this for cross-shard records).
+func (e *Engine) scheduleAbs(at time.Duration, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// runWindow processes this shard's events up to limit — strictly before
+// it for interior windows, inclusively for the boundary pass — then
+// advances the clock to the window edge so every shard leaves the
+// barrier at the same instant.
+func (e *Engine) runWindow(limit time.Duration, inclusive bool) {
+	if e.running {
+		panic("sim: runWindow called reentrantly")
+	}
+	e.running = true
+	for len(e.events) > 0 {
+		at := e.events[0].at
+		if at > limit || (!inclusive && at == limit) {
+			break
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		fn := ev.fn
+		e.release(ev)
+		fn()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	e.running = false
+}

@@ -37,6 +37,11 @@ type Engine struct {
 	// (executed or stopped) is recycled, so a steady-state simulation
 	// schedules callbacks without allocating.
 	free []*event
+
+	// group and shardID bind this engine into a ShardGroup (see
+	// shard.go); both stay zero for a plain standalone engine.
+	group   *ShardGroup
+	shardID int
 }
 
 // New returns an engine with its clock at zero and randomness seeded
@@ -346,6 +351,11 @@ func (e *Engine) Pending() int { return len(e.events) }
 // dispatch that will never run — so their goroutines exit. Call at the
 // end of a simulation (tests use it via defer) to avoid goroutine
 // leaks. Must not be called while Run is executing.
+// Close is Shutdown under the name the rest of the codebase expects
+// for resource teardown; a standalone engine and a shard both release
+// their process goroutines through it.
+func (e *Engine) Close() { e.Shutdown() }
+
 func (e *Engine) Shutdown() {
 	for len(e.procs) > 0 {
 		for p := range e.procs {

@@ -1,0 +1,427 @@
+package testbed
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/core"
+	"xunet/internal/faults"
+	"xunet/internal/kern"
+	"xunet/internal/memnet"
+	"xunet/internal/obs/tseries"
+	"xunet/internal/qos"
+	"xunet/internal/signaling"
+	"xunet/internal/sim"
+	"xunet/internal/trace"
+	"xunet/internal/ulib"
+	"xunet/internal/xswitch"
+)
+
+// This file assembles the sharded deployments of PR 7: the topology is
+// partitioned into domains — one switch plus its sighost routers — and
+// each domain runs on its own shard of a sim.ShardGroup. Inter-domain
+// trunks are the shard boundaries; their propagation delay funds the
+// group's conservative lookahead. Everything that records or draws
+// randomness at runtime (trace collector, fault plane, tseries store)
+// is per-domain, so a run's bytes are independent of the worker count.
+
+// Domain is one shard of a sharded deployment: a switch, its routers,
+// and the domain-local observation planes.
+type Domain struct {
+	Index  int
+	E      *sim.Engine
+	Switch *xswitch.Switch
+	// TraceC is this domain's causal-trace collector; spans recorded by
+	// this shard land here, never in a shared collector, so collection
+	// order is deterministic.
+	TraceC  *trace.Collector
+	Faults  *faults.Plane
+	TS      *tseries.Store
+	Routers []*Router
+	// FlightDumps and HealthEvents accumulate this domain's dumps and
+	// watermark edges (the per-domain analogue of Net's fields).
+	FlightDumps  []string
+	HealthEvents []tseries.HealthEvent
+
+	// crossVC is the pre-provisioned carrier circuit from this domain's
+	// first router to the next domain's (nil when Domains == 1).
+	crossVC *xswitch.VC
+	// CrossDelivered counts carrier frames received from the previous
+	// domain during a sharded storm.
+	CrossDelivered uint64
+}
+
+// ShardedNet is a deployment partitioned across a shard group.
+type ShardedNet struct {
+	G       *sim.ShardGroup
+	CM      sim.CostModel
+	Fabric  *xswitch.Fabric
+	IPNet   *memnet.Network
+	Domains []*Domain
+	opts    Options
+}
+
+// NewSharded builds a sharded deployment from the storm config's
+// topology fields: cfg.Domains switches in a ring joined by DS3 trunks
+// of cfg.TrunkDelay, each with cfg.SighostsPerDomain routers, the full
+// sighost signaling mesh, and (when Domains > 1) one pre-provisioned
+// cross-domain carrier circuit per adjacent pair. Build-time assembly is
+// single-threaded; the fabric is sealed against cross-shard setup
+// before the caller runs the group.
+func NewSharded(opts Options, cfg StormConfig) (*ShardedNet, error) {
+	opts = opts.withDefaults()
+	if cfg.Domains <= 0 {
+		cfg.Domains = 1
+	}
+	if cfg.SighostsPerDomain <= 0 {
+		cfg.SighostsPerDomain = 1
+	}
+	if cfg.Domains > 1 && cfg.TrunkDelay <= 0 {
+		cfg.TrunkDelay = 2 * time.Millisecond
+	}
+	lookahead := time.Duration(0)
+	if cfg.Domains > 1 {
+		lookahead = cfg.TrunkDelay
+	}
+	g := sim.NewShardGroup(opts.Seed, cfg.Domains, lookahead)
+	sn := &ShardedNet{
+		G:      g,
+		CM:     sim.DefaultCostModel(),
+		Fabric: xswitch.NewFabric(g.Shard(0)),
+		IPNet:  memnet.New(g.Shard(0)),
+		opts:   opts,
+	}
+	for i := 0; i < cfg.Domains; i++ {
+		e := g.Shard(i)
+		sw, err := sn.Fabric.AddSwitchOn(fmt.Sprintf("sw.d%d", i), e)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		dom := &Domain{Index: i, E: e, Switch: sw, TraceC: trace.NewCollector(e.Now)}
+		dom.TraceC.SetEnabled(!opts.DisableTracing)
+		if opts.TraceSampleEvery > 1 {
+			dom.TraceC.SetSampleEvery(opts.TraceSampleEvery)
+		}
+		d := dom
+		dom.TraceC.OnDump(func(t *trace.Trace, tree string) {
+			d.FlightDumps = append(d.FlightDumps, tree)
+		})
+		sw.SetTrace(dom.TraceC)
+		if opts.Faults != nil {
+			fc := *opts.Faults
+			if fc.Seed == 0 {
+				fc.Seed = opts.Seed*0x9E3779B97F4A7C15 + 0xC4A05
+			}
+			// Domain 0 keeps the base fault seed (the 1-domain case is
+			// the flat plane verbatim); others draw decorrelated streams.
+			fc.Seed = sim.ShardSeed(fc.Seed, i)
+			dom.Faults = faults.NewPlane(fc)
+			dom.Faults.AttachTrace(dom.TraceC, e.Now)
+			sw.SetFaults(dom.Faults)
+		}
+		if opts.TSeries != nil {
+			dom.TS = tseries.New(*opts.TSeries)
+		}
+		sn.Domains = append(sn.Domains, dom)
+	}
+	// Ring trunks between adjacent domains — the shard boundaries.
+	for i := 0; i+1 < cfg.Domains; i++ {
+		sn.Fabric.ConnectSwitches(sn.Domains[i].Switch, sn.Domains[i+1].Switch, xswitch.DS3(cfg.TrunkDelay))
+	}
+	if cfg.Domains > 2 {
+		sn.Fabric.ConnectSwitches(sn.Domains[cfg.Domains-1].Switch, sn.Domains[0].Switch, xswitch.DS3(cfg.TrunkDelay))
+	}
+	// Routers, then the full signaling mesh (all build-time, so the
+	// cross-domain PVCs may still cross shards).
+	for _, dom := range sn.Domains {
+		for k := 0; k < cfg.SighostsPerDomain; k++ {
+			addr := atm.Addr(fmt.Sprintf("d%d.r%d", dom.Index, k))
+			if _, err := sn.addRouter(dom, addr); err != nil {
+				g.Close()
+				return nil, err
+			}
+		}
+	}
+	var all []*Router
+	for _, dom := range sn.Domains {
+		all = append(all, dom.Routers...)
+	}
+	for i, a := range all {
+		for _, b := range all[:i] {
+			if err := signaling.ConnectSighosts(a.Sig, b.Sig); err != nil {
+				g.Close()
+				return nil, err
+			}
+		}
+	}
+	// Cross-domain carrier circuits: domain i's first router to domain
+	// i+1's, provisioned now so runtime data can cross boundaries
+	// without any cross-shard control action.
+	if cfg.Domains > 1 {
+		for i, dom := range sn.Domains {
+			next := sn.Domains[(i+1)%len(sn.Domains)]
+			src, dst := dom.Routers[0], next.Routers[0]
+			vc, err := sn.Fabric.SetupVC(src.Stack.Addr, dst.Stack.Addr, qos.BestEffortQoS)
+			if err != nil {
+				g.Close()
+				return nil, fmt.Errorf("testbed: cross carrier d%d->d%d: %w", i, next.Index, err)
+			}
+			src.Sig.SH.AllowPVC(vc.SrcVCI)
+			dst.Sig.SH.AllowPVC(vc.DstVCI)
+			dom.crossVC = vc
+		}
+	}
+	sn.Fabric.SealCrossShard()
+	return sn, nil
+}
+
+// addRouter is Net.AddRouter transposed to a domain: every plane the
+// router touches — engine, trace collector, fault plane, tseries store
+// — is the domain's own.
+func (sn *ShardedNet) addRouter(dom *Domain, addr atm.Addr) (*Router, error) {
+	k := len(dom.Routers) + 1
+	ip, err := sn.IPNet.AddNodeOn(string(addr), memnet.IP4(10, byte(dom.Index), byte(k), 1), dom.E)
+	if err != nil {
+		return nil, err
+	}
+	stack, err := core.NewRouter(dom.E, sn.CM, core.RouterConfig{
+		Name: string(addr), Addr: addr, IP: ip, Fabric: sn.Fabric, Switch: dom.Switch,
+		DeviceBuffers: sn.opts.DeviceBuffers, FDTableSize: sn.opts.FDTableSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stack.M.TraceC = dom.TraceC
+	registerTraceStats(stack.M.Obs, dom.TraceC)
+	ep := sn.Fabric.Endpoint(addr)
+	ep.SetTrace(dom.TraceC)
+	r := &Router{Stack: stack, site: dom.Index}
+	r.Sig = signaling.StartSim(stack, sn.Fabric)
+	if sn.opts.DisableCallLogging {
+		r.Sig.SH.SetLogging(false)
+	}
+	if dom.Faults != nil {
+		rel := sn.opts.Rel
+		if rel.RTO <= 0 {
+			rel = signaling.DefaultRelConfig()
+		}
+		r.Sig.SH.EnableReliability(rel)
+		r.Sig.SH.EnableJournal(0)
+		r.Sig.Faults = dom.Faults
+		ep.SetFaults(dom.Faults)
+		ip.SetFaults(dom.Faults)
+		stack.M.Dev.SetFaults(dom.Faults)
+		fp := dom.Faults
+		r.Sig.SH.FaultsInfo = func() string { return fp.Obs.Snapshot().Text() }
+		r.Sig.SH.FaultsJSON = func() string { return fp.Obs.Snapshot().JSON() }
+	}
+	if dom.TS != nil {
+		dom.TS.TrackRegistry(string(addr)+".", stack.M.Obs)
+		r.Sig.SH.TSeriesInfo = dom.TS.Text
+		r.Sig.SH.TSeriesJSON = dom.TS.JSON
+		r.Sig.SH.HealthInfo = dom.TS.HealthText
+		r.Sig.SH.HealthJSON = dom.TS.HealthJSON
+	}
+	r.Lib = ulib.New(stack, ip.Addr)
+	dom.Routers = append(dom.Routers, r)
+	return r, nil
+}
+
+// StartTSeries begins every domain's scrape tick chain, each on its own
+// shard engine over only the series its shard owns. No-op unless
+// Options.TSeries armed the stores.
+func (sn *ShardedNet) StartTSeries(until time.Duration) {
+	for _, dom := range sn.Domains {
+		if dom.TS == nil {
+			continue
+		}
+		sn.Fabric.RegisterTSeriesOwned(dom.TS, dom.E)
+		sn.IPNet.RegisterTSeriesOwned(dom.TS, dom.E)
+		for _, r := range DefaultHealthRules() {
+			dom.TS.AddRule(r)
+		}
+		d := dom
+		dom.TS.OnHealthEvent(func(ev tseries.HealthEvent) {
+			d.HealthEvents = append(d.HealthEvents, ev)
+			if ev.State == "fire" {
+				d.TraceC.DumpRecent(4, ev.Rule)
+			}
+		})
+		interval := dom.TS.Interval()
+		e, ts := dom.E, dom.TS
+		var tick func()
+		tick = func() {
+			ts.Tick(e.Now())
+			if e.Now()+interval <= until {
+				e.Schedule(interval, tick)
+			}
+		}
+		e.Schedule(interval, tick)
+	}
+}
+
+// StartTrunkFlapping begins each domain's intra-domain flap schedule
+// (boundary trunks never flap; see xswitch.StartFlapping).
+func (sn *ShardedNet) StartTrunkFlapping(until time.Duration) {
+	sn.Fabric.StartFlapping(until)
+}
+
+// RunUntil advances the whole group to virtual time t.
+func (sn *ShardedNet) RunUntil(t time.Duration) { sn.G.RunUntil(t) }
+
+// Close joins every shard's goroutines. Always call it (tests defer
+// it): the sharded engine owns worker and process goroutines that the
+// old rely-on-drain discipline would leak.
+func (sn *ShardedNet) Close() { sn.G.Close() }
+
+// MergedExport merges every domain's time-series export into one
+// deterministic snapshot: series name-sorted across domains (names are
+// disjoint by construction — trunks, links and registries are owned by
+// exactly one shard), rule states re-sorted the same way, events
+// ordered by time then domain. Ticks and interval come from domain 0.
+func (sn *ShardedNet) MergedExport() tseries.Export {
+	var out tseries.Export
+	type domEvent struct {
+		ev  tseries.HealthEvent
+		dom int
+	}
+	var evs []domEvent
+	for _, dom := range sn.Domains {
+		if dom.TS == nil {
+			continue
+		}
+		ex := dom.TS.Export()
+		if out.Interval == 0 {
+			out.Interval, out.Ticks = ex.Interval, ex.Ticks
+		}
+		out.Series = append(out.Series, ex.Series...)
+		out.Rules = append(out.Rules, ex.Rules...)
+		for _, ev := range ex.Events {
+			evs = append(evs, domEvent{ev: ev, dom: dom.Index})
+		}
+	}
+	sort.Slice(out.Series, func(i, j int) bool { return out.Series[i].Name < out.Series[j].Name })
+	sort.Slice(out.Rules, func(i, j int) bool {
+		if out.Rules[i].Rule != out.Rules[j].Rule {
+			return out.Rules[i].Rule < out.Rules[j].Rule
+		}
+		return out.Rules[i].Series < out.Rules[j].Series
+	})
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].ev.At != evs[j].ev.At {
+			return evs[i].ev.At < evs[j].ev.At
+		}
+		return evs[i].dom < evs[j].dom
+	})
+	for _, de := range evs {
+		out.Events = append(out.Events, de.ev)
+	}
+	return out
+}
+
+// MergedTSeriesJSON renders the merged export as compact JSON —
+// byte-identical for same-seed runs at any worker count.
+func (sn *ShardedNet) MergedTSeriesJSON() string {
+	b, err := json.Marshal(sn.MergedExport())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// ShardedStormResult aggregates one sharded storm.
+type ShardedStormResult struct {
+	// PerDomain holds each domain's storm result, indexed by domain.
+	PerDomain []*StormResult
+}
+
+// Launched/Succeeded/Failed/Killed sum the per-domain buckets.
+func (r *ShardedStormResult) Totals() (launched, succeeded, failed, killed int) {
+	for _, d := range r.PerDomain {
+		launched += d.Launched
+		succeeded += d.Succeeded
+		failed += d.Failed
+		killed += d.Killed
+	}
+	return
+}
+
+// ShardedStorm launches the E4 workload on every domain at once: each
+// domain's last router storms calls against an echo server on its first
+// router (intra-domain — runtime SVC setup never crosses a shard), and
+// when carriers are provisioned, cfg.CrossFrames data frames ride each
+// cross-domain circuit so boundary crossings stay on the measured path.
+// cfg.Count is the total call count, split evenly across domains.
+func ShardedStorm(sn *ShardedNet, cfg StormConfig) *ShardedStormResult {
+	if cfg.Count <= 0 {
+		cfg.Count = 100
+	}
+	res := &ShardedStormResult{}
+	perDomain := cfg.Count / len(sn.Domains)
+	if perDomain <= 0 {
+		perDomain = 1
+	}
+	for _, dom := range sn.Domains {
+		server := dom.Routers[0]
+		client := dom.Routers[len(dom.Routers)-1]
+		StartEchoServer(server, "storm", 6000)
+		dcfg := cfg
+		dcfg.Count = perDomain
+		if dcfg.BasePort == 0 {
+			dcfg.BasePort = 20000
+		}
+		res.PerDomain = append(res.PerDomain, CallStorm(client, server.Stack.Addr, "storm", dcfg))
+		if dom.crossVC != nil && cfg.CrossFrames > 0 {
+			sn.startCrossCarrier(dom, cfg)
+		}
+	}
+	return res
+}
+
+// startCrossCarrier spawns the sink (next domain) and source (this
+// domain) processes for one pre-provisioned cross-domain circuit.
+func (sn *ShardedNet) startCrossCarrier(dom *Domain, cfg StormConfig) {
+	vc := dom.crossVC
+	next := sn.Domains[(dom.Index+1)%len(sn.Domains)]
+	sink := next.Routers[0].Stack
+	sink.Spawn("cross-sink", func(p *kern.Proc) {
+		sock, err := sink.PF.Socket(p)
+		if err != nil {
+			return
+		}
+		if err := sock.Bind(vc.DstVCI, 0); err != nil {
+			return
+		}
+		for {
+			if _, err := sock.Recv(); err != nil {
+				return
+			}
+			next.CrossDelivered++
+		}
+	})
+	src := dom.Routers[0].Stack
+	frameBytes := cfg.FrameBytes
+	if frameBytes < 64 {
+		frameBytes = 64
+	}
+	src.Spawn("cross-source", func(p *kern.Proc) {
+		sock, err := src.PF.Socket(p)
+		if err != nil {
+			return
+		}
+		if err := sock.Connect(vc.SrcVCI, 0); err != nil {
+			return
+		}
+		p.SP.Sleep(50 * time.Millisecond) // let the sink bind
+		payload := make([]byte, frameBytes)
+		for i := 0; i < cfg.CrossFrames; i++ {
+			_ = sock.Send(payload)
+			p.SP.Sleep(5 * time.Millisecond)
+		}
+		p.SP.Park() // hold the circuit open for the run
+	})
+}

@@ -36,6 +36,25 @@ type StormConfig struct {
 	KillAfter time.Duration
 	// KillEvery kills every k-th client (0 = none).
 	KillEvery int
+
+	// Multi-domain topology, consumed by NewSharded/ShardedStorm. Zero
+	// values give the flat single-domain degenerate case (one switch,
+	// one shard — byte-identical to the unsharded engine).
+
+	// Domains is the number of switch/sighost domains; each domain is
+	// one shard with its own event loop.
+	Domains int
+	// SighostsPerDomain is how many routers (signaling hosts) attach to
+	// each domain's switch.
+	SighostsPerDomain int
+	// TrunkDelay is the inter-domain trunk propagation delay. It funds
+	// the shard group's conservative lookahead, so it must be positive
+	// when Domains > 1.
+	TrunkDelay time.Duration
+	// CrossFrames, when positive, sends this many data frames over each
+	// pre-provisioned cross-domain carrier circuit during the storm, so
+	// the boundary-crossing machinery is on the measured path.
+	CrossFrames int
 }
 
 // StormResult aggregates a storm run.

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"xunet/internal/atm"
@@ -80,6 +81,10 @@ var (
 	ErrUnknownVC  = errors.New("xswitch: unknown virtual circuit")
 	ErrDupName    = errors.New("xswitch: duplicate element name")
 	ErrNotRunning = errors.New("xswitch: element not attached")
+	// ErrCrossShard reports a runtime SetupVC whose path would leave the
+	// caller's shard. Cross-shard circuits must be provisioned at build
+	// time, before SealCrossShard.
+	ErrCrossShard = errors.New("xswitch: cross-shard VC setup after seal")
 )
 
 // node is anything cells move between: a switch or an endpoint.
@@ -87,6 +92,18 @@ type node interface {
 	name() string
 	// inject receives a cell arriving over link l.
 	inject(l *trunk, c atm.Cell)
+	// domainOf exposes the element's shard binding.
+	domainOf() *domain
+}
+
+// domain binds a fabric element to its shard: the engine its events run
+// on plus optional per-domain fault and trace planes that override the
+// fabric-wide ones. In a flat (unsharded) fabric every element shares
+// Fabric.Engine and the overrides stay nil.
+type domain struct {
+	eng    *sim.Engine
+	faults *faults.Plane
+	traceC *trace.Collector
 }
 
 // trunk is one direction of a cell link between two nodes.
@@ -97,6 +114,20 @@ type trunk struct {
 	cfg    LinkConfig
 	book   *qos.Book
 	ser    time.Duration // per-cell serialization time (0 if RateBps is 0)
+
+	// eng is the engine this trunk's events run on — the sending
+	// element's shard. xeng is non-nil only for a boundary trunk, one
+	// whose far end lives on a different shard: cells then cross as
+	// pooled records posted at their exact arrival times, and the
+	// trunk's propagation delay funds the shard group's lookahead.
+	eng  *sim.Engine
+	xeng *sim.Engine
+
+	// xmu guards xfree, the boundary trunk's record pool: records are
+	// taken by the sending shard in drain and returned by the receiving
+	// shard in xdeliver, the one spot where two shards touch one trunk.
+	xmu   sync.Mutex
+	xfree []*xcell
 
 	// Three class queues (index qos.Class) drained by WRR.
 	queues   [3]sim.Ring[atm.Cell]
@@ -173,14 +204,24 @@ func newTrunk(f *Fabric, from, to node, cfg LinkConfig) *trunk {
 	if cfg.TrainBurst <= 0 {
 		cfg.TrainBurst = DefaultTrainBurst
 	}
+	feng, teng := from.domainOf().eng, to.domainOf().eng
+	if feng != teng {
+		// Boundary trunk: one cell per transmit event, so truncate is a
+		// no-op and a posted arrival never needs rolling back.
+		cfg.TrainBurst = 1
+	}
 	t := &trunk{
 		fabric:    f,
 		from:      from,
 		to:        to,
 		cfg:       cfg,
+		eng:       feng,
 		book:      qos.NewBook(cfg.RateBps / 1000), // book in kb/s
 		slots:     make([]trainSlot, cfg.TrainBurst),
 		classVCIs: make(map[atm.VCI]qos.Class),
+	}
+	if feng != teng {
+		t.xeng = teng
 	}
 	if cfg.RateBps > 0 {
 		t.ser = time.Duration(uint64(atm.CellSize*8) * uint64(time.Second) / cfg.RateBps)
@@ -191,6 +232,66 @@ func newTrunk(f *Fabric, from, to node, cfg LinkConfig) *trunk {
 	}
 	t.delivFn = t.deliver
 	return t
+}
+
+// faultPlane resolves the plane charged for this trunk's cells: the
+// sending element's domain plane, else the fabric-wide one.
+func (t *trunk) faultPlane() *faults.Plane {
+	if fp := t.from.domainOf().faults; fp != nil {
+		return fp
+	}
+	return t.fabric.Faults
+}
+
+// traceCollector resolves the collector arrival spans are recorded to:
+// the receiving element's domain collector, else the fabric-wide one.
+// Recording happens at delivery, on the receiving shard, so the
+// receiver's collector is the race-free and deterministic choice.
+func (t *trunk) traceCollector() *trace.Collector {
+	if tc := t.to.domainOf().traceC; tc != nil {
+		return tc
+	}
+	return t.fabric.TraceC
+}
+
+// xcell is one pooled cross-shard cell record: fn is pre-bound to
+// deliver the carried cell on the receiving shard and recycle the
+// record, so the steady-state boundary crossing allocates nothing.
+type xcell struct {
+	t    *trunk
+	cell atm.Cell
+	fn   func()
+}
+
+func (t *trunk) getXCell() *xcell {
+	t.xmu.Lock()
+	if n := len(t.xfree); n > 0 {
+		r := t.xfree[n-1]
+		t.xfree[n-1] = nil
+		t.xfree = t.xfree[:n-1]
+		t.xmu.Unlock()
+		return r
+	}
+	t.xmu.Unlock()
+	r := &xcell{t: t}
+	r.fn = func() { r.t.xdeliver(r) }
+	return r
+}
+
+// xdeliver runs on the receiving shard at the cell's exact arrival
+// time: recycle the record, trace the frame span, inject.
+func (t *trunk) xdeliver(r *xcell) {
+	c := r.cell
+	r.cell = atm.Cell{}
+	t.xmu.Lock()
+	t.xfree = append(t.xfree, r)
+	t.xmu.Unlock()
+	if c.TC.Sampled() && c.EndOfFrame() {
+		if tc := t.traceCollector(); tc != nil {
+			tc.Record(c.TC, "xswitch", t.from.name()+">"+t.to.name(), c.TCAt, t.xeng.Now())
+		}
+	}
+	t.to.inject(t, c)
 }
 
 // allocVCI reserves an unused VCI on this trunk (and its reverse
@@ -224,7 +325,7 @@ func (t *trunk) send(c atm.Cell) {
 		t.truncate()
 	}
 	cls := t.classVCIs[c.VCI] // zero value = BestEffort
-	if fp := t.fabric.Faults; fp != nil {
+	if fp := t.faultPlane(); fp != nil {
 		if t.down {
 			t.Dropped++
 			t.perClassDrop[cls]++
@@ -246,7 +347,7 @@ func (t *trunk) send(c atm.Cell) {
 	if c.TC.Sampled() {
 		// Mark the hop entry time so deliver can record this trunk's
 		// queueing + serialization + propagation as one span.
-		c.TCAt = t.fabric.Engine.Now()
+		c.TCAt = t.eng.Now()
 	}
 	if t.queues[cls].Len() >= t.cfg.QueueCells {
 		t.Dropped++
@@ -279,7 +380,7 @@ func (t *trunk) drain() {
 		return
 	}
 	t.draining = true
-	e := t.fabric.Engine
+	e := t.eng
 	t.trainStart = e.Now()
 	n := 0
 	for n < t.cfg.TrainBurst && t.queuedAny() {
@@ -289,11 +390,22 @@ func (t *trunk) drain() {
 		t.Sent++
 		t.perClass[cls]++
 		t.slots[n] = trainSlot{cell: c, cls: cls, creditBefore: credit}
-		t.inflight.Push(flightCell{cell: c, at: t.trainStart + time.Duration(n+1)*t.ser + t.cfg.Delay})
+		if t.xeng != nil {
+			// Boundary: the cell crosses shards as a pooled record posted
+			// at its exact arrival time. ser+Delay ≥ the group lookahead
+			// by construction (the testbed sizes the lookahead from the
+			// smallest boundary-trunk delay), so Post never violates the
+			// conservative bound.
+			r := t.getXCell()
+			r.cell = c
+			e.Post(t.xeng, time.Duration(n+1)*t.ser+t.cfg.Delay, r.fn)
+		} else {
+			t.inflight.Push(flightCell{cell: c, at: t.trainStart + time.Duration(n+1)*t.ser + t.cfg.Delay})
+		}
 		n++
 	}
 	t.trainLen = n
-	if !t.delivOn {
+	if t.xeng == nil && !t.delivOn {
 		// delivOn false implies the in-flight ring was empty, so the
 		// next arrival is this train's first cell.
 		t.delivOn = true
@@ -315,7 +427,10 @@ func (t *trunk) truncate() {
 	if t.ser == 0 {
 		return // infinite rate: every pick was instantaneous
 	}
-	elapsed := t.fabric.Engine.Now() - t.trainStart
+	if t.xeng != nil {
+		return // boundary trunks train one cell; nothing uncommitted
+	}
+	elapsed := t.eng.Now() - t.trainStart
 	k := int(elapsed / t.ser)
 	if elapsed%t.ser != 0 {
 		k++
@@ -336,22 +451,24 @@ func (t *trunk) truncate() {
 	}
 	t.trainLen = k
 	t.txTimer.Stop()
-	t.txTimer = t.fabric.Engine.Schedule(t.trainStart+time.Duration(k)*t.ser-t.fabric.Engine.Now(), t.txFn)
+	t.txTimer = t.eng.Schedule(t.trainStart+time.Duration(k)*t.ser-t.eng.Now(), t.txFn)
 }
 
 // deliver fires at the arrival time of the in-flight head, injects every
 // cell due now, and re-arms itself for the next arrival.
 func (t *trunk) deliver() {
-	e := t.fabric.Engine
+	e := t.eng
 	now := e.Now()
 	for t.inflight.Len() > 0 && t.inflight.At(0).at <= now {
 		fc := t.inflight.Pop()
-		if fc.cell.TC.Sampled() && t.fabric.TraceC != nil && fc.cell.EndOfFrame() {
+		if fc.cell.TC.Sampled() && fc.cell.EndOfFrame() {
 			// One span per AAL5 frame per trunk, recorded on the frame's
 			// final cell: [hop entry .. last-cell arrival] covers the
 			// whole frame's transit of this link.
-			t.fabric.TraceC.Record(fc.cell.TC, "xswitch",
-				t.from.name()+">"+t.to.name(), fc.cell.TCAt, now)
+			if tc := t.traceCollector(); tc != nil {
+				tc.Record(fc.cell.TC, "xswitch",
+					t.from.name()+">"+t.to.name(), fc.cell.TCAt, now)
+			}
 		}
 		t.to.inject(t, fc.cell)
 	}
@@ -386,6 +503,7 @@ func (t *trunk) stats() (sent, dropped uint64) { return t.Sent, t.Dropped }
 type Switch struct {
 	Name   string
 	fabric *Fabric
+	dom    domain
 	trunks []*trunk // outgoing trunks
 	table  map[tabKey]tabVal
 
@@ -394,6 +512,20 @@ type Switch struct {
 	Switched   uint64
 	Unroutable uint64
 }
+
+func (s *Switch) domainOf() *domain { return &s.dom }
+
+// Eng returns the engine this switch's events run on.
+func (s *Switch) Eng() *sim.Engine { return s.dom.eng }
+
+// SetFaults overrides the fabric-wide fault plane for trunks this
+// switch originates (nil restores the fabric-wide plane). Sharded
+// testbeds give each domain its own seeded plane.
+func (s *Switch) SetFaults(fp *faults.Plane) { s.dom.faults = fp }
+
+// SetTrace overrides the fabric-wide trace collector for cells arriving
+// at this switch.
+func (s *Switch) SetTrace(tc *trace.Collector) { s.dom.traceC = tc }
 
 type tabKey struct {
 	in  *trunk // arriving trunk
@@ -423,12 +555,26 @@ func (s *Switch) inject(l *trunk, c atm.Cell) {
 type Endpoint struct {
 	Addr   atm.Addr
 	fabric *Fabric
+	dom    domain
 	sink   CellSink
 	uplink *trunk // endpoint -> first switch
 	// downlink is the reverse trunk (switch -> endpoint); kept for
 	// VCI bookkeeping on the receiving side.
 	downlink *trunk
 }
+
+func (ep *Endpoint) domainOf() *domain { return &ep.dom }
+
+// Eng returns the engine this endpoint's events run on.
+func (ep *Endpoint) Eng() *sim.Engine { return ep.dom.eng }
+
+// SetFaults overrides the fabric-wide fault plane for this endpoint's
+// uplink transmissions.
+func (ep *Endpoint) SetFaults(fp *faults.Plane) { ep.dom.faults = fp }
+
+// SetTrace overrides the fabric-wide trace collector for cells arriving
+// at this endpoint.
+func (ep *Endpoint) SetTrace(tc *trace.Collector) { ep.dom.traceC = tc }
 
 func (ep *Endpoint) name() string { return string(ep.Addr) }
 
@@ -446,8 +592,18 @@ type Fabric struct {
 	Engine    *sim.Engine
 	switches  map[string]*Switch
 	endpoints map[atm.Addr]*Endpoint
-	vcs       map[vcID]*VC
-	nextVC    uint64
+
+	// spaces holds one VC namespace per shard engine, so concurrent
+	// runtime SVC setup on different shards never touches shared state.
+	// The map itself is built single-threaded (element creation) and is
+	// read-only afterwards. IDs embed the shard in the high bits so the
+	// namespaces stay disjoint.
+	spaces map[*sim.Engine]*vcSpace
+
+	// sealed marks the end of build-time provisioning: from then on a
+	// SetupVC whose path leaves the caller's shard fails with
+	// ErrCrossShard instead of mutating another shard's switch tables.
+	sealed bool
 
 	// Obs is the fabric's telemetry registry (the fabric is shared
 	// infrastructure, so it does not belong to any one machine's
@@ -466,31 +622,60 @@ type Fabric struct {
 
 type vcID uint64
 
+// vcSpace is one shard's VC namespace.
+type vcSpace struct {
+	vcs  map[vcID]*VC
+	next uint64
+	base uint64
+}
+
+// ensureSpace creates the VC namespace for engine e. Called only during
+// single-threaded fabric construction; base embeds the shard index so
+// IDs from different shards never collide.
+func (f *Fabric) ensureSpace(e *sim.Engine) {
+	if _, ok := f.spaces[e]; !ok {
+		f.spaces[e] = &vcSpace{vcs: make(map[vcID]*VC), base: uint64(e.ShardID()+1) << 48}
+	}
+}
+
 // NewFabric returns an empty fabric on engine e.
 func NewFabric(e *sim.Engine) *Fabric {
 	f := &Fabric{
 		Engine:    e,
 		switches:  make(map[string]*Switch),
 		endpoints: make(map[atm.Addr]*Endpoint),
-		vcs:       make(map[vcID]*VC),
+		spaces:    make(map[*sim.Engine]*vcSpace),
 		Obs:       obs.NewRegistry(),
 	}
+	f.ensureSpace(e)
 	classNames := [3]string{qos.BestEffort: "be", qos.VBR: "vbr", qos.CBR: "cbr"}
 	for cls := 0; cls < 3; cls++ {
 		c := qos.Class(cls)
 		f.Obs.Func("fabric.cells.sent."+classNames[cls], func() uint64 { return f.ClassStats().Sent[c] })
 		f.Obs.Func("fabric.cells.dropped."+classNames[cls], func() uint64 { return f.ClassStats().Dropped[c] })
 	}
-	f.Obs.Func("fabric.vcs.active", func() uint64 { return uint64(len(f.vcs)) })
+	f.Obs.Func("fabric.vcs.active", func() uint64 { return uint64(f.ActiveVCs()) })
 	return f
 }
 
-// AddSwitch creates a switch.
+// SealCrossShard ends build-time provisioning: from now on SetupVC
+// refuses paths that leave the caller's shard. Call after the topology
+// and all cross-domain circuits are provisioned, before the group runs.
+func (f *Fabric) SealCrossShard() { f.sealed = true }
+
+// AddSwitch creates a switch on the fabric's default engine.
 func (f *Fabric) AddSwitch(name string) (*Switch, error) {
+	return f.AddSwitchOn(name, f.Engine)
+}
+
+// AddSwitchOn creates a switch whose events run on engine e — the shard
+// placement entry point for sharded topologies.
+func (f *Fabric) AddSwitchOn(name string, e *sim.Engine) (*Switch, error) {
 	if _, dup := f.switches[name]; dup {
 		return nil, fmt.Errorf("%w: switch %s", ErrDupName, name)
 	}
-	s := &Switch{Name: name, fabric: f, table: make(map[tabKey]tabVal)}
+	s := &Switch{Name: name, fabric: f, dom: domain{eng: e}, table: make(map[tabKey]tabVal)}
+	f.ensureSpace(e)
 	f.switches[name] = s
 	return s, nil
 }
@@ -522,10 +707,6 @@ func (f *Fabric) ConnectSwitches(a, b *Switch, cfg LinkConfig) {
 // up state so a quiesced run drains. Switch names are sorted so the
 // flap schedule does not depend on map iteration order.
 func (f *Fabric) StartFlapping(until time.Duration) {
-	fp := f.Faults
-	if fp == nil || !fp.FlapEnabled() {
-		return
-	}
 	names := make([]string, 0, len(f.switches))
 	for n := range f.switches {
 		names = append(names, n)
@@ -537,6 +718,15 @@ func (f *Fabric) StartFlapping(until time.Duration) {
 			if _, ok := t.to.(*Switch); !ok {
 				continue // endpoint links stay clean; flaps hit the backbone
 			}
+			if t.xeng != nil {
+				// Boundary trunks stay up: a flap mutates both directions
+				// of the duplex pair, and the pair's owner is another
+				// shard. Chaos stays within domains.
+				continue
+			}
+			if fp := t.faultPlane(); fp == nil || !fp.FlapEnabled() {
+				continue
+			}
 			if seen[t] || seen[t.pair] {
 				continue
 			}
@@ -546,29 +736,40 @@ func (f *Fabric) StartFlapping(until time.Duration) {
 	}
 }
 
-// flapLink runs one duplex link's flap cycle until the cutoff.
+// flapLink runs one duplex link's flap cycle until the cutoff, on the
+// trunk's own shard engine with the trunk's own fault plane.
 func (f *Fabric) flapLink(t *trunk, until time.Duration) {
-	fp := f.Faults
+	fp := t.faultPlane()
 	up := fp.NextUp()
-	if f.Engine.Now()+up >= until {
+	if t.eng.Now()+up >= until {
 		return // next flap would land past the cutoff; stay up for good
 	}
-	f.Engine.Schedule(up, func() {
+	t.eng.Schedule(up, func() {
 		down := fp.DownFor()
 		t.down, t.pair.down = true, true
-		f.Engine.Schedule(down, func() {
+		t.eng.Schedule(down, func() {
 			t.down, t.pair.down = false, false
 			f.flapLink(t, until)
 		})
 	})
 }
 
-// Attach connects an endpoint (host interface) to a switch.
+// Attach connects an endpoint (host interface) to a switch on the
+// fabric's default engine.
 func (f *Fabric) Attach(addr atm.Addr, sink CellSink, sw *Switch, cfg LinkConfig) (*Endpoint, error) {
+	return f.AttachOn(addr, sink, sw, cfg, f.Engine)
+}
+
+// AttachOn connects an endpoint whose events run on engine e. An
+// endpoint normally shares its switch's shard; when it does not, the
+// attachment trunks become shard boundaries, so their delay must fund
+// the group lookahead.
+func (f *Fabric) AttachOn(addr atm.Addr, sink CellSink, sw *Switch, cfg LinkConfig, e *sim.Engine) (*Endpoint, error) {
 	if _, dup := f.endpoints[addr]; dup {
 		return nil, fmt.Errorf("%w: endpoint %s", ErrDupName, addr)
 	}
-	ep := &Endpoint{Addr: addr, fabric: f, sink: sink}
+	ep := &Endpoint{Addr: addr, fabric: f, dom: domain{eng: e}, sink: sink}
+	f.ensureSpace(e)
 	up := newTrunk(f, ep, sw, cfg)
 	down := newTrunk(f, sw, ep, cfg)
 	up.pair, down.pair = down, up
@@ -592,6 +793,7 @@ func (ep *Endpoint) SetSink(s CellSink) { ep.sink = s }
 type VC struct {
 	id     vcID
 	fabric *Fabric
+	space  *vcSpace
 	From   atm.Addr
 	To     atm.Addr
 	QoS    qos.QoS
@@ -668,12 +870,26 @@ func (f *Fabric) SetupVC(from, to atm.Addr, q qos.QoS) (*VC, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotRunning, to)
 	}
+	if f.sealed && src.dom.eng != dst.dom.eng {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrCrossShard, from, to)
+	}
 	steps, err := f.findPath(src, dst)
 	if err != nil {
 		return nil, err
 	}
-	f.nextVC++
-	vc := &VC{id: vcID(f.nextVC), fabric: f, From: from, To: to, QoS: q}
+	if f.sealed {
+		// A same-shard pair could still be routed across a boundary by
+		// BFS in a pathological topology; refuse rather than touch
+		// another shard's tables and allocators at runtime.
+		for _, st := range steps {
+			if st.sw.dom.eng != src.dom.eng {
+				return nil, fmt.Errorf("%w: path via %s", ErrCrossShard, st.sw.Name)
+			}
+		}
+	}
+	space := f.spaces[src.dom.eng]
+	space.next++
+	vc := &VC{id: vcID(space.base | space.next), fabric: f, space: space, From: from, To: to, QoS: q}
 
 	// Trunk sequence: src.uplink, then each step's outgoing trunk.
 	in := src.uplink
@@ -696,7 +912,7 @@ func (f *Fabric) SetupVC(from, to atm.Addr, q qos.QoS) (*VC, error) {
 		in, inVCI = st.out, outVCI
 	}
 	vc.DstVCI = inVCI
-	f.vcs[vc.id] = vc
+	space.vcs[vc.id] = vc
 	return vc, nil
 }
 
@@ -750,15 +966,23 @@ func (vc *VC) Release() {
 	}
 	vc.released = true
 	vc.unwind()
-	delete(vc.fabric.vcs, vc.id)
+	delete(vc.space.vcs, vc.id)
 }
 
 // Hops reports the number of trunks the circuit crosses (the paper's
 // testbed path is "three hop (two switch)").
 func (vc *VC) Hops() int { return len(vc.hops) }
 
-// ActiveVCs reports the number of established circuits.
-func (f *Fabric) ActiveVCs() int { return len(f.vcs) }
+// ActiveVCs reports the number of established circuits across every
+// shard's namespace. During a sharded run this is a report-boundary
+// read; mid-run it is only exact for the caller's own shard.
+func (f *Fabric) ActiveVCs() int {
+	n := 0
+	for _, sp := range f.spaces {
+		n += len(sp.vcs)
+	}
+	return n
+}
 
 // TrunkStats sums (sent, dropped) cells over every trunk in the fabric.
 func (f *Fabric) TrunkStats() (sent, dropped uint64) {
@@ -795,6 +1019,14 @@ func (s ClassCellStats) LossRate(c qos.Class) float64 {
 // deterministic; switch trunk lists already include endpoint downlinks,
 // so only uplinks need the endpoint pass.
 func (f *Fabric) RegisterTSeries(st *tseries.Store) {
+	f.RegisterTSeriesOwned(st, nil)
+}
+
+// RegisterTSeriesOwned is RegisterTSeries restricted to trunks whose
+// sending element runs on engine own (nil means every trunk). A trunk's
+// counters and queues are mutated only by its sending shard, so a
+// per-shard store scraping only owned trunks reads race-free.
+func (f *Fabric) RegisterTSeriesOwned(st *tseries.Store, own *sim.Engine) {
 	if st == nil {
 		return
 	}
@@ -805,6 +1037,9 @@ func (f *Fabric) RegisterTSeries(st *tseries.Store) {
 	sort.Strings(names)
 	for _, n := range names {
 		for _, t := range f.switches[n].trunks {
+			if own != nil && t.eng != own {
+				continue
+			}
 			f.trackTrunk(st, t)
 		}
 	}
@@ -814,7 +1049,11 @@ func (f *Fabric) RegisterTSeries(st *tseries.Store) {
 	}
 	sort.Strings(addrs)
 	for _, a := range addrs {
-		f.trackTrunk(st, f.endpoints[atm.Addr(a)].uplink)
+		up := f.endpoints[atm.Addr(a)].uplink
+		if own != nil && up.eng != own {
+			continue
+		}
+		f.trackTrunk(st, up)
 	}
 }
 
