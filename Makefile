@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchcheck bench bench-telemetry tracegate chaosgate obsgate sigbench shardgate
+.PHONY: ci build vet test race benchcheck bench bench-telemetry tracegate chaosgate obsgate sigbench shardgate profgate
 
-ci: vet build test race benchcheck tracegate chaosgate obsgate sigbench shardgate
+ci: vet build test race benchcheck tracegate chaosgate obsgate sigbench shardgate profgate
 
 build:
 	$(GO) build ./...
@@ -99,6 +99,22 @@ shardgate:
 	$(GO) run ./cmd/obsgen -shards 4 -workers 1 -calls 24 -frames 2 -run 8s > /tmp/shardgate-w1.json
 	$(GO) run ./cmd/obsgen -shards 4 -workers 4 -calls 24 -frames 2 -run 8s > /tmp/shardgate-w4.json
 	cmp /tmp/shardgate-w1.json /tmp/shardgate-w4.json
+
+# The execution-profiler gate (PR 8): a disabled profiler hook (nil
+# EngineProf/GroupProf pointer) must stay under 5 ns (asserted inside
+# the benchmark) so the hooks compiled into the engine's exec loop and
+# the shard barrier cannot skew unprofiled runs; then the profiler's
+# deterministic counts export — per-shard per-label event counts,
+# window/idle-skip counters, the cross-shard post/byte matrix — is
+# byte-diffed at workers 1 vs 4 on the sharded E4 storm, guarding the
+# contract that profiling attributes the virtual history, which worker
+# scheduling never changes. (Wall-nanosecond attribution is exactly the
+# part CountsText omits; Text/JSON carry it for humans.)
+profgate:
+	$(GO) test -run '^$$' -bench BenchmarkProfOverhead/disabled -benchtime 2000000x ./internal/prof/
+	$(GO) run ./cmd/obsgen -prof -shards 4 -workers 1 -calls 24 -frames 2 -run 8s > /tmp/profgate-w1.txt
+	$(GO) run ./cmd/obsgen -prof -shards 4 -workers 4 -calls 24 -frames 2 -run 8s > /tmp/profgate-w4.txt
+	cmp /tmp/profgate-w1.txt /tmp/profgate-w4.txt
 
 # The telemetry cost gate: a disabled trace call site must stay under
 # 5 ns (asserted inside the benchmark), and the signaling throughput

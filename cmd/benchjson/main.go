@@ -18,8 +18,14 @@
 //
 // exits nonzero if any selected metric is worse than the old report by
 // more than the gate percentage. Better/worse direction is inferred
-// from the unit: /op and *-ms metrics want smaller numbers, rate
+// from the unit: /op, *-ms and *-% metrics want smaller numbers, rate
 // metrics (/s, /sec, bps) want bigger ones.
+//
+// When a profiler-armed benchmark contributes events/s, stall-% and
+// critical-shard metrics, the report carries a top-level profile block
+// summarizing them (events per second, barrier-stall percentage,
+// critical shard), so perf history records where the engine's time
+// went, not just how fast it was.
 package main
 
 import (
@@ -71,6 +77,20 @@ type Bench struct {
 	Metrics    map[string]Metric `json:"metrics"`
 }
 
+// ProfileSummary is the execution-profiler block stamped into a report
+// when a profiler-armed benchmark contributed events/s, stall-% and
+// critical-shard metrics (internal/testbed's BenchmarkShardedStorm
+// does). It surfaces the three numbers a perf campaign reads first
+// without digging through the per-benchmark metric maps.
+type ProfileSummary struct {
+	// Bench names the benchmark the block was lifted from (the one with
+	// the highest events/s when several are prof-armed).
+	Bench           string  `json:"bench"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	BarrierStallPct float64 `json:"barrier_stall_pct"`
+	CriticalShard   int     `json:"critical_shard"`
+}
+
 // Report is the file layout. Benchmarks keep first-seen input order,
 // so diffs between PRs line up.
 type Report struct {
@@ -83,8 +103,35 @@ type Report struct {
 	// parallelism, so -diff warns when the two reports disagree.
 	// omitempty keeps pre-PR7 reports parseable (they read back as 0 =
 	// unknown).
-	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
-	Benchmarks []Bench `json:"benchmarks"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// Profile is the execution-profiler summary (nil when no benchmark
+	// reported profiler metrics; omitempty keeps old reports parseable).
+	Profile    *ProfileSummary `json:"profile,omitempty"`
+	Benchmarks []Bench         `json:"benchmarks"`
+}
+
+// profileSummary lifts the profiler block out of the aggregated
+// benchmarks: among those reporting a stall-% metric, the one with the
+// highest median events/s wins (the fully-parallel sub-benchmark of the
+// scaling series).
+func profileSummary(benches []Bench) *ProfileSummary {
+	var best *ProfileSummary
+	for _, b := range benches {
+		stall, ok := b.Metrics["stall-%"]
+		if !ok {
+			continue
+		}
+		s := &ProfileSummary{
+			Bench:           b.Name,
+			EventsPerSec:    b.Metrics["events/s"].Median,
+			BarrierStallPct: stall.Median,
+			CriticalShard:   int(b.Metrics["critical-shard"].Median),
+		}
+		if best == nil || s.EventsPerSec > best.EventsPerSec {
+			best = s
+		}
+	}
+	return best
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)\s+(\d+)\s+(.+)$`)
@@ -197,6 +244,13 @@ func aggregate(order []string, pkgOf map[string]string, runs map[string][]rawRun
 // lowerBetter infers the improvement direction from the metric unit.
 func lowerBetter(unit string) bool {
 	switch {
+	case strings.HasSuffix(unit, "-%"):
+		// Percent-of-waste metrics — the profiler's barrier stall-% —
+		// want smaller numbers, even though more workers usually raise
+		// both events/s and stall-% together (more parallelism, more
+		// barrier exposure). Direction-aware so a gated diff catches a
+		// partitioning regression, not a worker-count change.
+		return true
 	case strings.Contains(unit, "/op"), strings.HasSuffix(unit, "-ms"), strings.HasSuffix(unit, "ns"):
 		return true
 	case strings.Contains(unit, "/s"), strings.Contains(unit, "bps"):
@@ -316,7 +370,7 @@ func runDiff(oldPath, newPath, benchRE, metricRE string, gatePct float64) int {
 			}
 			compared++
 			mark := ""
-			if gatePct > 0 && worse > gatePct {
+			if gatePct > 0 && worse > gatePct && !identityMetric(u) {
 				regressed++
 				mark = "  REGRESSION"
 			}
@@ -345,6 +399,13 @@ func runDiff(oldPath, newPath, benchRE, metricRE string, gatePct float64) int {
 		return 1
 	}
 	return 0
+}
+
+// identityMetric reports units that name a thing rather than measure
+// one (the critical shard's index, the GOMAXPROCS the run used) —
+// diffs print them so a shift is visible, but never gate on them.
+func identityMetric(u string) bool {
+	return u == "critical-shard" || u == "gomaxprocs"
 }
 
 func index2Sorted(idx map[string]Bench) []Bench {
@@ -389,6 +450,7 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: aggregate(order, pkgOf, runs),
 	}
+	rep.Profile = profileSummary(rep.Benchmarks)
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)

@@ -5,6 +5,7 @@
 //	go run ./cmd/obsgen                  # full export as JSON
 //	go run ./cmd/obsgen -health          # watermark rule states + events
 //	go run ./cmd/obsgen -table          # utilization/queue-depth vs time table
+//	go run ./cmd/obsgen -prof -shards 4 # execution profiler's deterministic counts
 //
 // With -shards N (N > 0) the storm runs on the sharded parallel engine
 // instead: N switch domains joined by lookahead-funding trunks, each on
@@ -46,11 +47,12 @@ func main() {
 	workers := flag.Int("workers", 1, "shard-window worker goroutines (sharded mode; never changes the bytes)")
 	sighosts := flag.Int("sighosts", 2, "sighost routers per domain (sharded mode)")
 	trunkDelay := flag.Duration("trunk-delay", 2*time.Millisecond, "inter-domain trunk propagation delay = conservative lookahead (sharded mode)")
+	profOut := flag.Bool("prof", false, "arm the execution profiler and print its deterministic counts export (byte-identical at any -workers; make profgate diffs it)")
 	flag.Parse()
 
 	if *shards > 0 {
 		runSharded(*seed, *shards, *workers, *sighosts, *trunkDelay, *calls, *frames, *frameBytes,
-			*runFor, *interval, *capacity, *health, *table, *tableEvery)
+			*runFor, *interval, *capacity, *health, *table, *tableEvery, *profOut)
 		return
 	}
 
@@ -59,6 +61,9 @@ func main() {
 		DeviceBuffers: kern.FixedDeviceBuffers,
 		FDTableSize:   kern.FixedFDTableSize,
 		TSeries:       &tseries.Config{Interval: *interval, Capacity: *capacity},
+		// Prof alone records only deterministic counts, so the byte-diffed
+		// exports below may carry it (ProfSeries would add wall time).
+		Prof: *profOut,
 	})
 	if err != nil {
 		fatal(err)
@@ -78,6 +83,8 @@ func main() {
 	n.E.Shutdown()
 
 	switch {
+	case *profOut:
+		fmt.Print(n.Prof.CountsText())
 	case *health:
 		fmt.Print(n.TS.HealthText())
 	case *table:
@@ -92,7 +99,7 @@ func main() {
 // merged into one deterministic export.
 func runSharded(seed uint64, shards, workers, sighosts int, trunkDelay time.Duration,
 	calls, frames, frameBytes int, runFor, interval time.Duration, capacity int,
-	health, table bool, tableEvery int) {
+	health, table bool, tableEvery int, profOut bool) {
 	cfg := testbed.StormConfig{
 		Count: calls, Hold: time.Second, FramesPerCall: frames, FrameBytes: frameBytes,
 		Domains: shards, SighostsPerDomain: sighosts, TrunkDelay: trunkDelay,
@@ -103,6 +110,7 @@ func runSharded(seed uint64, shards, workers, sighosts int, trunkDelay time.Dura
 		DeviceBuffers: kern.FixedDeviceBuffers,
 		FDTableSize:   kern.FixedFDTableSize,
 		TSeries:       &tseries.Config{Interval: interval, Capacity: capacity},
+		Prof:          profOut,
 	}, cfg)
 	if err != nil {
 		fatal(err)
@@ -116,6 +124,8 @@ func runSharded(seed uint64, shards, workers, sighosts int, trunkDelay time.Dura
 	ex := sn.MergedExport()
 
 	switch {
+	case profOut:
+		fmt.Print(sn.Prof.CountsText())
 	case health:
 		for _, dom := range sn.Domains {
 			fmt.Printf("== domain %d\n%s", dom.Index, dom.TS.HealthText())

@@ -24,6 +24,7 @@ import (
 	"xunet/internal/atm"
 	"xunet/internal/faults"
 	"xunet/internal/kern"
+	"xunet/internal/obs/tseries"
 	"xunet/internal/testbed"
 	"xunet/internal/xswitch"
 )
@@ -47,6 +48,7 @@ func main() {
 	sighosts := flag.Int("sighosts", 2, "sighost routers per domain (sharded mode)")
 	trunkDelay := flag.Duration("trunk-delay", 2*time.Millisecond, "inter-domain trunk delay = conservative lookahead (sharded mode)")
 	crossFrames := flag.Int("cross-frames", 8, "data frames per cross-domain carrier circuit (sharded mode)")
+	profOn := flag.Bool("prof", false, "arm the execution profiler and print the full profile (wall-time attribution, per-shard barrier-stall fractions, critical-shard ranking)")
 	flag.Parse()
 
 	opts := testbed.Options{
@@ -54,6 +56,10 @@ func main() {
 		DeviceBuffers:      *buffers,
 		FDTableSize:        *fdsize,
 		DisableCallLogging: *nolog,
+		// -prof arms the wall-clock half too: xunetsim's report is for
+		// humans, not byte-diffing, so the stall series and hot-shard
+		// watermark rule ride along.
+		ProfSeries: *profOn,
 	}
 	if *chaos {
 		opts.Faults = &faults.Config{
@@ -149,6 +155,9 @@ func main() {
 	if *chaos {
 		fmt.Printf("faults injected:\n%s\n", n.Faults.Obs.Snapshot().Text())
 	}
+	if n.Prof != nil {
+		fmt.Printf("\n%s\n", n.Prof.Text())
+	}
 	report := n.Snapshot()
 	fmt.Print(report)
 	if report.Quiesced() {
@@ -168,6 +177,12 @@ func main() {
 // worker-count speedup is visible; every virtual number is identical at
 // any -workers.
 func runSharded(opts testbed.Options, cfg testbed.StormConfig, workers int, chaos bool) {
+	if opts.ProfSeries && opts.TSeries == nil {
+		// The stall series and the hot-shard watermark rule live in the
+		// per-domain stores; arm them so the profiler's wall-clock half
+		// has somewhere to land.
+		opts.TSeries = &tseries.Config{}
+	}
 	sn, err := testbed.NewSharded(opts, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xunetsim:", err)
@@ -179,6 +194,7 @@ func runSharded(opts testbed.Options, cfg testbed.StormConfig, workers int, chao
 		len(sn.Domains), len(sn.Domains[0].Routers), sn.G.Lookahead(), sn.G.Workers(), cfg.Count, cfg.Hold)
 	sn.RunUntil(time.Second)
 	runFor := time.Duration(cfg.Count)*cfg.Hold + 30*time.Second
+	sn.StartTSeries(time.Second + runFor)
 	if chaos {
 		sn.StartTrunkFlapping(runFor)
 	}
@@ -201,6 +217,16 @@ func runSharded(opts testbed.Options, cfg testbed.StormConfig, workers int, chao
 		for _, dom := range sn.Domains {
 			if dom.Faults != nil {
 				fmt.Printf("\nd%d faults injected:\n%s", dom.Index, dom.Faults.Obs.Snapshot().Text())
+			}
+		}
+	}
+	if sn.Prof != nil {
+		fmt.Printf("\n%s", sn.Prof.Text())
+		for _, dom := range sn.Domains {
+			for _, ev := range dom.HealthEvents {
+				if ev.Rule == "hot-shard-stall" {
+					fmt.Printf("health d%d: %s\n", dom.Index, ev.String())
+				}
 			}
 		}
 	}

@@ -28,6 +28,13 @@
 //	xunetstat tseries -json       # full export: point history, rules, events
 //	xunetstat health              # watermark rule states + health events
 //	xunetstat health -json        # the same as one JSON object
+//
+// And one queries the execution profiler, when one is armed:
+//
+//	xunetstat prof                # per-shard event/stall attribution,
+//	                              # critical-shard ranking
+//	xunetstat prof -json          # the same as one JSON snapshot
+//	xunetstat prof -flame         # folded stacks for flame-graph tools
 package main
 
 import (
@@ -95,17 +102,21 @@ func main() {
 // flight`. A -json flag may appear either before the subcommand or
 // among its arguments.
 func runSubcommand(c *signaling.RealClient, args []string) {
-	asJSON := false
+	asJSON, asFlame := false, false
 	rest := args[:0:0]
 	for _, a := range args {
 		if a == "-json" || a == "--json" {
 			asJSON = true
 			continue
 		}
+		if a == "-flame" || a == "--flame" {
+			asFlame = true
+			continue
+		}
 		rest = append(rest, a)
 	}
 	if len(rest) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: xunetstat [flags] [trace <callid> | flight | faults | tseries | health]")
+		fmt.Fprintln(os.Stderr, "usage: xunetstat [flags] [trace <callid> | flight | faults | tseries | health | prof]")
 		os.Exit(2)
 	}
 	switch rest[0] {
@@ -173,8 +184,22 @@ func runSubcommand(c *signaling.RealClient, args []string) {
 			os.Exit(1)
 		}
 		fmt.Println(body)
+	case "prof":
+		what := signaling.MgmtProf
+		switch {
+		case asFlame:
+			what = signaling.MgmtProfFlame
+		case asJSON:
+			what = signaling.MgmtProfJSON
+		}
+		body, err := c.Query(what)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xunetstat:", err)
+			os.Exit(1)
+		}
+		fmt.Println(body)
 	default:
-		fmt.Fprintln(os.Stderr, "xunetstat: unknown subcommand", rest[0], "(want trace, flight, faults, tseries or health)")
+		fmt.Fprintln(os.Stderr, "xunetstat: unknown subcommand", rest[0], "(want trace, flight, faults, tseries, health or prof)")
 		os.Exit(2)
 	}
 }

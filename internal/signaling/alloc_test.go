@@ -110,7 +110,7 @@ func (e *benchEnv) Rand16() uint16 {
 	return uint16(e.rnd >> 16)
 }
 
-func (e *benchEnv) After(d time.Duration, fn func()) CancelFunc {
+func (e *benchEnv) After(d time.Duration, what string, fn func()) CancelFunc {
 	t := e.tmPool
 	if t == nil {
 		t = &benchTimer{env: e}

@@ -47,6 +47,14 @@ const (
 	MgmtTSeriesJSON = "tseries.json"
 	MgmtHealth      = "health"
 	MgmtHealthJSON  = "health.json"
+	// The execution-profiler surface (internal/prof): "prof" renders
+	// the full profile (per-shard barrier-stall accounting, per-label
+	// event attribution, critical-shard ranking), "prof.json" the
+	// machine-readable snapshot, "prof.flame" folded stacks for
+	// flame-graph tools.
+	MgmtProf      = "prof"
+	MgmtProfJSON  = "prof.json"
+	MgmtProfFlame = "prof.flame"
 )
 
 // MaxMgmtReply bounds a management reply body. Bodies past the bound
@@ -171,11 +179,36 @@ func (sh *Sighost) handleMgmtQuery(conn Conn, m sigmsg.Msg) {
 		} else {
 			body = "{}"
 		}
+	case MgmtProf:
+		if sh.ProfInfo != nil {
+			body = sh.ProfInfo()
+		} else {
+			body = "execution profiling disabled"
+		}
+	case MgmtProfJSON:
+		if sh.ProfJSON != nil {
+			body = sh.ProfJSON()
+		} else {
+			body = "{}"
+		}
+	case MgmtProfFlame:
+		if sh.ProfFlame != nil {
+			body = sh.ProfFlame()
+		} else {
+			body = "execution profiling disabled"
+		}
 	case MgmtLists:
 		svc, out, in, wb, vm := sh.ListSizes()
 		body = fmt.Sprintf("service_list=%d outgoing_requests=%d incoming_requests=%d wait_for_bind=%d VCI_mapping=%d cookies=%d",
 			svc, out, in, wb, vm, len(sh.cookies))
 	default:
+		if strings.HasPrefix(m.Service, "prof.") {
+			// A malformed profiler view gets a pointed error naming the
+			// valid ones, mirroring the calltrace error path.
+			sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError,
+				Reason: fmt.Sprintf("unknown prof view %q (want prof, prof.json or prof.flame)", m.Service)})
+			return
+		}
 		sh.sendApp(conn, sigmsg.Msg{Kind: sigmsg.KindError, Reason: "unknown management query " + m.Service})
 		return
 	}

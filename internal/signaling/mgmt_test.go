@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"xunet/internal/prof"
 	"xunet/internal/sigmsg"
 	"xunet/internal/signaling"
 )
@@ -129,6 +130,83 @@ func TestMgmtOversizedReply(t *testing.T) {
 	reply, err = realQuery(t, h.ListenAddr(), signaling.MgmtServices)
 	if err != nil || reply.Kind != sigmsg.KindMgmtReply || reply.Comment != "" {
 		t.Fatalf("post-error query: kind=%v err=%v body=%q", reply.Kind, err, reply.Comment)
+	}
+}
+
+// Error paths of the MGMT prof surface, mirroring the calltrace suite:
+// a disabled profiler answers with explicit text (never an error, never
+// silence), and a malformed prof view draws a pointed SIG_ERROR naming
+// the valid ones.
+func TestMgmtProfErrorPaths(t *testing.T) {
+	h := startReal(t)
+
+	// No profiler attached: the text views answer with disabled text,
+	// the JSON view with an empty object.
+	for q, want := range map[string]string{
+		signaling.MgmtProf:      "execution profiling disabled",
+		signaling.MgmtProfFlame: "execution profiling disabled",
+		signaling.MgmtProfJSON:  "{}",
+	} {
+		reply, err := realQuery(t, h.ListenAddr(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if reply.Kind != sigmsg.KindMgmtReply || reply.Comment != want {
+			t.Fatalf("%s: kind=%v body=%q", q, reply.Kind, reply.Comment)
+		}
+	}
+
+	// A bogus prof view is malformed, not merely unknown: the error
+	// names the valid views so the caller can fix the query.
+	reply, err := realQuery(t, h.ListenAddr(), "prof.bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != sigmsg.KindError || !strings.Contains(reply.Reason, "unknown prof view") ||
+		!strings.Contains(reply.Reason, "prof.flame") {
+		t.Fatalf("prof.bogus: kind=%v reason=%q", reply.Kind, reply.Reason)
+	}
+
+	// With a profiler attached (in actor context, so no race with the
+	// handler), the views serve its exports.
+	p := prof.New()
+	p.Engine(0).Account(p.Engine(0).Label("proc.sighost"), 1000)
+	h.SetProfSource(p.Text, p.JSON, p.FlameFolded)
+	reply, err = realQuery(t, h.ListenAddr(), signaling.MgmtProf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != sigmsg.KindMgmtReply || !strings.Contains(reply.Comment, "proc.sighost") {
+		t.Fatalf("armed prof view: kind=%v body=%q", reply.Kind, reply.Comment)
+	}
+	reply, err = realQuery(t, h.ListenAddr(), signaling.MgmtProfJSON)
+	if err != nil || !strings.Contains(reply.Comment, `"shards"`) {
+		t.Fatalf("armed prof.json view: err=%v body=%q", err, reply.Comment)
+	}
+}
+
+// An oversized prof reply must be refused whole with the query name in
+// the reason — same contract as the stats view — and the daemon must
+// stay usable afterwards.
+func TestMgmtProfOversizedReply(t *testing.T) {
+	old := signaling.MaxMgmtReply
+	signaling.MaxMgmtReply = 64
+	t.Cleanup(func() { signaling.MaxMgmtReply = old })
+	h := startReal(t)
+
+	big := strings.Repeat("shard 0: busy\n", 64)
+	h.SetProfSource(func() string { return big }, nil, nil)
+	reply, err := realQuery(t, h.ListenAddr(), signaling.MgmtProf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != sigmsg.KindError || !strings.Contains(reply.Reason, "too large") ||
+		!strings.Contains(reply.Reason, signaling.MgmtProf) {
+		t.Fatalf("oversized prof reply: kind=%v reason=%q", reply.Kind, reply.Reason)
+	}
+	reply, err = realQuery(t, h.ListenAddr(), signaling.MgmtServices)
+	if err != nil || reply.Kind != sigmsg.KindMgmtReply {
+		t.Fatalf("post-error query: kind=%v err=%v", reply.Kind, err)
 	}
 }
 

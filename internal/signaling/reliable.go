@@ -266,7 +266,7 @@ func (sh *Sighost) armRetransmit(lk *peerLink, pm *pendingMsg) {
 	if shift > sh.rel.cfg.MaxBackoffShift {
 		shift = sh.rel.cfg.MaxBackoffShift
 	}
-	pm.cancel = sh.env.After(sh.rel.cfg.RTO<<shift, pm.fire)
+	pm.cancel = sh.env.After(sh.rel.cfg.RTO<<shift, "rel.rto", pm.fire)
 }
 
 // fireNow runs one retransmit deadline: give up when the budget is
@@ -433,7 +433,7 @@ func (sh *Sighost) ensureKeepalive(lk *peerLink) {
 
 func (sh *Sighost) armKeepalive(lk *peerLink) {
 	cfg := sh.rel.cfg
-	lk.kaCancel = sh.env.After(cfg.KeepaliveEvery, func() {
+	lk.kaCancel = sh.env.After(cfg.KeepaliveEvery, "rel.keepalive", func() {
 		if !sh.linkActive(lk) {
 			lk.kaOn = false
 			return

@@ -122,7 +122,7 @@ func (e *fakeEnv) Charge(d time.Duration)    {}
 func (e *fakeEnv) Rand16() uint16            { e.randCtr++; return e.randCtr }
 func (e *fakeEnv) Now() time.Duration        { return e.w.now }
 
-func (e *fakeEnv) After(d time.Duration, fn func()) CancelFunc {
+func (e *fakeEnv) After(d time.Duration, what string, fn func()) CancelFunc {
 	e.w.timerSeq++
 	tm := &fakeTimer{owner: e, at: e.w.now + d, seq: e.w.timerSeq, fn: fn}
 	e.w.timers = append(e.w.timers, tm)

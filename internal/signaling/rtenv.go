@@ -162,6 +162,19 @@ func (h *RealHost) Close() {
 }
 
 // post runs fn in actor context (dropped after Close).
+// SetProfSource wires the MGMT prof hooks in actor context, so a
+// profiler can be attached while the daemon is serving without racing
+// the handler goroutine (tests attach one to exercise the prof error
+// paths). The assignment is ordered before any later query's handling
+// by the inbox's FIFO discipline.
+func (h *RealHost) SetProfSource(info, js, flame func() string) {
+	h.post(func() {
+		h.SH.ProfInfo = info
+		h.SH.ProfJSON = js
+		h.SH.ProfFlame = flame
+	})
+}
+
 func (h *RealHost) post(fn func()) {
 	select {
 	case h.inbox <- fn:
@@ -236,7 +249,7 @@ func (e *realEnv) Charge(d time.Duration) {} // real time passes on its own
 func (e *realEnv) Rand16() uint16         { return uint16(rand.Uint32()) }
 func (e *realEnv) Now() time.Duration     { return time.Since(e.h.started) }
 
-func (e *realEnv) After(d time.Duration, fn func()) CancelFunc {
+func (e *realEnv) After(d time.Duration, what string, fn func()) CancelFunc {
 	t := time.AfterFunc(d, func() { e.h.post(fn) })
 	return func() { t.Stop() }
 }

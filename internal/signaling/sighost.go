@@ -61,8 +61,11 @@ type Env interface {
 	// Charge accounts busy time (context switches, per-call logging,
 	// switch programming) against the signaling entity.
 	Charge(d time.Duration)
-	// After schedules fn in actor context after d.
-	After(d time.Duration, fn func()) CancelFunc
+	// After schedules fn in actor context after d. what names the
+	// timer's purpose ("rel.rto", "rel.keepalive", "bind.timeout") for
+	// execution-profiler attribution; environments without a profiler
+	// ignore it.
+	After(d time.Duration, what string, fn func()) CancelFunc
 	// SendPeer delivers a message to the signaling entity at dst over
 	// the signaling PVC mesh. dst may equal Addr (local call loopback).
 	SendPeer(dst atm.Addr, m sigmsg.Msg) error
@@ -332,6 +335,14 @@ type Sighost struct {
 	TSeriesJSON func() string
 	HealthInfo  func() string
 	HealthJSON  func() string
+
+	// ProfInfo/ProfJSON/ProfFlame, when set, render the execution
+	// profiler (internal/prof) for the MGMT `prof` / `prof.json` /
+	// `prof.flame` queries: the barrier-stall table and critical-shard
+	// ranking, the machine-readable snapshot, and folded flame stacks.
+	ProfInfo  func() string
+	ProfJSON  func() string
+	ProfFlame func() string
 }
 
 // sigCounters are the registry counters behind the legacy Stats fields,
@@ -1191,7 +1202,7 @@ func (sh *Sighost) armBindTimer(c *call, vci atm.VCI, wait time.Duration, deadli
 		sh.bwPool = bw.next
 	}
 	bw.c, bw.gen, bw.vci, bw.deadline, bw.next = c, c.gen, vci, deadline, nil
-	bw.cancel = sh.env.After(wait, bw.fire)
+	bw.cancel = sh.env.After(wait, "bind.timeout", bw.fire)
 	sh.waitBind[vci] = bw
 }
 

@@ -11,6 +11,7 @@ import (
 	"xunet/internal/kern"
 	"xunet/internal/memnet"
 	"xunet/internal/pfxunet"
+	"xunet/internal/prof"
 	"xunet/internal/qos"
 	"xunet/internal/sigmsg"
 	"xunet/internal/sim"
@@ -253,6 +254,9 @@ type simEnv struct {
 	// txBuf is the encode scratch for actor-context sends; every
 	// consumer copies the frame synchronously, so one buffer serves all.
 	txBuf []byte
+	// lblTimer caches interned profiler labels per timer class (see
+	// timerLabel); nil until a profiler is attached and a timer arms.
+	lblTimer map[string]prof.LabelID
 }
 
 // enc encodes m into the reusable scratch buffer.
@@ -274,9 +278,10 @@ func (e *simEnv) Charge(d time.Duration) {
 	}
 }
 
-func (e *simEnv) After(d time.Duration, fn func()) CancelFunc {
+func (e *simEnv) After(d time.Duration, what string, fn func()) CancelFunc {
 	canceled := false
-	t := e.h.Stack.M.E.Schedule(d, func() {
+	eng := e.h.Stack.M.E
+	t := eng.ScheduleL(d, e.timerLabel(eng, what), func() {
 		e.h.inbox.Put(func() {
 			if !canceled {
 				fn()
@@ -287,6 +292,26 @@ func (e *simEnv) After(d time.Duration, fn func()) CancelFunc {
 		canceled = true
 		t.Stop()
 	}
+}
+
+// timerLabel resolves the profiler label for a sighost timer class
+// ("rel.rto", "rel.keepalive", "bind.timeout" → "sighost.<what>").
+// The per-env cache keeps the armed-profiler path allocation-free
+// after each class's first arm; with no profiler it is one nil check.
+func (e *simEnv) timerLabel(eng *sim.Engine, what string) prof.LabelID {
+	p := eng.Prof()
+	if p == nil {
+		return 0
+	}
+	if l, ok := e.lblTimer[what]; ok {
+		return l
+	}
+	if e.lblTimer == nil {
+		e.lblTimer = make(map[string]prof.LabelID, 4)
+	}
+	l := p.Label("sighost." + what)
+	e.lblTimer[what] = l
+	return l
 }
 
 func (e *simEnv) SendPeer(dst atm.Addr, m sigmsg.Msg) error {

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"xunet/internal/prof"
 )
 
 // maxDuration is the +infinity sentinel for horizon computations.
@@ -53,13 +55,21 @@ type ShardGroup struct {
 	outbox [][][]xrec
 
 	// Window worker pool (started lazily when workers > 1).
-	work      chan int
-	done      chan struct{}
-	wg        sync.WaitGroup
-	winLimit  time.Duration
-	winIncl   bool
-	poolSize  int
-	closed    bool
+	work     chan int
+	done     chan struct{}
+	wg       sync.WaitGroup
+	winLimit time.Duration
+	winIncl  bool
+	poolSize int
+	closed   bool
+
+	// Execution profiling (internal/prof): gprof is nil unless
+	// AttachProfiler armed it; winDur is the per-window scratch of
+	// per-shard wall durations (each slot written by the goroutine
+	// that ran that shard's window, read by the coordinator after the
+	// barrier — the work/done channels supply the happens-before).
+	gprof  *prof.GroupProf
+	winDur []int64
 }
 
 // NewShardGroup returns n engines synchronized at the given lookahead.
@@ -80,6 +90,7 @@ func NewShardGroup(seed uint64, n int, lookahead time.Duration) *ShardGroup {
 		lookahead: lookahead,
 		workers:   1,
 		outbox:    make([][][]xrec, n),
+		winDur:    make([]int64, n),
 	}
 	for i := range g.shards {
 		e := New(ShardSeed(seed, i))
@@ -146,7 +157,22 @@ func (g *ShardGroup) Pending() int {
 	return total
 }
 
-// post stages a cross-shard record; called by Engine.Post.
+// AttachProfiler binds every shard engine and the group's window
+// accounting to p. Call before the first RunUntil/Run (the worker pool
+// reads the hook without a lock once started); attaching nil is a
+// no-op.
+func (g *ShardGroup) AttachProfiler(p *prof.Profiler) {
+	if p == nil {
+		return
+	}
+	for _, e := range g.shards {
+		e.AttachProfiler(p)
+	}
+	g.gprof = p.Group(len(g.shards))
+}
+
+// post stages a cross-shard record; called by Engine.Post/PostSized,
+// which also feed the (src,dst) traffic matrix when profiling is on.
 func (g *ShardGroup) post(src, dst int, at time.Duration, fn func()) {
 	g.outbox[src][dst] = append(g.outbox[src][dst], xrec{at: at, fn: fn})
 }
@@ -190,9 +216,18 @@ func (g *ShardGroup) earliest() time.Duration {
 // single-threaded computation.
 func (g *ShardGroup) windowAll(limit time.Duration, inclusive bool) {
 	if g.workers <= 1 || len(g.shards) == 1 {
-		for _, e := range g.shards {
-			e.runWindow(limit, inclusive)
+		if g.gprof == nil {
+			for _, e := range g.shards {
+				e.runWindow(limit, inclusive)
+			}
+			return
 		}
+		for i, e := range g.shards {
+			t0 := time.Now()
+			e.runWindow(limit, inclusive)
+			g.winDur[i] = time.Since(t0).Nanoseconds()
+		}
+		g.gprof.AccountWindow(g.winDur)
 		return
 	}
 	g.ensureWorkers()
@@ -202,6 +237,9 @@ func (g *ShardGroup) windowAll(limit time.Duration, inclusive bool) {
 	}
 	for range g.shards {
 		<-g.done
+	}
+	if g.gprof != nil {
+		g.gprof.AccountWindow(g.winDur)
 	}
 }
 
@@ -218,7 +256,13 @@ func (g *ShardGroup) ensureWorkers() {
 		go func() {
 			defer g.wg.Done()
 			for i := range g.work {
-				g.shards[i].runWindow(g.winLimit, g.winIncl)
+				if g.gprof != nil {
+					t0 := time.Now()
+					g.shards[i].runWindow(g.winLimit, g.winIncl)
+					g.winDur[i] = time.Since(t0).Nanoseconds()
+				} else {
+					g.shards[i].runWindow(g.winLimit, g.winIncl)
+				}
 				g.done <- struct{}{}
 			}
 		}()
@@ -241,6 +285,7 @@ func (g *ShardGroup) RunUntil(t time.Duration) {
 			// because the outboxes are empty at a barrier, so no event
 			// can materialize before the earliest scheduled one.
 			start = e
+			g.gprof.NoteIdleSkip()
 		}
 		if start > t {
 			start = t
@@ -333,6 +378,14 @@ func (g *ShardGroup) Close() {
 // window a neighbor may already be executing, and panics loudly instead
 // of corrupting the run.
 func (e *Engine) Post(dst *Engine, d time.Duration, fn func()) {
+	e.PostSized(dst, d, 0, fn)
+}
+
+// PostSized is Post carrying a payload size for the profiler's
+// cross-shard traffic matrix: size is the number of payload bytes the
+// record represents (0 for pure control posts). Size never affects the
+// simulation — it only feeds (src,dst) post/byte accounting.
+func (e *Engine) PostSized(dst *Engine, d time.Duration, size int, fn func()) {
 	if dst == e || e.group == nil {
 		e.Schedule(d, fn)
 		return
@@ -344,6 +397,7 @@ func (e *Engine) Post(dst *Engine, d time.Duration, fn func()) {
 	if d < g.lookahead {
 		panic(fmt.Sprintf("sim: cross-shard Post delay %v below lookahead %v", d, g.lookahead))
 	}
+	g.gprof.NotePost(e.shardID, dst.shardID, size)
 	g.post(e.shardID, dst.shardID, e.now+d, fn)
 }
 
@@ -361,17 +415,16 @@ func (e *Engine) scheduleAbs(at time.Duration, fn func()) {
 	if at < e.now {
 		at = e.now
 	}
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-	} else {
-		ev = &event{}
-	}
-	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	ev := e.getEvent()
+	// Cross-shard records execute under the xshard label: the
+	// originating label lives in another shard's table, so attribution
+	// hands off at the boundary (the matrix carries the src side).
+	ev.at, ev.seq, ev.fn, ev.label = at, e.seq, fn, prof.LabelCrossShard
 	e.seq++
 	heap.Push(&e.events, ev)
+	if len(e.events) > e.heapHiWat {
+		e.heapHiWat = len(e.events)
+	}
 }
 
 // runWindow processes this shard's events up to limit — strictly before
@@ -389,10 +442,7 @@ func (e *Engine) runWindow(limit time.Duration, inclusive bool) {
 			break
 		}
 		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		fn := ev.fn
-		e.release(ev)
-		fn()
+		e.exec(ev)
 	}
 	if e.now < limit {
 		e.now = limit

@@ -16,6 +16,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"xunet/internal/prof"
 )
 
 // Engine is a discrete-event scheduler with cooperative processes.
@@ -42,6 +44,20 @@ type Engine struct {
 	// shard.go); both stay zero for a plain standalone engine.
 	group   *ShardGroup
 	shardID int
+
+	// Execution profiling (internal/prof). prof is nil unless a
+	// profiler is attached; curLabel is the label of the event being
+	// executed, inherited by everything it schedules.
+	prof     *prof.EngineProf
+	curLabel prof.LabelID
+
+	// Always-on engine internals, exposed through the accessors below
+	// and (per machine) as obs metrics: executed events, event-pool
+	// hit/miss, and the heap high-water mark.
+	execCount  uint64
+	poolHits   uint64
+	poolMisses uint64
+	heapHiWat  int
 }
 
 // New returns an engine with its clock at zero and randomness seeded
@@ -70,6 +86,7 @@ type event struct {
 	fn    func()
 	index int
 	gen   uint64
+	label prof.LabelID
 }
 
 type eventHeap []*event
@@ -135,25 +152,65 @@ func (e *Engine) release(ev *event) {
 	e.free = append(e.free, ev)
 }
 
+// getEvent pops the free list (or allocates), counting pool hits and
+// misses for the engine-internals metrics.
+func (e *Engine) getEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.poolHits++
+		return ev
+	}
+	e.poolMisses++
+	return &event{}
+}
+
 // Schedule arranges for fn to run in engine context after virtual delay
 // d (immediately-next if d <= 0). Events at equal times run in the order
-// they were scheduled.
+// they were scheduled. The event inherits the profiling label of the
+// event currently executing, so attribution follows causality without
+// any per-call bookkeeping.
 func (e *Engine) Schedule(d time.Duration, fn func()) Timer {
+	return e.ScheduleL(d, e.curLabel, fn)
+}
+
+// ScheduleL is Schedule with an explicit profiling label (see
+// internal/prof): the event's execution is attributed to label instead
+// of the scheduling context. Labels are free when no profiler is
+// attached — Label/ProfLabel return 0 on a nil profile.
+func (e *Engine) ScheduleL(d time.Duration, label prof.LabelID, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-	} else {
-		ev = &event{}
-	}
-	ev.at, ev.seq, ev.fn = e.now+d, e.seq, fn
+	ev := e.getEvent()
+	ev.at, ev.seq, ev.fn, ev.label = e.now+d, e.seq, fn, label
 	e.seq++
 	heap.Push(&e.events, ev)
+	if len(e.events) > e.heapHiWat {
+		e.heapHiWat = len(e.events)
+	}
 	return Timer{e: e, ev: ev, gen: ev.gen}
+}
+
+// exec runs one popped event: clock advance, release to the pool, then
+// the callback — timed and attributed when a profiler is attached.
+func (e *Engine) exec(ev *event) {
+	e.now = ev.at
+	fn := ev.fn
+	label := ev.label
+	e.release(ev)
+	e.execCount++
+	if p := e.prof; p != nil {
+		prev := e.curLabel
+		e.curLabel = label
+		t0 := time.Now()
+		fn()
+		p.Account(label, time.Since(t0).Nanoseconds())
+		e.curLabel = prev
+	} else {
+		fn()
+	}
 }
 
 // Proc is a cooperatively-scheduled simulated process. Its body runs on
@@ -166,6 +223,7 @@ type Proc struct {
 	killed     bool
 	parked     bool
 	sleepTimer Timer
+	label      prof.LabelID // proc-kind attribution label (0 when unprofiled)
 
 	// dispatchFn and sleepFn are bound once at Go so the hot
 	// park/unpark/sleep cycle schedules without allocating a closure.
@@ -190,6 +248,7 @@ func (k killedErr) Error() string { return "sim: process " + k.name + " killed a
 // the current virtual time; it first executes when the engine next runs.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	p.label = e.prof.ProcLabel(name) // 0 when unprofiled (nil-safe)
 	p.dispatchFn = func() { e.dispatch(p) }
 	p.sleepFn = func() {
 		p.sleepTimer = Timer{}
@@ -213,7 +272,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.Schedule(0, p.dispatchFn)
+	e.ScheduleL(0, p.label, p.dispatchFn)
 	return p
 }
 
@@ -258,12 +317,12 @@ func (p *Proc) Unpark() {
 	}
 	p.parked = false
 	delete(p.e.parked, p)
-	p.e.Schedule(0, p.dispatchFn)
+	p.e.ScheduleL(0, p.label, p.dispatchFn)
 }
 
 // Sleep blocks the process for virtual duration d.
 func (p *Proc) Sleep(d time.Duration) {
-	p.sleepTimer = p.e.Schedule(d, p.sleepFn)
+	p.sleepTimer = p.e.ScheduleL(d, p.label, p.sleepFn)
 	p.yieldToEngine()
 }
 
@@ -283,10 +342,10 @@ func (p *Proc) Kill() {
 	case p.parked:
 		p.parked = false
 		delete(p.e.parked, p)
-		p.e.Schedule(0, p.dispatchFn)
+		p.e.ScheduleL(0, p.label, p.dispatchFn)
 	case p.sleepTimer.Stop():
 		p.sleepTimer = Timer{}
-		p.e.Schedule(0, p.dispatchFn)
+		p.e.ScheduleL(0, p.label, p.dispatchFn)
 	default:
 		// Either running right now (self-kill: unwind immediately) or
 		// already queued for a dispatch that will observe the flag.
@@ -307,10 +366,7 @@ func (e *Engine) Run() {
 	defer func() { e.running = false }()
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		fn := ev.fn
-		e.release(ev)
-		fn()
+		e.exec(ev)
 	}
 }
 
@@ -324,10 +380,7 @@ func (e *Engine) RunUntil(t time.Duration) {
 	defer func() { e.running = false }()
 	for len(e.events) > 0 && e.events[0].at <= t {
 		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		fn := ev.fn
-		e.release(ev)
-		fn()
+		e.exec(ev)
 	}
 	if e.now < t {
 		e.now = t
@@ -336,6 +389,44 @@ func (e *Engine) RunUntil(t time.Duration) {
 
 // RunFor processes events for virtual duration d from the current time.
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// AttachProfiler binds this engine to an execution profiler (see
+// internal/prof): subsequent Schedule/Go/Run activity is attributed
+// per label and per proc kind. Attach before running; attaching nil is
+// a no-op. For sharded runs use ShardGroup.AttachProfiler, which also
+// arms the window/stall/matrix accounting.
+func (e *Engine) AttachProfiler(p *prof.Profiler) {
+	if p == nil {
+		return
+	}
+	e.prof = p.Engine(e.shardID)
+}
+
+// Prof returns the engine's per-shard profile, nil when unprofiled.
+// Components intern explicit attribution labels through it at
+// construction time (ProfLabel below is the nil-safe shorthand).
+func (e *Engine) Prof() *prof.EngineProf { return e.prof }
+
+// ProfLabel interns an explicit attribution label, returning 0 (the
+// root label) when no profiler is attached.
+func (e *Engine) ProfLabel(name string) prof.LabelID { return e.prof.Label(name) }
+
+// EventsExecuted reports how many events this engine has run — the
+// denominator of every per-label attribution and, per shard, the
+// deterministic imbalance signal (same seed ⇒ same counts at any
+// worker count).
+func (e *Engine) EventsExecuted() uint64 { return e.execCount }
+
+// TimerPoolHits reports how many scheduled events reused a pooled
+// event struct.
+func (e *Engine) TimerPoolHits() uint64 { return e.poolHits }
+
+// TimerPoolMisses reports how many scheduled events had to allocate.
+func (e *Engine) TimerPoolMisses() uint64 { return e.poolMisses }
+
+// HeapHighWater reports the maximum number of simultaneously scheduled
+// events this engine has seen.
+func (e *Engine) HeapHighWater() uint64 { return uint64(e.heapHiWat) }
 
 // Parked reports how many processes are currently parked.
 func (e *Engine) Parked() int { return len(e.parked) }

@@ -12,6 +12,7 @@ import (
 	"xunet/internal/kern"
 	"xunet/internal/memnet"
 	"xunet/internal/obs/tseries"
+	"xunet/internal/prof"
 	"xunet/internal/qos"
 	"xunet/internal/signaling"
 	"xunet/internal/sim"
@@ -61,7 +62,11 @@ type ShardedNet struct {
 	Fabric  *xswitch.Fabric
 	IPNet   *memnet.Network
 	Domains []*Domain
-	opts    Options
+	// Prof is the group-wide execution profiler (nil unless Options.Prof
+	// or ProfSeries armed it): one EngineProf per shard plus the window/
+	// stall/matrix accounting, served by every router's MGMT prof views.
+	Prof *prof.Profiler
+	opts Options
 }
 
 // NewSharded builds a sharded deployment from the storm config's
@@ -87,11 +92,19 @@ func NewSharded(opts Options, cfg StormConfig) (*ShardedNet, error) {
 		lookahead = cfg.TrunkDelay
 	}
 	g := sim.NewShardGroup(opts.Seed, cfg.Domains, lookahead)
+	var pf *prof.Profiler
+	if opts.Prof || opts.ProfSeries {
+		// Attach before switches, trunks and routers are built so their
+		// construction-time label interning lands in each shard's table.
+		pf = prof.New()
+		g.AttachProfiler(pf)
+	}
 	sn := &ShardedNet{
 		G:      g,
 		CM:     sim.DefaultCostModel(),
 		Fabric: xswitch.NewFabric(g.Shard(0)),
 		IPNet:  memnet.New(g.Shard(0)),
+		Prof:   pf,
 		opts:   opts,
 	}
 	for i := 0; i < cfg.Domains; i++ {
@@ -226,6 +239,13 @@ func (sn *ShardedNet) addRouter(dom *Domain, addr atm.Addr) (*Router, error) {
 		r.Sig.SH.HealthInfo = dom.TS.HealthText
 		r.Sig.SH.HealthJSON = dom.TS.HealthJSON
 	}
+	if sn.Prof != nil {
+		// Any router — any domain — serves the group-wide profile: the
+		// snapshot reads are atomic, so cross-shard queries are safe.
+		r.Sig.SH.ProfInfo = sn.Prof.Text
+		r.Sig.SH.ProfJSON = sn.Prof.JSON
+		r.Sig.SH.ProfFlame = sn.Prof.FlameFolded
+	}
 	r.Lib = ulib.New(stack, ip.Addr)
 	dom.Routers = append(dom.Routers, r)
 	return r, nil
@@ -243,6 +263,25 @@ func (sn *ShardedNet) StartTSeries(until time.Duration) {
 		sn.IPNet.RegisterTSeriesOwned(dom.TS, dom.E)
 		for _, r := range DefaultHealthRules() {
 			dom.TS.AddRule(r)
+		}
+		if sn.Prof != nil {
+			// Engine-progress series, sampled in engine context at fixed
+			// virtual-history points — deterministic, so merged exports may
+			// carry it. Domain index in the name keeps merged series disjoint.
+			dom.TS.TrackRateFunc(fmt.Sprintf("sim.shard.%d.events", dom.Index), dom.E.EventsExecuted, 0, 0)
+			if sn.opts.ProfSeries {
+				// Wall-clock stall per tick plus the hot-shard rule: wall
+				// time is nondeterministic by nature, so this series is for
+				// live monitoring only (Options.ProfSeries documents it).
+				gp := sn.Prof.Group(len(sn.Domains))
+				i := dom.Index
+				dom.TS.TrackRateFunc(fmt.Sprintf("sim.shard.%d.stall.ns", i),
+					func() uint64 { return uint64(gp.StallNS(i)) }, 0, 0)
+				dom.TS.AddRule(tseries.Rule{
+					Name: "hot-shard-stall", Series: "sim.shard.*.stall.ns",
+					Threshold: HotShardStallNS, ForTicks: 1,
+				})
+			}
 		}
 		d := dom
 		dom.TS.OnHealthEvent(func(ev tseries.HealthEvent) {

@@ -17,6 +17,13 @@ import (
 // gomaxprocs metric records how much hardware parallelism the numbers
 // were achieved with, so cross-machine diffs can tell a regression from
 // a smaller machine.
+//
+// The run is profiler-armed, so three execution-profile metrics ride
+// along and benchjson stamps them into its report's profile block:
+// events/s (engine events executed per wall second), stall-% (barrier
+// stall as a share of total window time — lower is better, benchjson
+// -diff knows the direction), and critical-shard (the hottest shard's
+// index; informational, not a rate).
 func BenchmarkShardedStorm(b *testing.B) {
 	for _, w := range []int{1, 2, 4} {
 		w := w
@@ -31,6 +38,7 @@ func BenchmarkShardedStorm(b *testing.B) {
 				FDTableSize:        kern.FixedFDTableSize,
 				DisableCallLogging: true,
 				DisableTracing:     true,
+				Prof:               true,
 			}, cfg)
 			if err != nil {
 				b.Fatal(err)
@@ -38,6 +46,14 @@ func BenchmarkShardedStorm(b *testing.B) {
 			defer sn.Close()
 			sn.G.SetWorkers(w)
 			sn.RunUntil(time.Second)
+			events := func() uint64 {
+				var n uint64
+				for _, dom := range sn.Domains {
+					n += dom.E.EventsExecuted()
+				}
+				return n
+			}
+			ev0 := events()
 			b.ReportAllocs()
 			b.ResetTimer()
 			done := 0
@@ -53,7 +69,11 @@ func BenchmarkShardedStorm(b *testing.B) {
 				done += su
 			}
 			b.StopTimer()
+			snap := sn.Prof.Snapshot()
 			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "sim-calls/s")
+			b.ReportMetric(float64(events()-ev0)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(snap.BarrierStallPct(), "stall-%")
+			b.ReportMetric(float64(snap.CriticalShard()), "critical-shard")
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 		})
 	}

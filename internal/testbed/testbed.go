@@ -20,6 +20,7 @@ import (
 	"xunet/internal/memnet"
 	"xunet/internal/obs"
 	"xunet/internal/obs/tseries"
+	"xunet/internal/prof"
 	"xunet/internal/signaling"
 	"xunet/internal/sim"
 	"xunet/internal/trace"
@@ -61,6 +62,18 @@ type Options struct {
 	// ticks once StartTSeries is called. Nil (the default) keeps every
 	// hot-path hook a single nil check and existing goldens untouched.
 	TSeries *tseries.Config
+	// Prof arms the execution profiler (internal/prof): per-label event
+	// attribution on every engine, window/stall accounting on sharded
+	// groups, and the MGMT prof views on every router. Everything Prof
+	// alone records is deterministic — event counts, the cross-shard
+	// matrix — so byte-diffed exports may enable it freely.
+	Prof bool
+	// ProfSeries additionally feeds the profiler's *wall-clock* stall
+	// accounting into each domain's time-series store and installs the
+	// hot-shard watermark rule. Wall time varies run to run, so arm it
+	// for live monitoring (xunetsim, xunettop), never for byte-diffed
+	// exports. Implies Prof.
+	ProfSeries bool
 }
 
 func (o Options) withDefaults() Options {
@@ -114,15 +127,27 @@ type Net struct {
 	// watermark edge its rules emitted.
 	TS           *tseries.Store
 	HealthEvents []tseries.HealthEvent
-	opts         Options
-	nextSite     int
+	// Prof is the deployment's execution profiler (nil unless
+	// Options.Prof or ProfSeries armed it); one profiler spans the
+	// engine and, through the MGMT hooks, every router answers from it.
+	Prof     *prof.Profiler
+	opts     Options
+	nextSite int
 }
 
 // New builds an empty deployment; add routers and hosts, then Run.
 func New(opts Options) *Net {
 	opts = opts.withDefaults()
 	e := sim.New(opts.Seed)
+	var pf *prof.Profiler
+	if opts.Prof || opts.ProfSeries {
+		// Attach before the fabric and machines exist so construction-time
+		// label interning (trunk tx/deliver, proc kinds) lands in the table.
+		pf = prof.New()
+		e.AttachProfiler(pf)
+	}
 	n := &Net{
+		Prof:    pf,
 		E:       e,
 		CM:      sim.DefaultCostModel(),
 		Fabric:  xswitch.NewFabric(e),
@@ -184,6 +209,13 @@ func DefaultHealthRules() []tseries.Rule {
 // ~9.4µs, so 16 queued cells is ~150µs of standing delay — congestion
 // onset, well before the 2048-cell overflow point.
 const QueueWatermarkCells = 16
+
+// HotShardStallNS is the per-tick wall-clock barrier stall (in
+// nanoseconds) at which the hot-shard-stall rule fires when
+// Options.ProfSeries is armed: one shard spending a millisecond of
+// real time per tick waiting at the barrier means the partition is
+// imbalanced enough to cost wall-clock speedup.
+const HotShardStallNS = 1_000_000
 
 // StartTSeries begins the scrape tick chain: every store interval, the
 // deployment's metrics are sampled and the watermark rules evaluated,
@@ -267,6 +299,13 @@ func (n *Net) AddRouter(addr atm.Addr, sw *xswitch.Switch) (*Router, error) {
 		r.Sig.SH.TSeriesJSON = n.TS.JSON
 		r.Sig.SH.HealthInfo = n.TS.HealthText
 		r.Sig.SH.HealthJSON = n.TS.HealthJSON
+	}
+	if n.Prof != nil {
+		// Every router answers MGMT prof queries from the deployment-wide
+		// profile (the profiler spans the engine, not one machine).
+		r.Sig.SH.ProfInfo = n.Prof.Text
+		r.Sig.SH.ProfJSON = n.Prof.JSON
+		r.Sig.SH.ProfFlame = n.Prof.FlameFolded
 	}
 	r.Lib = ulib.New(stack, ip.Addr)
 	for _, other := range n.Routers {

@@ -27,6 +27,7 @@ import (
 	"xunet/internal/faults"
 	"xunet/internal/obs"
 	"xunet/internal/obs/tseries"
+	"xunet/internal/prof"
 	"xunet/internal/qos"
 	"xunet/internal/sim"
 	"xunet/internal/trace"
@@ -178,6 +179,13 @@ type trunk struct {
 	// between-tick queue-depth high-water mark (nil costs one pointer
 	// check in send; see the obsgate benchmark).
 	qPeak *tseries.Peak
+
+	// Execution-profiler attribution labels, interned at construction
+	// (0 — the root label — when no profiler is attached): transmit
+	// events vs. delivery events, so the profile separates serialization
+	// scheduling from cell injection.
+	lblTx    prof.LabelID
+	lblDeliv prof.LabelID
 }
 
 // wrrWeights drain CBR most aggressively, then VBR, then best effort —
@@ -231,6 +239,8 @@ func newTrunk(f *Fabric, from, to node, cfg LinkConfig) *trunk {
 		t.drain()
 	}
 	t.delivFn = t.deliver
+	t.lblTx = feng.ProfLabel("xswitch.trunk.tx")
+	t.lblDeliv = feng.ProfLabel("xswitch.trunk.deliver")
 	return t
 }
 
@@ -398,7 +408,7 @@ func (t *trunk) drain() {
 			// conservative bound.
 			r := t.getXCell()
 			r.cell = c
-			e.Post(t.xeng, time.Duration(n+1)*t.ser+t.cfg.Delay, r.fn)
+			e.PostSized(t.xeng, time.Duration(n+1)*t.ser+t.cfg.Delay, atm.CellSize, r.fn)
 		} else {
 			t.inflight.Push(flightCell{cell: c, at: t.trainStart + time.Duration(n+1)*t.ser + t.cfg.Delay})
 		}
@@ -409,9 +419,9 @@ func (t *trunk) drain() {
 		// delivOn false implies the in-flight ring was empty, so the
 		// next arrival is this train's first cell.
 		t.delivOn = true
-		e.Schedule(t.ser+t.cfg.Delay, t.delivFn)
+		e.ScheduleL(t.ser+t.cfg.Delay, t.lblDeliv, t.delivFn)
 	}
-	t.txTimer = e.Schedule(time.Duration(n)*t.ser, t.txFn)
+	t.txTimer = e.ScheduleL(time.Duration(n)*t.ser, t.lblTx, t.txFn)
 }
 
 // truncate rolls the active train back to the picks whose logical pick
@@ -451,7 +461,7 @@ func (t *trunk) truncate() {
 	}
 	t.trainLen = k
 	t.txTimer.Stop()
-	t.txTimer = t.eng.Schedule(t.trainStart+time.Duration(k)*t.ser-t.eng.Now(), t.txFn)
+	t.txTimer = t.eng.ScheduleL(t.trainStart+time.Duration(k)*t.ser-t.eng.Now(), t.lblTx, t.txFn)
 }
 
 // deliver fires at the arrival time of the in-flight head, injects every
@@ -473,7 +483,7 @@ func (t *trunk) deliver() {
 		t.to.inject(t, fc.cell)
 	}
 	if t.inflight.Len() > 0 {
-		e.Schedule(t.inflight.At(0).at-now, t.delivFn)
+		e.ScheduleL(t.inflight.At(0).at-now, t.lblDeliv, t.delivFn)
 	} else {
 		t.delivOn = false
 	}
