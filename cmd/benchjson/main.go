@@ -401,6 +401,70 @@ func runDiff(oldPath, newPath, benchRE, metricRE string, gatePct float64) int {
 	return 0
 }
 
+// runRatio gates on the ratio between two benchmarks within ONE report:
+//
+//	benchjson -ratio -a 'RealFrames/fallback' -b 'RealFrames/batched' \
+//	    -metric sys/frame -min 2 BENCH_RT.json
+//
+// exits 1 when median(A)/median(B) < min. The rtbench tier uses it to
+// prove the batched carrier amortizes syscalls (A=fallback cost over
+// B=batched cost must be ≥ the floor) on the numbers just measured,
+// rather than against a historical report. With -skip-missing a report
+// that lacks A or B (the batched sub-benchmark self-skips off Linux)
+// exits 0 with a note instead of failing, so the gate is portable.
+func runRatio(path, aRE, bRE, metricRE string, minRatio float64, skipMissing bool) int {
+	rep, err := loadReport(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	aPat, err := regexp.Compile(aRE)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -a:", err)
+		return 2
+	}
+	bPat, err := regexp.Compile(bRE)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -b:", err)
+		return 2
+	}
+	find := func(pat *regexp.Regexp) (Bench, bool) {
+		for _, b := range index2Sorted(index(rep)) {
+			if pat.MatchString(b.Name) {
+				if _, ok := b.Metrics[metricRE]; ok {
+					return b, true
+				}
+			}
+		}
+		return Bench{}, false
+	}
+	ab, aok := find(aPat)
+	bb, bok := find(bPat)
+	if !aok || !bok {
+		if skipMissing {
+			fmt.Printf("benchjson: ratio gate skipped (missing %s benchmark in %s)\n",
+				map[bool]string{true: "-b", false: "-a"}[aok], path)
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: -ratio: no benchmark matching %s with metric %q\n",
+			map[bool]string{true: bRE, false: aRE}[aok], metricRE)
+		return 2
+	}
+	av, bv := ab.Metrics[metricRE].Median, bb.Metrics[metricRE].Median
+	if bv == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: -ratio: %s %s median is zero\n", bb.Name, metricRE)
+		return 2
+	}
+	ratio := av / bv
+	fmt.Printf("%s %s: %s=%.4g / %s=%.4g  ratio %.2fx (floor %.2fx)\n",
+		metricRE, map[bool]string{true: "OK", false: "FAIL"}[ratio >= minRatio],
+		ab.Name, av, bb.Name, bv, ratio, minRatio)
+	if ratio < minRatio {
+		return 1
+	}
+	return 0
+}
+
 // identityMetric reports units that name a thing rather than measure
 // one (the critical shard's index, the GOMAXPROCS the run used) —
 // diffs print them so a shift is visible, but never gate on them.
@@ -426,8 +490,13 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	diff := flag.Bool("diff", false, "compare two reports: benchjson -diff old.json new.json")
 	benchRE := flag.String("bench", "", "diff: only benchmarks whose name matches this regexp")
-	metricRE := flag.String("metric", "", "diff: only metrics whose unit matches this regexp")
+	metricRE := flag.String("metric", "", "diff: only metrics whose unit matches this regexp; ratio: exact metric unit")
 	gate := flag.Float64("gate", 0, "diff: exit 1 if any selected metric regresses more than this percent")
+	ratio := flag.Bool("ratio", false, "gate on median(A)/median(B) within one report: benchjson -ratio -a re -b re -metric unit -min x report.json")
+	ratioA := flag.String("a", "", "ratio: regexp naming the numerator benchmark")
+	ratioB := flag.String("b", "", "ratio: regexp naming the denominator benchmark")
+	ratioMin := flag.Float64("min", 1, "ratio: exit 1 if A/B falls below this floor")
+	skipMissing := flag.Bool("skip-missing", false, "ratio: exit 0 when either benchmark is absent (self-skipping platform gates)")
 	flag.Parse()
 
 	if *diff {
@@ -436,6 +505,13 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *benchRE, *metricRE, *gate))
+	}
+	if *ratio {
+		if flag.NArg() != 1 || *ratioA == "" || *ratioB == "" || *metricRE == "" {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -ratio -a re -b re -metric unit [-min x] [-skip-missing] report.json")
+			os.Exit(2)
+		}
+		os.Exit(runRatio(flag.Arg(0), *ratioA, *ratioB, *metricRE, *ratioMin, *skipMissing))
 	}
 
 	order, pkgOf, runs, err := parseRuns(os.Stdin)

@@ -38,8 +38,16 @@ var (
 // 48-byte boundary, and the trailer. uu is the CPCS-UU octet, which the
 // Xunet variant uses as the per-VC frame sequence number.
 func BuildFrame(payload []byte, uu byte) ([]byte, error) {
+	return AppendFrame(nil, payload, uu)
+}
+
+// AppendFrame appends the CPCS-PDU for payload onto dst (usually
+// dst[:0] of a reused scratch slice) and returns the extended slice. It
+// allocates only when dst lacks capacity, which keeps the real-mode
+// data path's steady state allocation-free.
+func AppendFrame(dst, payload []byte, uu byte) ([]byte, error) {
 	if len(payload) > MaxSDU {
-		return nil, ErrTooLong
+		return dst, ErrTooLong
 	}
 	padded := len(payload) + TrailerSize
 	rem := padded % atm.PayloadSize
@@ -47,8 +55,23 @@ func BuildFrame(payload []byte, uu byte) ([]byte, error) {
 	if rem != 0 {
 		pad = atm.PayloadSize - rem
 	}
-	frame := make([]byte, len(payload)+pad+TrailerSize)
+	start := len(dst)
+	total := len(payload) + pad + TrailerSize
+	// Grow by hand rather than append(dst, make(...)...): the steady
+	// state (capacity already sufficient) must not touch the allocator.
+	if cap(dst)-start < total {
+		nd := make([]byte, start, start+total)
+		copy(nd, dst)
+		dst = nd
+	}
+	dst = dst[:start+total]
+	frame := dst[start:]
 	copy(frame, payload)
+	// The appended region may be recycled capacity; the pad bytes must
+	// be zero regardless of what the scratch last held.
+	for i := len(payload); i < len(payload)+pad; i++ {
+		frame[i] = 0
+	}
 	tr := frame[len(frame)-TrailerSize:]
 	tr[0] = uu
 	tr[1] = 0 // CPI, always zero
@@ -59,7 +82,7 @@ func BuildFrame(payload []byte, uu byte) ([]byte, error) {
 	tr[5] = byte(crc >> 16)
 	tr[6] = byte(crc >> 8)
 	tr[7] = byte(crc)
-	return frame, nil
+	return dst, nil
 }
 
 // ParseFrame validates a complete CPCS-PDU and returns its payload and

@@ -39,6 +39,74 @@ func TestBuildParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendFrameReusedScratch drives AppendFrame the way the real-mode
+// data path does — one scratch slice recycled across frames — and checks
+// that dirty leftover capacity never leaks into the pad bytes, that
+// back-to-back frames in one buffer both parse, and that the steady
+// state performs no allocation.
+func TestAppendFrameReusedScratch(t *testing.T) {
+	// Poison a scratch buffer, then shrink it: the recycled capacity is
+	// full of 0xFF, exactly what a previous larger frame leaves behind.
+	scratch := bytes.Repeat([]byte{0xFF}, 4096)[:0]
+	for _, n := range []int{1, 47, 40, 1500, 40} {
+		out, err := AppendFrame(scratch, pay(n), byte(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, uu, err := ParseFrame(out)
+		if err != nil {
+			t.Fatalf("n=%d: parse: %v", n, err)
+		}
+		if uu != byte(n) || !bytes.Equal(got, pay(n)) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+		// Pad bytes must be zero despite the poisoned capacity.
+		for i := n; i < len(out)-TrailerSize; i++ {
+			if out[i] != 0 {
+				t.Fatalf("n=%d: pad byte %d = %#x, want 0", n, i, out[i])
+			}
+		}
+		scratch = out[:0]
+	}
+
+	// Two frames packed into one buffer: the second append must not
+	// disturb the first.
+	buf, err := AppendFrame(nil, pay(30), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := len(buf)
+	buf, err = AppendFrame(buf, pay(60), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []struct {
+		frame []byte
+		n     int
+		uu    byte
+	}{{buf[:first], 30, 1}, {buf[first:], 60, 2}} {
+		got, uu, err := ParseFrame(want.frame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if uu != want.uu || !bytes.Equal(got, pay(want.n)) {
+			t.Fatalf("frame %d: round trip mismatch", i)
+		}
+	}
+
+	// Steady state with sufficient capacity is allocation-free.
+	scratch = make([]byte, 0, 4096)
+	p := pay(1500)
+	if n := testing.AllocsPerRun(100, func() {
+		out, err := AppendFrame(scratch[:0], p, 9)
+		if err != nil || len(out) == 0 {
+			t.Fatal("append failed")
+		}
+	}); n != 0 {
+		t.Fatalf("AppendFrame allocated %v times per run, want 0", n)
+	}
+}
+
 func TestBuildFrameTooLong(t *testing.T) {
 	if _, err := BuildFrame(make([]byte, MaxSDU+1), 0); err != ErrTooLong {
 		t.Fatalf("err = %v, want ErrTooLong", err)

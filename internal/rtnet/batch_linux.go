@@ -1,0 +1,182 @@
+//go:build linux && (amd64 || arm64)
+
+// The batched half of the carrier: sendmmsg(2)/recvmmsg(2) through the
+// stdlib syscall package. The mmsghdr vector type is not in the stdlib,
+// so it is declared here over syscall.Msghdr (whose per-arch layout the
+// stdlib guarantees); the syscall numbers live in sysnum_linux_*.go.
+// Only the 64-bit arches this repo targets are enabled — everything
+// else takes the portable per-message path in batch_fallback.go, which
+// is also what this file's carrier runs under Config.Unbatched.
+
+package rtnet
+
+import (
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// osBatched selects the batched send/receive implementation at build
+// time; Config.Unbatched can still disable it per carrier.
+const osBatched = true
+
+// mmsghdr mirrors struct mmsghdr: one msghdr plus the kernel-filled
+// received/sent byte count. The trailing pad keeps the 8-byte stride
+// the kernel walks the vector with on 64-bit arches.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// mmsgOp is a pre-bound raw-syscall callback for syscall.RawConn:
+// building a fresh closure per flush would put an allocation in the hot
+// loop, so the op struct is allocated once per peer (tx) or carrier
+// (rx) and its do method is stored as a reusable func value.
+type mmsgOp struct {
+	sysno uintptr
+	hdrs  []mmsghdr
+	off   int
+	vlen  int
+
+	got   int
+	errno syscall.Errno
+	fn    func(uintptr) bool
+}
+
+func (o *mmsgOp) init(sysno uintptr) {
+	o.sysno = sysno
+	o.fn = o.do
+}
+
+func (o *mmsgOp) do(fd uintptr) bool {
+	r, _, e := syscall.Syscall6(o.sysno, fd,
+		uintptr(unsafe.Pointer(&o.hdrs[o.off])), uintptr(o.vlen), 0, 0, 0)
+	o.got, o.errno = int(r), e
+	return e != syscall.EAGAIN
+}
+
+// htons converts a port to the network byte order sockaddr_in wants.
+func htons(v uint16) uint16 { return v<<8 | v>>8 }
+
+// txBatch is the per-peer preallocated sendmmsg state.
+type txBatch struct {
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	sa   syscall.RawSockaddrInet4
+	op   mmsgOp
+}
+
+// osInit builds the peer's send vector once; flushLocked only rewrites
+// iovec base/len fields.
+func (p *Peer) osInit() {
+	b := p.c.batch
+	p.txb.hdrs = make([]mmsghdr, b)
+	p.txb.iovs = make([]syscall.Iovec, b)
+	p.osRetarget()
+	for i := range p.txb.hdrs {
+		h := &p.txb.hdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&p.txb.sa))
+		h.Namelen = syscall.SizeofSockaddrInet4
+		h.Iov = &p.txb.iovs[i]
+		h.Iovlen = 1
+	}
+	p.txb.op.init(sysSendmmsg)
+}
+
+// osRetarget refreshes the raw sockaddr after SetPeerAddr.
+func (p *Peer) osRetarget() {
+	p.txb.sa = syscall.RawSockaddrInet4{
+		Family: syscall.AF_INET,
+		Port:   htons(p.ap.Port()),
+		Addr:   p.ap.Addr().As4(),
+	}
+}
+
+// osFlush transmits the pending batch with as few sendmmsg calls as the
+// kernel allows (normally one; partial sends continue from where the
+// kernel stopped). Returns the syscall count for the saved-syscalls
+// accounting. Called with p.mu held.
+func (p *Peer) osFlush() (syscalls int, err error) {
+	n := p.n
+	for i := 0; i < n; i++ {
+		frame := p.slab[p.offs[i]:p.offs[i+1]]
+		p.txb.iovs[i].Base = &frame[0]
+		p.txb.iovs[i].Len = uint64(len(frame))
+	}
+	op := &p.txb.op
+	op.hdrs = p.txb.hdrs
+	sent := 0
+	for sent < n {
+		op.off, op.vlen = sent, n-sent
+		syscalls++
+		werr := p.c.rc.Write(op.fn)
+		if werr != nil {
+			return syscalls, werr
+		}
+		if op.errno != 0 {
+			return syscalls, op.errno
+		}
+		if op.got <= 0 {
+			return syscalls, syscall.EIO
+		}
+		sent += op.got
+	}
+	return syscalls, nil
+}
+
+// rxBatch is the carrier-wide preallocated recvmmsg state: one
+// contiguous buffer block sliced per message, a sockaddr per slot.
+type rxBatch struct {
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	sas  []syscall.RawSockaddrInet4
+	bufs []byte
+	op   mmsgOp
+}
+
+func (c *Carrier) osRxInit() {
+	b, sz := c.batch, dataHdrLen+c.maxFrame
+	r := &c.rxb
+	r.hdrs = make([]mmsghdr, b)
+	r.iovs = make([]syscall.Iovec, b)
+	r.sas = make([]syscall.RawSockaddrInet4, b)
+	r.bufs = make([]byte, b*sz)
+	for i := range r.hdrs {
+		buf := r.bufs[i*sz : (i+1)*sz]
+		r.iovs[i] = syscall.Iovec{Base: &buf[0], Len: uint64(sz)}
+		h := &r.hdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&r.sas[i]))
+		h.Namelen = syscall.SizeofSockaddrInet4
+		h.Iov = &r.iovs[i]
+		h.Iovlen = 1
+	}
+	r.op.init(sysRecvmmsg)
+	r.op.hdrs = r.hdrs
+}
+
+// osRecvOnce drains up to one full vector of datagrams in a single
+// recvmmsg, dispatching each frame inline.
+func (c *Carrier) osRecvOnce() (int, error) {
+	r := &c.rxb
+	op := &r.op
+	op.off, op.vlen = 0, len(r.hdrs)
+	if err := c.rc.Read(op.fn); err != nil {
+		return 0, err
+	}
+	if op.errno != 0 {
+		return 0, op.errno
+	}
+	n := op.got
+	c.rxBatches.Inc()
+	sz := dataHdrLen + c.maxFrame
+	for i := 0; i < n; i++ {
+		sa := &r.sas[i]
+		src := netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), htons(sa.Port))
+		c.dispatch(src, r.bufs[i*sz:i*sz+int(r.hdrs[i].n)])
+		// The kernel wrote the actual namelen; restore full capacity for
+		// the next vector.
+		r.hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
+	}
+	return n, nil
+}

@@ -1,0 +1,139 @@
+package rtnet
+
+// The rtbench tier's frame-path half: wall-clock loopback throughput of
+// the carrier, batched vs fallback on identical hardware, with per-op
+// allocation accounting and the syscalls-per-frame amortization made
+// explicit. `make rtbench` runs these with -count 3 and benchjson
+// gates:
+//
+//   - sys/frame (fallback ÷ batched) ≥ 2 — the batching mechanism
+//     itself, normally ~30× with the default batch of 32;
+//   - frames/s (batched ÷ fallback) ≥ 1 — batching never loses
+//     wall-clock.
+//
+// The wall-clock gate is deliberately ≥1, not ≥2: on a modern kernel a
+// syscall entry costs ~0.1 µs while loopback per-datagram stack
+// processing costs ~3 µs, so collapsing 64 traps into 2 moves elapsed
+// time by ~1.2×, not 2× — the per-packet cost batching cannot remove
+// dominates. The sys/frame metric isolates the part sendmmsg/recvmmsg
+// actually amortize. (On the 1994-era hardware the paper targets the
+// trap itself was the dominant term, which is why §5 argues per-message
+// kernel crossings tax native-mode ATM; the mechanism gate checks we
+// removed those crossings.)
+
+import (
+	"testing"
+
+	"xunet/internal/atm"
+	"xunet/internal/obs"
+)
+
+// benchFrames measures one full tx+rx cycle per op: coalesce a burst,
+// flush (one sendmmsg on the batched path, burst writes on fallback),
+// then drain it back off the socket. Single-goroutine by design — on
+// the 1-CPU bench hosts a pump goroutine would measure scheduler churn,
+// not the syscall amortization under test.
+func benchFrames(b *testing.B, unbatched bool, frameLen int) {
+	txReg, rxReg := obs.NewRegistry(), obs.NewRegistry()
+	var got int
+	rx := Config{Obs: rxReg, OnSig: func(*Peer, []byte) { got++ }}
+	tx := Config{Obs: txReg}
+	mk := func(cfg Config) *Carrier {
+		cfg.Listen = "127.0.0.1:0"
+		cfg.Unbatched = unbatched
+		cfg.ManualRx = true
+		c, err := New(cfg)
+		if err != nil {
+			b.Skipf("loopback UDP unavailable: %v", err)
+		}
+		b.Cleanup(func() { c.Close() })
+		return c
+	}
+	txc, rxc := mk(tx), mk(rx)
+	ab, err := txc.AddPeer("rx", rxc.AddrPort())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rxc.AddPeer("tx", txc.AddrPort()); err != nil {
+		b.Fatal(err)
+	}
+	frame := make([]byte, frameLen)
+	const burst = DefaultBatch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			if err := ab.SendSig(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ab.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		want := (i + 1) * burst
+		for got < want {
+			if _, err := rxc.RecvOnce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	frames := float64(b.N) * burst
+	txSys := txReg.Counter("rtnet.tx.frames").Value() - txReg.Counter("rtnet.tx.syscalls_saved").Value()
+	rxSys := rxReg.Counter("rtnet.rx.batches").Value()
+	b.ReportMetric(frames/b.Elapsed().Seconds(), "frames/s")
+	b.ReportMetric(float64(txSys+rxSys)/frames, "sys/frame")
+}
+
+func BenchmarkRealFrames(b *testing.B) {
+	b.Run("batched", func(b *testing.B) {
+		if !osBatched {
+			b.Skip("no sendmmsg/recvmmsg on this platform")
+		}
+		benchFrames(b, false, 256)
+	})
+	b.Run("fallback", func(b *testing.B) {
+		benchFrames(b, true, 256)
+	})
+}
+
+// BenchmarkRealFramesAAL5 runs the same cycle through the AAL5 data
+// path (CPCS framing + CRC-32 + sequence check per frame) so the
+// report shows what the adaptation layer costs on top of the carrier.
+func BenchmarkRealFramesAAL5(b *testing.B) {
+	if !osBatched {
+		b.Skip("no sendmmsg/recvmmsg on this platform")
+	}
+	var got int
+	var rxLink AAL5Link
+	rx := Config{Obs: obs.NewRegistry(), OnData: func(from *Peer, vci atm.VCI, payload []byte) {
+		if _, err := rxLink.Recv(payload); err != nil {
+			b.Error(err)
+		}
+		got++
+	}}
+	_, rxc, ab, _ := newPair(b, false, rx)
+	link := &AAL5Link{P: ab, VCI: 42}
+	payload := make([]byte, 256)
+	const burst = DefaultBatch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			if err := link.Send(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ab.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		want := (i + 1) * burst
+		for got < want {
+			if _, err := rxc.RecvOnce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*burst/b.Elapsed().Seconds(), "frames/s")
+}

@@ -1,0 +1,9 @@
+//go:build linux && amd64
+
+package rtnet
+
+// Batch-syscall numbers (arch/x86/entry/syscalls/syscall_64.tbl).
+const (
+	sysRecvmmsg uintptr = 299
+	sysSendmmsg uintptr = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package rtnet
+
+// Batch-syscall numbers (the asm-generic table arm64 uses).
+const (
+	sysRecvmmsg uintptr = 243
+	sysSendmmsg uintptr = 269
+)

@@ -140,9 +140,10 @@ func (c *RealClient) rpcOnce(m sigmsg.Msg, attempt int) (sigmsg.Msg, error) {
 		return sigmsg.Msg{}, err
 	}
 	defer conn.Close()
-	// Stack scratch keeps the encode off the heap for typical messages.
+	// Stack scratch keeps the encode off the heap for typical messages;
+	// appendFrame builds prefix+body there so the request is one Write.
 	var sbuf [128]byte
-	if err := WriteFrame(conn, m.AppendTo(sbuf[:0])); err != nil {
+	if _, err := conn.Write(appendFrame(sbuf[:0], &m)); err != nil {
 		return sigmsg.Msg{}, err
 	}
 	conn.SetReadDeadline(time.Now().Add(c.replyTimeout()))
@@ -214,7 +215,7 @@ func (r *RealRequest) Accept(modifiedQoS string) (atm.VCI, string, error) {
 	defer r.conn.Close()
 	accept := sigmsg.Msg{Kind: sigmsg.KindAcceptConn, Cookie: r.Cookie, QoS: modifiedQoS}
 	var sbuf [128]byte
-	if err := WriteFrame(r.conn, accept.AppendTo(sbuf[:0])); err != nil {
+	if _, err := r.conn.Write(appendFrame(sbuf[:0], &accept)); err != nil {
 		return 0, "", err
 	}
 	wait := r.ReplyTimeout
@@ -242,7 +243,8 @@ func (r *RealRequest) Reject(reason string) error {
 	defer r.conn.Close()
 	reject := sigmsg.Msg{Kind: sigmsg.KindRejectConn, Cookie: r.Cookie, Reason: reason}
 	var sbuf [128]byte
-	return WriteFrame(r.conn, reject.AppendTo(sbuf[:0]))
+	_, err := r.conn.Write(appendFrame(sbuf[:0], &reject))
+	return err
 }
 
 // RealConnection is an established client-side circuit.

@@ -7,12 +7,16 @@ import (
 	"io"
 	"math/rand/v2"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xunet/internal/atm"
+	"xunet/internal/faults"
 	"xunet/internal/memnet"
 	"xunet/internal/qos"
+	"xunet/internal/rtnet"
 	"xunet/internal/sigmsg"
 	"xunet/internal/trace"
 )
@@ -39,6 +43,15 @@ type RealHost struct {
 	book   *qos.Book
 	closed bool
 
+	// Peer networking (nil until EnablePeerNet): the batched UDP carrier
+	// that connects this daemon to other real sighosts, the route table
+	// from ATM address to carrier peer, and an optional fault plane that
+	// draws the same verdict sequence as the simulation's chaos runs.
+	carrier atomic.Pointer[rtnet.Carrier]
+	pmu     sync.Mutex
+	peers   map[atm.Addr]*rtnet.Peer
+	fp      *faults.Plane
+
 	// DialTimeout / DialAttempts / DialBackoff govern how the daemon
 	// reaches an application's notify port: each attempt is bounded by
 	// DialTimeout, failures retry with doubling backoff (capped at 8×)
@@ -61,6 +74,18 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// appendFrame appends one length-prefixed encoded message onto buf:
+// prefix and body build in the same scratch so senders issue a single
+// Write (one TCP segment for small messages, and no cross-goroutine
+// interleaving risk between prefix and body).
+func appendFrame(buf []byte, m *sigmsg.Msg) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = m.AppendTo(buf)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
 }
 
 // ReadFrame reads one length-prefixed frame (1 MiB cap).
@@ -115,7 +140,10 @@ func StartReal(addr atm.Addr, listenAddr string) (*RealHost, error) {
 	tc.SetEnabled(true)
 	h.SH.TraceC = tc
 
-	// Actor.
+	// Actor. Each handler runs to completion, then the peer carrier
+	// flushes once — the dispatch-boundary discipline the journal uses
+	// for jflush, applied to the tx coalescer: every frame a handler
+	// queued rides out in at most one sendmmsg per peer.
 	h.wg.Add(1)
 	go func() {
 		defer h.wg.Done()
@@ -123,6 +151,9 @@ func StartReal(addr atm.Addr, listenAddr string) (*RealHost, error) {
 			select {
 			case fn := <-h.inbox:
 				fn()
+				if car := h.carrier.Load(); car != nil {
+					car.Flush()
+				}
 			case <-h.quit:
 				return
 			}
@@ -157,8 +188,168 @@ func (h *RealHost) Close() {
 	h.closed = true
 	h.mu.Unlock()
 	h.ln.Close()
+	if car := h.carrier.Load(); car != nil {
+		car.Close()
+	}
 	close(h.quit)
 	h.wg.Wait()
+}
+
+// PeerNetConfig configures EnablePeerNet.
+type PeerNetConfig struct {
+	// Listen is the carrier's UDP listen address ("127.0.0.1:0").
+	Listen string
+	// Batch caps frames per sendmmsg/recvmmsg vector (rtnet.DefaultBatch).
+	Batch int
+	// Unbatched forces the portable per-message path even on Linux.
+	Unbatched bool
+	// Faults optionally injects the chaos plane on the peer wire; the
+	// verdict sequence matches simEnv's, so a chaos config means the
+	// same thing against the simulation and a live deployment.
+	Faults *faults.Config
+	// OnData consumes received data-class frames (AAL5 CPCS-PDUs); nil
+	// drops them. Runs on the carrier's receive pump.
+	OnData rtnet.DataHandler
+}
+
+// EnablePeerNet attaches the batched UDP carrier that connects this
+// daemon to other real sighosts, replacing the loopback-only peer
+// behavior. Call once, before adding peers; the carrier's counters and
+// per-peer batch histograms register in the daemon's obs registry (and
+// from there into any tseries scrape).
+func (h *RealHost) EnablePeerNet(cfg PeerNetConfig) error {
+	if h.carrier.Load() != nil {
+		return errors.New("signaling: peer net already enabled")
+	}
+	// The decoder and message are owned by the carrier's receive pump:
+	// OnSig runs only there, and DecodeInto copies out of the rx buffer
+	// (interned strings, no aliasing), so posting a copy of m into the
+	// actor is race-free.
+	var dec sigmsg.Decoder
+	var m sigmsg.Msg
+	car, err := rtnet.New(rtnet.Config{
+		Listen:    cfg.Listen,
+		Batch:     cfg.Batch,
+		Unbatched: cfg.Unbatched,
+		Obs:       h.SH.Obs,
+		OnSig: func(from *rtnet.Peer, frame []byte) {
+			if err := dec.DecodeInto(&m, frame); err != nil {
+				h.SH.Obs.Counter("rtnet.rx.decode_err").Inc()
+				return
+			}
+			src, msg := atm.Addr(from.Name()), m
+			h.post(func() { h.SH.HandlePeer(src, msg) })
+		},
+		OnData: cfg.OnData,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.Faults != nil {
+		h.fp = faults.NewPlane(*cfg.Faults)
+	}
+	h.pmu.Lock()
+	h.peers = map[atm.Addr]*rtnet.Peer{}
+	h.pmu.Unlock()
+	h.carrier.Store(car)
+	car.Start()
+	return nil
+}
+
+// PeerNet exposes the carrier (nil before EnablePeerNet) — the testbed
+// and cmd/sighost use it for data-path AAL5 links and for its address.
+func (h *RealHost) PeerNet() *rtnet.Carrier { return h.carrier.Load() }
+
+// AddPeer routes signaling for an ATM address to a remote carrier
+// endpoint ("host:port" UDP).
+func (h *RealHost) AddPeer(addr atm.Addr, udp string) error {
+	car := h.carrier.Load()
+	if car == nil {
+		return errors.New("signaling: peer net not enabled")
+	}
+	ap, err := netip.ParseAddrPort(udp)
+	if err != nil {
+		return fmt.Errorf("signaling: peer %s: %w", addr, err)
+	}
+	p, err := car.AddPeer(string(addr), ap)
+	if err != nil {
+		return err
+	}
+	h.pmu.Lock()
+	h.peers[addr] = p
+	h.pmu.Unlock()
+	return nil
+}
+
+// SetPeerAddr re-targets an existing peer route (a daemon restarted on
+// a new port).
+func (h *RealHost) SetPeerAddr(addr atm.Addr, udp string) error {
+	car := h.carrier.Load()
+	if car == nil {
+		return errors.New("signaling: peer net not enabled")
+	}
+	ap, err := netip.ParseAddrPort(udp)
+	if err != nil {
+		return fmt.Errorf("signaling: peer %s: %w", addr, err)
+	}
+	return car.SetPeerAddr(string(addr), ap)
+}
+
+// Do runs fn in actor context and waits for it. Reads of actor-owned
+// state from another goroutine — obs Func metrics over the reliability
+// tables, list sizes — go through here; returns without running fn if
+// the host is closed.
+func (h *RealHost) Do(fn func()) {
+	done := make(chan struct{})
+	h.post(func() { fn(); close(done) })
+	select {
+	case <-done:
+	case <-h.quit:
+	}
+}
+
+// EnableReliability turns the reliable peer channel on, in actor
+// context (the state machine is actor-owned; a cross-host deployment
+// enables it on every daemon). Blocks until applied so callers can
+// order it before any traffic.
+func (h *RealHost) EnableReliability(cfg RelConfig) {
+	h.Do(func() { h.SH.EnableReliability(cfg) })
+}
+
+func (h *RealHost) peerFor(dst atm.Addr) *rtnet.Peer {
+	h.pmu.Lock()
+	defer h.pmu.Unlock()
+	return h.peers[dst]
+}
+
+// sendPeerFrame coalesces one encoded signaling frame toward a peer,
+// drawing the same fault-plane verdict sequence as simEnv so chaos
+// configs behave identically in both modes. The carrier copies frame
+// before returning (SendPeerRaw's ownership contract); only the
+// deferred-delay verdict needs a private copy, because it outlives the
+// call.
+func (h *RealHost) sendPeerFrame(p *rtnet.Peer, m *sigmsg.Msg, frame []byte) error {
+	if fp := h.fp; fp != nil {
+		v := fp.SigMsg(trace.Context{Trace: m.TraceID, Span: m.SpanID})
+		if v.Drop {
+			return nil // swallowed by the wire; reliability must repair it
+		}
+		if v.ExtraDelay > 0 {
+			cp := append([]byte(nil), frame...)
+			time.AfterFunc(v.ExtraDelay, func() {
+				// No dispatch boundary follows a timer-fired send; flush
+				// directly.
+				if p.SendSig(cp) == nil {
+					_ = p.Flush()
+				}
+			})
+			return nil
+		}
+		if v.Dup {
+			_ = p.SendSig(frame)
+		}
+	}
+	return p.SendSig(frame)
 }
 
 // post runs fn in actor context (dropped after Close).
@@ -232,8 +423,9 @@ type realConn struct {
 func (c *realConn) Send(m sigmsg.Msg) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.buf = m.AppendTo(c.buf[:0])
-	return WriteFrame(c.c, c.buf)
+	c.buf = appendFrame(c.buf[:0], &m)
+	_, err := c.c.Write(c.buf)
+	return err
 }
 
 func (c *realConn) Close() { c.c.Close() }
@@ -241,6 +433,11 @@ func (c *realConn) Close() { c.c.Close() }
 // realEnv implements Env over the real network and clock.
 type realEnv struct {
 	h *RealHost
+
+	// txBuf is SendPeer's encode scratch. SendPeer runs only in actor
+	// context (state-machine actions and their timers), so one buffer
+	// suffices; the carrier copies out of it before returning.
+	txBuf []byte
 }
 
 func (e *realEnv) Addr() atm.Addr         { return e.h.Addr }
@@ -254,20 +451,42 @@ func (e *realEnv) After(d time.Duration, what string, fn func()) CancelFunc {
 	return func() { t.Stop() }
 }
 
-// SendPeer supports only local loopback: the standalone daemon has no
-// PVC mesh.
+// SendPeer delivers to the local loopback in-process; remote
+// destinations encode into the env scratch and ride the batched
+// carrier. Without EnablePeerNet the standalone daemon still has no
+// peers and remote destinations fail as before.
 func (e *realEnv) SendPeer(dst atm.Addr, m sigmsg.Msg) error {
-	if dst != e.h.Addr {
-		return fmt.Errorf("signaling: standalone daemon has no peer %s", dst)
+	if dst == e.h.Addr {
+		e.h.post(func() { e.h.SH.HandlePeer(dst, m) })
+		return nil
 	}
-	e.h.post(func() { e.h.SH.HandlePeer(dst, m) })
-	return nil
+	p := e.h.peerFor(dst)
+	if p == nil {
+		if e.h.carrier.Load() == nil {
+			return fmt.Errorf("signaling: standalone daemon has no peer %s", dst)
+		}
+		return fmt.Errorf("signaling: no peer route to %s", dst)
+	}
+	e.txBuf = m.AppendTo(e.txBuf[:0])
+	return e.h.sendPeerFrame(p, &m, e.txBuf)
 }
 
-// SendPeerRaw falls back to SendPeer: loopback delivery carries the
-// decoded message, so the cached frame is unused here.
+// SendPeerRaw sends a cached frame without re-encoding — the
+// reliability layer's retransmits hit the wire from the frame encoded
+// at first transmission, exactly as in the simulation (the encode-once
+// counter assertion holds in real mode too).
 func (e *realEnv) SendPeerRaw(dst atm.Addr, m sigmsg.Msg, raw []byte) error {
-	return e.SendPeer(dst, m)
+	if dst == e.h.Addr {
+		return e.SendPeer(dst, m)
+	}
+	p := e.h.peerFor(dst)
+	if p == nil {
+		if e.h.carrier.Load() == nil {
+			return fmt.Errorf("signaling: standalone daemon has no peer %s", dst)
+		}
+		return fmt.Errorf("signaling: no peer route to %s", dst)
+	}
+	return e.h.sendPeerFrame(p, &m, raw)
 }
 
 // Dial connects to an application's notify port over TCP, retrying

@@ -1,0 +1,237 @@
+package signaling_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"xunet/internal/atm"
+	"xunet/internal/faults"
+	"xunet/internal/rtnet"
+	"xunet/internal/signaling"
+)
+
+// These tests exercise the cross-host real deployment: two sighost
+// daemons on the loopback connected by the batched UDP carrier, with
+// applications talking to each over the TCP RPC protocol — the full
+// native-mode stack over actual sockets.
+
+func startPeerPair(t testing.TB, cfgA, cfgB signaling.PeerNetConfig) (a, b *signaling.RealHost) {
+	t.Helper()
+	mk := func(addr atm.Addr, cfg signaling.PeerNetConfig) *signaling.RealHost {
+		h, err := signaling.StartReal(addr, "127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback TCP unavailable: %v", err)
+		}
+		t.Cleanup(h.Close)
+		if err := h.EnablePeerNet(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a = mk("a.rt", cfgA)
+	b = mk("b.rt", cfgB)
+	if err := a.AddPeer("b.rt", b.PeerNet().Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer("a.rt", a.PeerNet().Addr()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// runCall drives one full cross-host call: a server app exports service
+// "echo" at b, a client app at a opens a connection to it. Returns the
+// VCIs each side was granted.
+func runCall(t *testing.T, a, b *signaling.RealHost) (cliVCI, srvVCI atm.VCI) {
+	t.Helper()
+	srvC := &signaling.RealClient{SighostAddr: b.ListenAddr()}
+	srvL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvL.Close()
+	if err := srvC.ExportService("echo", uint16(srvL.Addr().(*net.TCPAddr).Port)); err != nil {
+		t.Fatal(err)
+	}
+	type srvResult struct {
+		vci atm.VCI
+		qos string
+		err error
+	}
+	srvCh := make(chan srvResult, 1)
+	go func() {
+		req, err := signaling.AwaitServiceRequest(srvL)
+		if err != nil {
+			srvCh <- srvResult{err: err}
+			return
+		}
+		req.ReplyTimeout = 30 * time.Second
+		vci, granted, err := req.Accept("cbr:500")
+		srvCh <- srvResult{vci: vci, qos: granted, err: err}
+	}()
+
+	cliC := &signaling.RealClient{SighostAddr: a.ListenAddr(), EstablishTimeout: 30 * time.Second}
+	cliL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliL.Close()
+	conn, err := cliC.OpenConnection("b.rt", "echo", cliL, uint16(cliL.Addr().(*net.TCPAddr).Port), "cross-host", "cbr:1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := <-srvCh
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	if conn.VCI == 0 || sr.vci == 0 {
+		t.Fatalf("zero VCI granted: client %v server %v", conn.VCI, sr.vci)
+	}
+	if conn.QoS != "cbr:500" || sr.qos != "cbr:500" {
+		t.Fatalf("negotiated qos client=%q server=%q, want cbr:500", conn.QoS, sr.qos)
+	}
+	return conn.VCI, sr.vci
+}
+
+func TestRealCrossHostCallOverUDP(t *testing.T) {
+	for _, mode := range []struct {
+		name      string
+		unbatched bool
+	}{{"batched", false}, {"fallback", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			a, b := startPeerPair(t,
+				signaling.PeerNetConfig{Unbatched: mode.unbatched},
+				signaling.PeerNetConfig{Unbatched: mode.unbatched})
+			runCall(t, a, b)
+			// The signaling crossed the carrier, not the loopback
+			// shortcut: both daemons sent and received peer frames.
+			// (Snapshot in actor context: Func metrics read actor state.)
+			for _, h := range []*signaling.RealHost{a, b} {
+				h.Do(func() {
+					snap := h.SH.Obs.Snapshot()
+					if snap.Count("rtnet.tx.frames") == 0 || snap.Count("rtnet.rx.frames") == 0 {
+						t.Errorf("%s carrier idle: tx=%d rx=%d", h.Addr,
+							snap.Count("rtnet.tx.frames"), snap.Count("rtnet.rx.frames"))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestRealPeerEncodeOnce is the real-mode mirror of the simulation's
+// encode-once assertion: with the route to b blackholed, a's SETUP must
+// be retransmitted from the frame cached at first transmission — the
+// encode counter stays at one per distinct message while the wire sees
+// more sends.
+func TestRealPeerEncodeOnce(t *testing.T) {
+	a, b := startPeerPair(t, signaling.PeerNetConfig{}, signaling.PeerNetConfig{})
+	rel := signaling.RelConfig{
+		RTO:             40 * time.Millisecond,
+		MaxBackoffShift: 2,
+		MaxRetries:      10,
+		KeepaliveEvery:  time.Minute,
+		KeepaliveMisses: 3,
+	}
+	a.EnableReliability(rel)
+	b.EnableReliability(rel)
+
+	// Blackhole a→b: frames sail into a dead UDP port. Reliability at a
+	// keeps retransmitting; healing the route lets a later attempt land.
+	if err := a.SetPeerAddr("b.rt", "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	heal := time.AfterFunc(150*time.Millisecond, func() {
+		_ = a.SetPeerAddr("b.rt", b.PeerNet().Addr())
+	})
+	defer heal.Stop()
+
+	runCall(t, a, b)
+
+	a.Do(func() {
+		snap := a.SH.Obs.Snapshot()
+		// The origin side sends exactly two reliable messages per call:
+		// SETUP and CONNECT_DONE.
+		if got := snap.Count("sighost.rel.encodes"); got != 2 {
+			t.Errorf("encodes = %d, want 2 (SETUP + CONNECT_DONE, retransmits reuse the cached frame)", got)
+		}
+		if got := snap.Count("sighost.rel.retransmits"); got == 0 {
+			t.Error("blackhole produced no retransmissions")
+		}
+	})
+}
+
+// TestRealPeerChaosCallCompletes drives a call through a lossy,
+// duplicating peer wire: the same fault plane the simulation's chaos
+// runs use, drawing verdicts on the real carrier, repaired by the same
+// reliability layer.
+func TestRealPeerChaosCallCompletes(t *testing.T) {
+	chaos := &faults.Config{SigLoss: 0.25, SigDup: 0.25, Seed: 11}
+	a, b := startPeerPair(t,
+		signaling.PeerNetConfig{Faults: chaos},
+		signaling.PeerNetConfig{Faults: chaos})
+	rel := signaling.RelConfig{
+		RTO:             30 * time.Millisecond,
+		MaxBackoffShift: 3,
+		MaxRetries:      12,
+		KeepaliveEvery:  time.Minute,
+		KeepaliveMisses: 3,
+	}
+	a.EnableReliability(rel)
+	b.EnableReliability(rel)
+	runCall(t, a, b)
+}
+
+// TestRealPeerDataPathAAL5 sends AAL5 frames between the hosts on the
+// VCI a signaled call granted: the native-mode data path the signaling
+// exists to set up.
+func TestRealPeerDataPathAAL5(t *testing.T) {
+	type rxFrame struct {
+		vci     atm.VCI
+		payload []byte
+		err     error
+	}
+	rxCh := make(chan rxFrame, 16)
+	var rxLink rtnet.AAL5Link // receive side; owned by b's rx pump
+	a, b := startPeerPair(t, signaling.PeerNetConfig{}, signaling.PeerNetConfig{
+		OnData: func(from *rtnet.Peer, vci atm.VCI, payload []byte) {
+			p, err := rxLink.Recv(payload)
+			// payload aliases the carrier's rx buffers; copy out.
+			rxCh <- rxFrame{vci: vci, payload: append([]byte(nil), p...), err: err}
+		},
+	})
+	cliVCI, _ := runCall(t, a, b)
+
+	peer := a.PeerNet().PeerByName("b.rt")
+	if peer == nil {
+		t.Fatal("no carrier peer for b.rt")
+	}
+	tx := &rtnet.AAL5Link{P: peer, VCI: cliVCI}
+	msgs := [][]byte{[]byte("native-mode"), []byte("atm"), bytes.Repeat([]byte{0xAB}, 4000)}
+	for _, m := range msgs {
+		if err := tx.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := peer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range msgs {
+		select {
+		case got := <-rxCh:
+			if got.err != nil {
+				t.Fatalf("frame %d: %v", i, got.err)
+			}
+			if got.vci != cliVCI {
+				t.Fatalf("frame %d vci = %v, want %v", i, got.vci, cliVCI)
+			}
+			if !bytes.Equal(got.payload, want) {
+				t.Fatalf("frame %d payload mismatch (%d vs %d bytes)", i, len(got.payload), len(want))
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+}
